@@ -1,0 +1,537 @@
+package perftrack
+
+// Benchmarks regenerating the paper's evaluation artifacts. One benchmark
+// (or benchmark family) exists per table/figure, plus ablations for the
+// design choices DESIGN.md calls out:
+//
+//	BenchmarkTable1Load/*        Table 1 — per-dataset load cost (the §4.2
+//	                             "data load time" observation)
+//	BenchmarkTable1PTdfGen/*     Table 1 — raw-data → PTdf conversion
+//	BenchmarkFig3MatchCounts     Figure 3 — live per-family match counts
+//	BenchmarkFig4TwoStepQuery    Figure 4 — retrieve + add columns
+//	BenchmarkFig5Chart           Figure 5 — min/max load-balance chart
+//	BenchmarkFig6PTdfParse       Figure 6 — PTdf parse throughput
+//	BenchmarkParadynImport       §4.3 — Paradyn bundle → store
+//	BenchmarkCompareExecutions   §6 operators on §4.1 data
+//
+// Ablations:
+//
+//	BenchmarkAncestryClosureVsWalk/*   closure tables vs parent-link walks
+//	BenchmarkEngine/*                  memory vs file (WAL) engine loads
+//	BenchmarkQuerySQLVsDirect/*        SQL layer vs direct relational API
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perftrack/internal/compare"
+	"perftrack/internal/core"
+	"perftrack/internal/datastore"
+	"perftrack/internal/experiments"
+	"perftrack/internal/gen"
+	"perftrack/internal/irs"
+	"perftrack/internal/paradyn"
+	"perftrack/internal/ptdf"
+	"perftrack/internal/query"
+	"perftrack/internal/reldb"
+)
+
+// prepareExecutionRecords generates and converts one execution of the
+// given dataset kind, returning its PTdf records.
+func prepareExecutionRecords(b *testing.B, kind, machine string, nprocs int) []ptdf.Record {
+	b.Helper()
+	dir := b.TempDir()
+	spec := gen.ExecSpec{
+		Kind: kind, Execution: "bench-exec", App: "app",
+		Machine: machine, NProcs: nprocs, Seed: 1,
+	}
+	if _, err := gen.WriteExecution(dir, spec); err != nil {
+		b.Fatal(err)
+	}
+	recs, err := gen.ConvertExecution(dir, spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return recs
+}
+
+func newBenchStore(b *testing.B, machine string) *datastore.Store {
+	b.Helper()
+	s, err := datastore.Open(reldb.NewMem())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := gen.MachineByName(machine)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rec := range m.ToPTdf(2) {
+		if err := s.LoadRecord(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+func loadRecords(b *testing.B, s *datastore.Store, recs []ptdf.Record) int {
+	b.Helper()
+	results := 0
+	for _, rec := range recs {
+		if err := s.LoadRecord(rec); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := rec.(ptdf.PerfResultRec); ok {
+			results++
+		}
+	}
+	return results
+}
+
+// BenchmarkTable1Load measures loading one execution of each Table 1
+// dataset into a fresh store — the §4.2 load-time focus area.
+func BenchmarkTable1Load(b *testing.B) {
+	cases := []struct {
+		name, kind, machine string
+		nprocs              int
+	}{
+		{"IRS", gen.KindIRS, "MCR", 64},
+		{"SMG-UV", gen.KindSMGUV, "UV", 64},
+		{"SMG-BGL", gen.KindSMGBGL, "BGL", 32},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			recs := prepareExecutionRecords(b, c.kind, c.machine, c.nprocs)
+			b.ResetTimer()
+			results := 0
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := newBenchStore(b, c.machine)
+				b.StartTimer()
+				results = loadRecords(b, s, recs)
+			}
+			b.ReportMetric(float64(results), "results/exec")
+			b.ReportMetric(float64(results)*float64(b.N)/b.Elapsed().Seconds(), "results/s")
+		})
+	}
+}
+
+// BenchmarkTable1PTdfGen measures raw tool output → PTdf conversion.
+func BenchmarkTable1PTdfGen(b *testing.B) {
+	cases := []struct {
+		name, kind, machine string
+		nprocs              int
+	}{
+		{"IRS", gen.KindIRS, "MCR", 64},
+		{"SMG-UV", gen.KindSMGUV, "UV", 64},
+		{"SMG-BGL", gen.KindSMGBGL, "BGL", 32},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			dir := b.TempDir()
+			spec := gen.ExecSpec{
+				Kind: c.kind, Execution: "bench-exec", App: "app",
+				Machine: c.machine, NProcs: c.nprocs, Seed: 1,
+			}
+			if _, err := gen.WriteExecution(dir, spec); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gen.ConvertExecution(dir, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// fig34Store loads a small IRS study used by the Figure 3/4 benchmarks.
+func fig34Store(b *testing.B) *datastore.Store {
+	b.Helper()
+	s := newBenchStore(b, "MCR")
+	recs := prepareExecutionRecords(b, gen.KindIRS, "MCR", 32)
+	loadRecords(b, s, recs)
+	return s
+}
+
+// BenchmarkFig3MatchCounts measures the GUI's live match counting as
+// families are added to a pr-filter.
+func BenchmarkFig3MatchCounts(b *testing.B) {
+	s := fig34Store(b)
+	machineFam, err := s.ApplyFilter(core.ResourceFilter{
+		Name: "/MCRGrid/MCR", Include: core.IncludeDescendants,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	appFam, err := s.ApplyFilter(core.ResourceFilter{Type: "application"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.CountFamilyMatches(machineFam); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.CountMatches(core.PRFilter{Families: []core.Family{machineFam, appFam}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4TwoStepQuery measures retrieval plus the two-step Add
+// Columns workflow.
+func BenchmarkFig4TwoStepQuery(b *testing.B) {
+	s := fig34Store(b)
+	fam, err := s.ApplyFilter(core.ResourceFilter{Type: "application"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prf := core.PRFilter{Families: []core.Family{fam}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl, err := query.Retrieve(s, prf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tbl.FreeResources(); err != nil {
+			b.Fatal(err)
+		}
+		if err := tbl.AddColumn("build/module/function", false); err != nil {
+			b.Fatal(err)
+		}
+		tbl.SortBy("value", true)
+	}
+}
+
+// BenchmarkFig5Chart measures building the Figure 5 chart from a loaded
+// store.
+func BenchmarkFig5Chart(b *testing.B) {
+	counts := []int{2, 4, 8, 16, 32, 64}
+	s, err := experiments.Fig5Store(counts, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.Fig5(s, "xdouble", counts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.RenderASCII(50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6PTdfParse measures PTdf parse throughput.
+func BenchmarkFig6PTdfParse(b *testing.B) {
+	var report bytes.Buffer
+	if err := irs.Generate(&report, irs.Run{Execution: "e", NProcs: 64, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	rep, err := irs.Parse(&report)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var doc bytes.Buffer
+	if err := ptdf.WriteAll(&doc, rep.ToPTdf("irs", "/MCRGrid/MCR")); err != nil {
+		b.Fatal(err)
+	}
+	data := doc.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := ptdf.NewReader(bytes.NewReader(data))
+		for {
+			if _, err := r.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkParadynImport measures mapping and loading one Paradyn export
+// (§4.3 shape, reduced bins).
+func BenchmarkParadynImport(b *testing.B) {
+	bundle := paradyn.Synthesize(paradyn.Run{
+		Execution: "e", NModules: 10, NFuncs: 20, NProcs: 8,
+		NBins: 200, BinWidth: 0.2, NFoci: 3, NanFrac: 0.15, Seed: 1,
+	})
+	recs, err := bundle.ToPTdf("irs", "irs-pd-bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := datastore.Open(reldb.NewMem())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, rec := range recs {
+			if err := s.LoadRecord(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCompareExecutions measures the §6 comparison operators over
+// two IRS executions.
+func BenchmarkCompareExecutions(b *testing.B) {
+	s := newBenchStore(b, "MCR")
+	dir := b.TempDir()
+	for e := 0; e < 2; e++ {
+		spec := gen.ExecSpec{
+			Kind: gen.KindIRS, Execution: fmt.Sprintf("cmp-%d", e), App: "irs",
+			Machine: "MCR", NProcs: 16, Seed: int64(e + 1),
+		}
+		sub := filepath.Join(dir, spec.Execution)
+		if _, err := gen.WriteExecution(sub, spec); err != nil {
+			b.Fatal(err)
+		}
+		recs, err := gen.ConvertExecution(sub, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loadRecords(b, s, recs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cmp, err := compare.Executions(s, "cmp-0", "cmp-1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cmp.Pairs) == 0 {
+			b.Fatal("no aligned pairs")
+		}
+	}
+}
+
+// BenchmarkParadynCompactVsPerBin is the §6 complex-results ablation:
+// importing one Paradyn export with one scalar result per histogram bin
+// (the prototype's approach) vs one histogram-valued result per
+// metric-focus pair (the future-work extension).
+func BenchmarkParadynCompactVsPerBin(b *testing.B) {
+	bundle := paradyn.Synthesize(paradyn.Run{
+		Execution: "e", NModules: 10, NFuncs: 20, NProcs: 8,
+		NBins: 500, BinWidth: 0.2, NFoci: 3, NanFrac: 0.15, Seed: 1,
+	})
+	perBin, err := bundle.ToPTdf("irs", "irs-pd-bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	compact, err := bundle.ToPTdfCompact("irs", "irs-pd-bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct {
+		name string
+		recs []ptdf.Record
+	}{{"per-bin", perBin}, {"compact", compact}} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportMetric(float64(len(c.recs)), "records")
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s, err := datastore.Open(reldb.NewMem())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				for _, rec := range c.recs {
+					if err := s.LoadRecord(rec); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- ablations ---
+
+// BenchmarkAncestryClosureVsWalk compares the paper's closure tables
+// (resource_has_ancestor/descendant, added "for performance reasons")
+// against recomputing ancestry by walking parent links.
+func BenchmarkAncestryClosureVsWalk(b *testing.B) {
+	s := newBenchStore(b, "MCR")
+	// A deep machine subtree.
+	m, _ := gen.MachineByName("Frost")
+	for _, rec := range m.ToPTdf(16) {
+		if err := s.LoadRecord(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	root := core.ResourceName("/SingleMachineFrost/Frost")
+	leaf := core.ResourceName("/SingleMachineFrost/Frost/batch/frost0/p0")
+	for _, useClosure := range []bool{true, false} {
+		name := "closure"
+		if !useClosure {
+			name = "walk"
+		}
+		b.Run(name, func(b *testing.B) {
+			s.UseClosureTables = useClosure
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Descendants(root); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Ancestors(leaf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	s.UseClosureTables = true
+}
+
+// BenchmarkEngine compares loading one IRS execution into the in-memory
+// engine vs the durable file engine (asynchronous WAL).
+func BenchmarkEngine(b *testing.B) {
+	recs := prepareExecutionRecords(b, gen.KindIRS, "MCR", 32)
+	m, _ := gen.MachineByName("MCR")
+	machineRecs := m.ToPTdf(2)
+	run := func(b *testing.B, mkEngine func(i int) reldb.Engine) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			eng := mkEngine(i)
+			s, err := datastore.Open(eng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, rec := range machineRecs {
+				if err := s.LoadRecord(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			loadRecords(b, s, recs)
+			b.StopTimer()
+			eng.Close()
+			b.StartTimer()
+		}
+	}
+	b.Run("memory", func(b *testing.B) {
+		run(b, func(int) reldb.Engine { return reldb.NewMem() })
+	})
+	b.Run("file-wal", func(b *testing.B) {
+		dir := b.TempDir()
+		run(b, func(i int) reldb.Engine {
+			fe, err := reldb.OpenFile(filepath.Join(dir, fmt.Sprintf("db%d", i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			return fe
+		})
+	})
+}
+
+// BenchmarkQuerySQLVsDirect compares an aggregate over performance
+// results through the SQL layer vs the direct relational API.
+func BenchmarkQuerySQLVsDirect(b *testing.B) {
+	s := fig34Store(b)
+	b.Run("sql", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := s.SQL().Query(
+				"SELECT m.name, COUNT(*), AVG(pr.value) FROM performance_result pr " +
+					"JOIN metric m ON pr.metric_id = m.id GROUP BY m.name")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) == 0 {
+				b.Fatal("no rows")
+			}
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		prTab, _ := s.Engine().Table("performance_result")
+		mTab, _ := s.Engine().Table("metric")
+		for i := 0; i < b.N; i++ {
+			type agg struct {
+				n   int
+				sum float64
+			}
+			groups := make(map[int64]*agg)
+			prTab.Scan(func(_ int64, row reldb.Row) bool {
+				mid := row[2].Int64()
+				a := groups[mid]
+				if a == nil {
+					a = &agg{}
+					groups[mid] = a
+				}
+				a.n++
+				a.sum += row[5].Float64()
+				return true
+			})
+			if len(groups) == 0 {
+				b.Fatal("no groups")
+			}
+			for mid := range groups {
+				if _, ok := mTab.Get(mid); !ok {
+					b.Fatal("missing metric")
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkPRFilterScaling measures pr-filter evaluation as the store
+// grows, the scalability concern Table 1 speaks to.
+func BenchmarkPRFilterScaling(b *testing.B) {
+	for _, execs := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("execs-%d", execs), func(b *testing.B) {
+			s := newBenchStore(b, "MCR")
+			dir := b.TempDir()
+			for e := 0; e < execs; e++ {
+				spec := gen.ExecSpec{
+					Kind: gen.KindIRS, Execution: fmt.Sprintf("scale-%03d", e),
+					App: "irs", Machine: "MCR", NProcs: 16, Seed: int64(e + 1),
+				}
+				sub := filepath.Join(dir, spec.Execution)
+				if _, err := gen.WriteExecution(sub, spec); err != nil {
+					b.Fatal(err)
+				}
+				recs, err := gen.ConvertExecution(sub, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				loadRecords(b, s, recs)
+			}
+			fam, err := s.ApplyFilter(core.ResourceFilter{
+				Name: "/irs-code/irs.c/main", Include: core.IncludeDescendants,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			prf := core.PRFilter{Families: []core.Family{fam}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n, err := s.CountMatches(prf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+	}
+}
+
+// TestBenchmarkHelpersSmoke keeps the helper path exercised by go test.
+func TestBenchmarkHelpersSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a dataset")
+	}
+	out := experiments.FormatTable1(experiments.PaperTable1())
+	if !strings.Contains(out, "IRS") {
+		t.Error("FormatTable1 broken")
+	}
+}

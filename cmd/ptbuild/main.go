@@ -1,0 +1,90 @@
+// Command ptbuild is the build-capture wrapper (§3.3): it runs (or reads)
+// a make log, captures the build environment and compilation information
+// — compilers, MPI wrapper scripts, flags, linked libraries — and emits
+// PTdf, either to a file or directly into a data store.
+//
+// Usage:
+//
+//	ptbuild -name irs-build-1 -app irs -log make.out [-o build.ptdf | -db DIR]
+//
+// With -log - the make log is read from standard input, so the tool can
+// wrap a live build: make | ptbuild -name ... -log -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"perftrack/internal/collect"
+	"perftrack/internal/datastore"
+	"perftrack/internal/ptdf"
+	"perftrack/internal/reldb"
+)
+
+func main() {
+	name := flag.String("name", "", "unique build name (required)")
+	app := flag.String("app", "", "application name (required)")
+	logPath := flag.String("log", "", "make log file, or - for stdin (required)")
+	out := flag.String("o", "", "write PTdf to this file")
+	dbDir := flag.String("db", "", "load directly into this data store")
+	flag.Parse()
+	if *name == "" || *app == "" || *logPath == "" {
+		fmt.Fprintln(os.Stderr, "ptbuild: -name, -app, and -log are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var logReader io.Reader = os.Stdin
+	if *logPath != "-" {
+		f, err := os.Open(*logPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		logReader = f
+	}
+	info, err := collect.CaptureBuild(*name, *app, logReader)
+	if err != nil {
+		fatal(err)
+	}
+	recs := info.ToPTdf()
+	fmt.Printf("captured build %s: %d compiler invocations, %d libraries, %d PTdf records\n",
+		*name, len(info.Invocations), len(info.Libraries), len(recs))
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		err = ptdf.WriteAll(f, recs)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *dbDir != "" {
+		fe, err := reldb.OpenFile(*dbDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer fe.Close()
+		store, err := datastore.Open(fe)
+		if err != nil {
+			fatal(err)
+		}
+		for _, rec := range recs {
+			if err := store.LoadRecord(rec); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("loaded into %s\n", *dbDir)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptbuild:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+// Command ptcompare runs the comparison operators of §6 between two
+// executions in a PerfTrack data store: aligned pairs with
+// difference/ratio/speedup, regression and improvement lists, bottleneck
+// diagnosis, and a summary.
+//
+// Usage:
+//
+//	ptcompare -db DIR -a execA -b execB [-metric NAME] [-threshold 0.10]
+//	          [-diagnose] [-top N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"perftrack/internal/compare"
+	"perftrack/internal/datastore"
+	"perftrack/internal/reldb"
+)
+
+func main() {
+	dbDir := flag.String("db", "", "data store directory (required)")
+	execA := flag.String("a", "", "baseline execution (required)")
+	execB := flag.String("b", "", "comparison execution (required)")
+	metric := flag.String("metric", "", "restrict to one metric")
+	threshold := flag.Float64("threshold", 0.10, "regression/improvement threshold (fraction)")
+	diagnose := flag.Bool("diagnose", false, "rank bottlenecks by contribution to total slowdown")
+	top := flag.Int("top", 10, "rows to print per section")
+	flag.Parse()
+	if *dbDir == "" || *execA == "" || *execB == "" {
+		fmt.Fprintln(os.Stderr, "ptcompare: -db, -a, and -b are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	fe, err := reldb.OpenFile(*dbDir)
+	if err != nil {
+		fatal(err)
+	}
+	defer fe.Close()
+	store, err := datastore.Open(fe)
+	if err != nil {
+		fatal(err)
+	}
+	cmp, err := compare.Executions(store, *execA, *execB)
+	if err != nil {
+		fatal(err)
+	}
+	if *metric != "" {
+		cmp = cmp.FilterMetric(*metric)
+	}
+	sum := cmp.Summarize()
+	fmt.Printf("comparing %s (A) vs %s (B)\n", *execA, *execB)
+	fmt.Printf("aligned pairs: %d   only in A: %d   only in B: %d\n",
+		sum.Paired, sum.OnlyA, sum.OnlyB)
+	fmt.Printf("geometric-mean ratio B/A: %.4f   mean difference: %+.4f\n\n",
+		sum.GeoMeanRatio, sum.MeanDiff)
+
+	if *diagnose {
+		findings := cmp.DiagnoseBottlenecks(*metric, *top)
+		if len(findings) == 0 {
+			fmt.Println("no bottlenecks: B is not slower than A anywhere")
+			return
+		}
+		fmt.Printf("bottlenecks (B slower than A), worst first:\n")
+		fmt.Printf("%-40s %-24s %10s %8s\n", "context", "metric", "delta", "share")
+		for _, f := range findings {
+			fmt.Printf("%-40s %-24s %+10.4f %7.1f%%\n",
+				contextLabel(f.Pair), f.Pair.Metric, f.Delta, f.Contribution*100)
+		}
+		return
+	}
+
+	regs := cmp.Regressions(*threshold)
+	fmt.Printf("regressions beyond %.0f%%: %d\n", *threshold*100, len(regs))
+	for i, r := range regs {
+		if i >= *top {
+			fmt.Printf("  ... %d more\n", len(regs)-*top)
+			break
+		}
+		fmt.Printf("  %-40s %-24s %8.3f -> %8.3f  (+%.1f%%)\n",
+			contextLabel(r.Pair), r.Pair.Metric, r.Pair.A, r.Pair.B, r.Percent)
+	}
+	imps := cmp.Improvements(*threshold)
+	fmt.Printf("improvements beyond %.0f%%: %d\n", *threshold*100, len(imps))
+	for i, r := range imps {
+		if i >= *top {
+			fmt.Printf("  ... %d more\n", len(imps)-*top)
+			break
+		}
+		fmt.Printf("  %-40s %-24s %8.3f -> %8.3f  (-%.1f%%)\n",
+			contextLabel(r.Pair), r.Pair.Metric, r.Pair.A, r.Pair.B, r.Percent)
+	}
+}
+
+// contextLabel renders the portable context of a pair compactly.
+func contextLabel(p compare.Pair) string {
+	var parts []string
+	for _, r := range p.Context {
+		if r.Depth() > 1 { // skip bare applications; keep code/time paths
+			parts = append(parts, r.BaseName())
+		}
+	}
+	if len(parts) == 0 {
+		for _, r := range p.Context {
+			parts = append(parts, r.BaseName())
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptcompare:", err)
+	os.Exit(1)
+}

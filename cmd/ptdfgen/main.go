@@ -1,0 +1,51 @@
+// Command ptdfgen converts a directory full of performance-tool output
+// files into PTdf, driven by an index file with one entry per execution
+// (§3.3). Each index entry names the execution, application, concurrency
+// model, process/thread counts, timestamps, and the location and kind of
+// the raw files.
+//
+// Usage:
+//
+//	ptdfgen -index index.txt -out DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perftrack/internal/gen"
+)
+
+func main() {
+	index := flag.String("index", "", "index file (required)")
+	out := flag.String("out", "", "output directory for PTdf files (required)")
+	flag.Parse()
+	if *index == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "ptdfgen: -index and -out are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*index)
+	if err != nil {
+		fatal(err)
+	}
+	entries, err := gen.ParseIndex(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	paths, err := gen.PTdfGen(entries, *out)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range paths {
+		fmt.Println(p)
+	}
+	fmt.Fprintf(os.Stderr, "ptdfgen: wrote %d PTdf files to %s\n", len(paths), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptdfgen:", err)
+	os.Exit(1)
+}

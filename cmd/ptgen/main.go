@@ -1,0 +1,138 @@
+// Command ptgen emits synthetic tool-output datasets at case-study scales
+// — the stand-in for the LLNL benchmark runs. It writes native-format
+// files per execution plus a PTdfGen index file describing them.
+//
+// Usage:
+//
+//	ptgen -kind irs|smg-uv|smg-bgl|paradyn -out DIR [-execs N] [-np N] [-seed N]
+//	ptgen -kind smg -show        # print one sample file to stdout (Figure 7)
+//	ptgen -kind mpip -show       # print one sample report (Figure 8)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"perftrack/internal/gen"
+	"perftrack/internal/mpip"
+	"perftrack/internal/paradyn"
+	"perftrack/internal/pmapi"
+	"perftrack/internal/smg"
+)
+
+func main() {
+	kind := flag.String("kind", "", "dataset kind: irs, smg-uv, smg-bgl, paradyn; with -show also smg, mpip, pmapi")
+	out := flag.String("out", "", "output directory")
+	execs := flag.Int("execs", 5, "number of executions")
+	np := flag.Int("np", 64, "processes per execution")
+	seed := flag.Int64("seed", 1, "random seed")
+	show := flag.Bool("show", false, "print one sample file to stdout instead of writing a dataset")
+	flag.Parse()
+
+	if *show {
+		if err := showSample(*kind, *np, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *kind == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "ptgen: -kind and -out are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch *kind {
+	case gen.KindIRS, gen.KindSMGUV, gen.KindSMGBGL:
+		if err := writeStudy(*kind, *out, *execs, *np, *seed); err != nil {
+			fatal(err)
+		}
+	case "paradyn":
+		for e := 0; e < *execs; e++ {
+			execName := fmt.Sprintf("irs-pd-%03d", e)
+			dir := filepath.Join(*out, execName)
+			err := paradyn.GenerateBundle(dir, paradyn.Run{
+				Execution: execName, NModules: 40, NFuncs: 40, NProcs: *np,
+				NBins: 1000, BinWidth: 0.2, NFoci: 4, NanFrac: 0.15,
+				Seed: *seed + int64(e),
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote Paradyn export bundle %s\n", dir)
+		}
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func writeStudy(kind, out string, execs, np int, seed int64) error {
+	app := "irs"
+	machine := "MCR"
+	switch kind {
+	case gen.KindSMGUV:
+		app, machine = "smg2000", "UV"
+	case gen.KindSMGBGL:
+		app, machine = "smg2000", "BGL"
+	}
+	var entries []gen.IndexEntry
+	for e := 0; e < execs; e++ {
+		execName := fmt.Sprintf("%s-%03d", kind, e)
+		execDir := filepath.Join(out, execName)
+		spec := gen.ExecSpec{
+			Kind: kind, Execution: execName, App: app,
+			Machine: machine, NProcs: np, Seed: seed + int64(e),
+		}
+		files, err := gen.WriteExecution(execDir, spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d files)\n", execDir, len(files))
+		entries = append(entries, gen.IndexEntry{
+			Execution: execName, App: app, Concurrency: "MPI",
+			NProcs: np, NThreads: 1,
+			BuildTime: "2005-04-01T00:00:00Z", RunTime: "2005-04-02T00:00:00Z",
+			Kind: kind, Machine: machine, Dir: execDir, Seed: seed + int64(e),
+		})
+	}
+	idxPath := filepath.Join(out, "index.txt")
+	f, err := os.Create(idxPath)
+	if err != nil {
+		return err
+	}
+	err = gen.WriteIndex(f, entries)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote index %s (%d executions)\n", idxPath, len(entries))
+	return nil
+}
+
+func showSample(kind string, np int, seed int64) error {
+	switch kind {
+	case "smg", gen.KindSMGBGL:
+		return smg.Generate(os.Stdout, smg.Run{
+			Execution: "sample", NProcs: np, Px: np, Py: 1, Pz: 1,
+			Nx: 35, Ny: 35, Nz: 35, Seed: seed,
+		})
+	case "mpip":
+		return mpip.Generate(os.Stdout, mpip.Run{
+			Execution: "sample", Command: "./smg2000 -n 35 35 35",
+			NProcs: np, Callsites: 12, Seed: seed,
+		})
+	case "pmapi":
+		return pmapi.Generate(os.Stdout, pmapi.Run{
+			Execution: "sample", NProcs: np, Seed: seed,
+		})
+	default:
+		return fmt.Errorf("no sample for kind %q (try smg, mpip, pmapi)", kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptgen:", err)
+	os.Exit(1)
+}

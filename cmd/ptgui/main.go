@@ -1,0 +1,49 @@
+// Command ptgui is the terminal analog of the PerfTrack GUI (§3.2,
+// Figures 3–5): an interactive session that builds queries from resource
+// types, names, and attributes with live match counts; retrieves results
+// into a table; adds free-resource columns in a second step; and sorts,
+// filters, charts, and exports the data.
+//
+// Usage:
+//
+//	ptgui -db DIR
+//
+// Type "help" at the prompt for the command list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perftrack/internal/datastore"
+	"perftrack/internal/reldb"
+	"perftrack/internal/shell"
+)
+
+func main() {
+	dbDir := flag.String("db", "", "data store directory (required)")
+	flag.Parse()
+	if *dbDir == "" {
+		fmt.Fprintln(os.Stderr, "ptgui: -db is required")
+		os.Exit(2)
+	}
+	fe, err := reldb.OpenFile(*dbDir)
+	if err != nil {
+		fatal(err)
+	}
+	defer fe.Close()
+	store, err := datastore.Open(fe)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("PerfTrack interactive session. Type 'help' for commands.")
+	if err := shell.New(store, os.Stdout).Run(os.Stdin, true); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptgui:", err)
+	os.Exit(1)
+}

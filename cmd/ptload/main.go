@@ -1,0 +1,63 @@
+// Command ptload loads PTdf files into a PerfTrack data store through the
+// PTdataStore interface (§3.3).
+//
+// Usage:
+//
+//	ptload -db DIR file.ptdf [file.ptdf ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perftrack/internal/datastore"
+	"perftrack/internal/reldb"
+)
+
+func main() {
+	dbDir := flag.String("db", "", "data store directory (required)")
+	checkpoint := flag.Bool("checkpoint", true, "checkpoint the store after loading")
+	flag.Parse()
+	if *dbDir == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "ptload: -db and at least one PTdf file are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	fe, err := reldb.OpenFile(*dbDir)
+	if err != nil {
+		fatal(err)
+	}
+	defer fe.Close()
+	store, err := datastore.Open(fe)
+	if err != nil {
+		fatal(err)
+	}
+	var total datastore.LoadStats
+	for _, path := range flag.Args() {
+		stats, err := store.LoadPTdfFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d records (%d resources, %d attributes, %d results)\n",
+			path, stats.Records, stats.Resources, stats.Attributes, stats.Results)
+		total.Add(stats)
+	}
+	if *checkpoint {
+		if err := fe.Checkpoint(); err != nil {
+			fatal(err)
+		}
+	}
+	st := store.Stats()
+	size, err := fe.DiskSize()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %d records total; store now holds %d executions, %d results, %d resources (%.1f MB on disk)\n",
+		total.Records, st.Executions, st.Results, st.Resources, float64(size)/(1<<20))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptload:", err)
+	os.Exit(1)
+}

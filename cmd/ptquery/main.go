@@ -1,0 +1,281 @@
+// Command ptquery is the scriptable query interface to a PerfTrack data
+// store: it builds pr-filters from resource-filter specs, reports match
+// counts (the Figure 3 live counts), retrieves results in tabular form
+// (Figure 4), adds free-resource columns, sorts, exports CSV, renders bar
+// charts (Figure 5), runs raw SQL, and prints simple reports.
+//
+// Filter specs (one per -family flag) are semicolon-separated key=value
+// pairs:
+//
+//	type=grid/machine                 select by resource type
+//	name=/MCRGrid/MCR                 select by full resource name
+//	base=batch                        select by base name
+//	attr=clock MHz>1000               attribute predicate (= != < <= > >= ~)
+//	rel=D                             relatives: N, D (default), A, or B
+//
+// Examples:
+//
+//	ptquery -db store -family 'name=/MCRGrid/MCR;rel=D' -family 'type=application' -count
+//	ptquery -db store -family 'type=application' -addattr execution.nprocs -sort value -csv out.csv
+//	ptquery -db store -report metrics
+//	ptquery -db store -sql 'SELECT name FROM metric ORDER BY name'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"perftrack/internal/core"
+	"perftrack/internal/datastore"
+	"perftrack/internal/query"
+	"perftrack/internal/reldb"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	dbDir := flag.String("db", "", "data store directory (required)")
+	var families stringList
+	flag.Var(&families, "family", "resource-filter spec (repeatable)")
+	countOnly := flag.Bool("count", false, "print match counts only (Figure 3 live counts)")
+	report := flag.String("report", "", "report: executions, metrics, applications, tools, stats, free")
+	sqlQuery := flag.String("sql", "", "run a raw SQL query against the store")
+	detail := flag.String("detail", "", "print the detail report for one execution")
+	deleteExec := flag.String("delete-exec", "", "delete one execution and all data only it owns")
+	var addCols stringList
+	flag.Var(&addCols, "addcol", "add a free-resource column by type (repeatable)")
+	var addAttrs stringList
+	flag.Var(&addAttrs, "addattr", "add an attribute column: type.attribute (repeatable)")
+	sortBy := flag.String("sort", "", "sort by column")
+	desc := flag.Bool("desc", false, "sort descending")
+	metricFilter := flag.String("metric", "", "keep only rows with this metric")
+	csvOut := flag.String("csv", "", "export the table as CSV to this file")
+	chartBy := flag.String("chart", "", "render an ASCII bar chart grouped by this column")
+	reduce := flag.String("reduce", "avg", "chart reducer: min, max, avg, sum, count")
+	limit := flag.Int("limit", 50, "maximum rows to print (0 = all)")
+	flag.Parse()
+
+	if *dbDir == "" {
+		fmt.Fprintln(os.Stderr, "ptquery: -db is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	fe, err := reldb.OpenFile(*dbDir)
+	if err != nil {
+		fatal(err)
+	}
+	defer fe.Close()
+	store, err := datastore.Open(fe)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *sqlQuery != "" {
+		res, err := store.SQL().Query(*sqlQuery)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(res.FormatTable())
+		return
+	}
+	if *detail != "" {
+		d, err := store.ExecutionDetail(*detail)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("execution:   %s\napplication: %s\nresults:     %d\nresources:   %d\nmetrics:     %d\ntools:       %s\n",
+			d.Name, d.Application, d.Results, d.Resources, len(d.Metrics),
+			strings.Join(d.Tools, ", "))
+		for _, k := range sortedKeys(d.Attributes) {
+			fmt.Printf("  %s = %s\n", k, d.Attributes[k])
+		}
+		return
+	}
+	if *deleteExec != "" {
+		if err := store.DeleteExecution(*deleteExec); err != nil {
+			fatal(err)
+		}
+		if err := fe.Checkpoint(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "deleted execution %s\n", *deleteExec)
+		return
+	}
+	if *report != "" && *report != "free" {
+		runReport(store, *report)
+		return
+	}
+
+	// Build the pr-filter.
+	prf := core.PRFilter{}
+	for _, spec := range families {
+		rf, err := query.ParseFilterSpec(spec)
+		if err != nil {
+			fatal(err)
+		}
+		fam, err := store.ApplyFilter(rf)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := store.CountFamilyMatches(fam)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "family %q: %d resources, matches %d results alone\n",
+			spec, fam.Size(), n)
+		prf.Families = append(prf.Families, fam)
+	}
+	total, err := store.CountMatches(prf)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pr-filter matches %d performance results\n", total)
+	if *countOnly {
+		return
+	}
+
+	tbl, err := query.Retrieve(store, prf)
+	if err != nil {
+		fatal(err)
+	}
+	if *report == "free" {
+		free, err := tbl.FreeResources()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("free resources (types whose values differ across results):")
+		for _, c := range free {
+			fmt.Printf("  %-40s %4d distinct  attrs: %s\n",
+				c.Type, c.Distinct, strings.Join(c.Attributes, ", "))
+		}
+		return
+	}
+	if *metricFilter != "" {
+		tbl.FilterMetric(*metricFilter)
+	}
+	for _, col := range addCols {
+		if err := tbl.AddColumn(core.TypePath(col), false); err != nil {
+			fatal(err)
+		}
+	}
+	for _, spec := range addAttrs {
+		i := strings.LastIndexByte(spec, '.')
+		if i <= 0 {
+			fatal(fmt.Errorf("bad -addattr %q, want type.attribute", spec))
+		}
+		if err := tbl.AddAttributeColumn(core.TypePath(spec[:i]), spec[i+1:]); err != nil {
+			fatal(err)
+		}
+	}
+	if *sortBy != "" {
+		tbl.SortBy(*sortBy, *desc)
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		err = tbl.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d rows)\n", *csvOut, len(tbl.Rows))
+		return
+	}
+	if *chartBy != "" {
+		keys, vals, err := tbl.GroupBy(*chartBy, *reduce)
+		if err != nil {
+			fatal(err)
+		}
+		printChart(keys, vals, *chartBy, *reduce)
+		return
+	}
+	printTable(tbl, *limit)
+}
+
+func runReport(store *datastore.Store, report string) {
+	switch report {
+	case "executions":
+		for _, e := range store.Executions() {
+			fmt.Println(e)
+		}
+	case "metrics":
+		for _, m := range store.Metrics() {
+			fmt.Println(m)
+		}
+	case "applications":
+		for _, a := range store.Applications() {
+			fmt.Println(a)
+		}
+	case "tools":
+		for _, t := range store.Tools() {
+			fmt.Println(t)
+		}
+	case "stats":
+		st := store.Stats()
+		fmt.Printf("applications: %d\nexecutions:   %d\nresources:    %d\nattributes:   %d\nresults:      %d\nmetrics:      %d\nfoci:         %d\ndata bytes:   %d\n",
+			st.Applications, st.Executions, st.Resources, st.Attributes,
+			st.Results, st.Metrics, st.Foci, st.DataBytes)
+	default:
+		fatal(fmt.Errorf("unknown report %q", report))
+	}
+}
+
+func printTable(tbl *query.Table, limit int) {
+	cols := tbl.Columns()
+	fmt.Println(strings.Join(cols, "\t"))
+	for i, row := range tbl.Rows {
+		if limit > 0 && i >= limit {
+			fmt.Printf("... %d more rows\n", len(tbl.Rows)-limit)
+			break
+		}
+		cells := make([]string, len(cols))
+		for j, c := range cols {
+			cells[j] = tbl.Cell(row, c)
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+}
+
+func printChart(keys []string, vals []float64, column, reduce string) {
+	maxV := 0.0
+	for _, v := range vals {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	fmt.Printf("%s(value) by %s\n", reduce, column)
+	for i, k := range keys {
+		n := int(vals[i] / maxV * 50)
+		fmt.Printf("%-20s |%s %g\n", k, strings.Repeat("#", n), vals[i])
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptquery:", err)
+	os.Exit(1)
+}

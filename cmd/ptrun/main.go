@@ -1,0 +1,82 @@
+// Command ptrun is the run-capture wrapper (§3.3): it records the runtime
+// environment of one execution — environment variables, process and
+// thread counts, concurrency model, input deck — and emits PTdf to a file
+// or directly into a data store.
+//
+// Usage:
+//
+//	ptrun -exec irs-001 -app irs -np 64 [-nt 4] [-input zrad3d]
+//	      [-build irs-build-1] [-o run.ptdf | -db DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perftrack/internal/collect"
+	"perftrack/internal/datastore"
+	"perftrack/internal/ptdf"
+	"perftrack/internal/reldb"
+)
+
+func main() {
+	execName := flag.String("exec", "", "execution name (required)")
+	app := flag.String("app", "", "application name (required)")
+	np := flag.Int("np", 1, "number of processes")
+	nt := flag.Int("nt", 1, "number of threads per process")
+	input := flag.String("input", "", "input deck path")
+	build := flag.String("build", "", "build name this run used")
+	out := flag.String("o", "", "write PTdf to this file")
+	dbDir := flag.String("db", "", "load directly into this data store")
+	flag.Parse()
+	if *execName == "" || *app == "" {
+		fmt.Fprintln(os.Stderr, "ptrun: -exec and -app are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	info := collect.CaptureRun(*execName, *app, *np, *nt, *input)
+	info.BuildName = *build
+	recs, err := info.ToPTdf()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("captured run %s: %s, %d processes x %d threads, %d PTdf records\n",
+		*execName, info.Concurrency, *np, *nt, len(recs))
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		err = ptdf.WriteAll(f, recs)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *dbDir != "" {
+		fe, err := reldb.OpenFile(*dbDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer fe.Close()
+		store, err := datastore.Open(fe)
+		if err != nil {
+			fatal(err)
+		}
+		for _, rec := range recs {
+			if err := store.LoadRecord(rec); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("loaded into %s\n", *dbDir)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,20 @@
+// Package perftrack is a Go reproduction of PerfTrack, the performance
+// experiment management tool of Karavanic et al. (SC|05): a DBMS-backed
+// data store and interfaces for collecting, integrating, and comparing
+// parallel performance data from heterogeneous tools.
+//
+// The implementation lives under internal/: reldb (embedded relational
+// engine with in-memory and WAL-backed file storage), sqldb (SQL subset),
+// core (the resource/context/pr-filter model of §2), ptdf (the PTdf data
+// format of Figure 6), datastore (the Figure 1 schema and PTDataStore
+// interface), query (the §3.2 GUI workflow), compare (§6 comparison
+// operators), collect (build/run capture), irs/smg/mpip/pmapi/paradyn
+// (tool-format generators and parsers), gen (machine catalog and study
+// orchestration), chart (Figure 5 bar charts), and experiments (the
+// Table 1 and figure regeneration harness). Executables are under cmd/
+// and runnable walkthroughs under examples/.
+//
+// The benchmarks in bench_test.go regenerate the measurable artifacts of
+// the paper's evaluation; see EXPERIMENTS.md for the paper-vs-measured
+// record.
+package perftrack

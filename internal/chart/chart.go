@@ -1,0 +1,272 @@
+// Package chart renders grouped bar charts like the PerfTrack GUI's plot
+// window (Figure 5: multiple series of values on one chart, e.g. min and
+// max running time of a function across processors for different process
+// counts). Output targets are plain text for terminals and SVG for
+// documents; the original barchart widget was written from scratch for the
+// same reason this one is — third-party charting dependencies are avoided.
+package chart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named sequence of values, one per category.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// BarChart is a grouped bar chart.
+type BarChart struct {
+	Title      string
+	XLabel     string
+	YLabel     string
+	Categories []string
+	Series     []Series
+}
+
+// Validate checks that every series covers every category.
+func (c *BarChart) Validate() error {
+	if len(c.Categories) == 0 {
+		return fmt.Errorf("chart: no categories")
+	}
+	if len(c.Series) == 0 {
+		return fmt.Errorf("chart: no series")
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Categories) {
+			return fmt.Errorf("chart: series %q has %d values for %d categories",
+				s.Name, len(s.Values), len(c.Categories))
+		}
+	}
+	return nil
+}
+
+func (c *BarChart) maxValue() float64 {
+	m := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// RenderASCII draws the chart as text with horizontal bars, one row per
+// (category, series) pair, bars scaled to width characters.
+func (c *BarChart) RenderASCII(width int) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	if width < 10 {
+		width = 10
+	}
+	maxV := c.maxValue()
+	if maxV == 0 {
+		maxV = 1
+	}
+	labelW := 0
+	for _, cat := range c.Categories {
+		for _, s := range c.Series {
+			l := len(cat) + 1 + len(s.Name)
+			if l > labelW {
+				labelW = l
+			}
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+		b.WriteString(strings.Repeat("=", len(c.Title)))
+		b.WriteByte('\n')
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "(%s)\n", c.YLabel)
+	}
+	for ci, cat := range c.Categories {
+		for _, s := range c.Series {
+			v := s.Values[ci]
+			n := 0
+			if !math.IsNaN(v) && v > 0 {
+				n = int(math.Round(v / maxV * float64(width)))
+			}
+			label := cat + " " + s.Name
+			fmt.Fprintf(&b, "%-*s |%s %g\n", labelW, label, strings.Repeat("#", n), v)
+		}
+		if ci < len(c.Categories)-1 {
+			b.WriteByte('\n')
+		}
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "x: %s\n", c.XLabel)
+	}
+	return b.String(), nil
+}
+
+// svgPalette cycles per series.
+var svgPalette = []string{
+	"#4878a8", "#e49444", "#5aa469", "#d1605e", "#857aab",
+	"#937860", "#dc7ec0", "#797979",
+}
+
+// RenderSVG draws the chart as a standalone SVG document with grouped
+// vertical bars, a value axis, and a legend.
+func (c *BarChart) RenderSVG(width, height int) (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	if width < 200 {
+		width = 200
+	}
+	if height < 150 {
+		height = 150
+	}
+	const (
+		marginLeft   = 70
+		marginRight  = 20
+		marginTop    = 40
+		marginBottom = 60
+	)
+	plotW := float64(width - marginLeft - marginRight)
+	plotH := float64(height - marginTop - marginBottom)
+	maxV := c.maxValue()
+	if maxV == 0 {
+		maxV = 1
+	}
+	// Round the axis max up to a tidy value.
+	axisMax := niceCeil(maxV)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="22" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+			width/2, xmlEscape(c.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, marginTop+int(plotH))
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, marginTop+int(plotH), marginLeft+int(plotW), marginTop+int(plotH))
+	// Y ticks.
+	for i := 0; i <= 4; i++ {
+		v := axisMax * float64(i) / 4
+		y := float64(marginTop) + plotH - v/axisMax*plotH
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`+"\n",
+			marginLeft, y, marginLeft+int(plotW), y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+4, trimFloat(v))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+			marginTop+int(plotH)/2, marginTop+int(plotH)/2, xmlEscape(c.YLabel))
+	}
+	// Bars.
+	nCat := len(c.Categories)
+	nSer := len(c.Series)
+	groupW := plotW / float64(nCat)
+	barW := groupW * 0.8 / float64(nSer)
+	for ci, cat := range c.Categories {
+		gx := float64(marginLeft) + groupW*float64(ci) + groupW*0.1
+		for si, s := range c.Series {
+			v := s.Values[ci]
+			if math.IsNaN(v) || v < 0 {
+				v = 0
+			}
+			h := v / axisMax * plotH
+			x := gx + barW*float64(si)
+			y := float64(marginTop) + plotH - h
+			color := svgPalette[si%len(svgPalette)]
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %g</title></rect>`+"\n",
+				x, y, barW, h, color, xmlEscape(cat), xmlEscape(s.Name), s.Values[ci])
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW*0.4, marginTop+int(plotH)+16, xmlEscape(cat))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			marginLeft+int(plotW)/2, height-8, xmlEscape(c.XLabel))
+	}
+	// Legend.
+	lx := marginLeft + 8
+	for si, s := range c.Series {
+		color := svgPalette[si%len(svgPalette)]
+		y := marginTop + 4 + si*16
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, y, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+14, y+9, xmlEscape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// sparkLevels are the eighth-block characters used by Sparkline.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders a numeric series as a one-line unicode sparkline,
+// used to view histogram-valued performance results (Paradyn time
+// series). NaN values (bins with no data) render as spaces.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(values)) // all NaN
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range values {
+		if math.IsNaN(v) {
+			b.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkLevels)-1))
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// niceCeil rounds up to 1, 2, or 5 times a power of ten.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

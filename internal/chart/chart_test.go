@@ -1,0 +1,167 @@
+package chart
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func fig5Chart() *BarChart {
+	return &BarChart{
+		Title:      "Load balance of function xdouble across process counts",
+		XLabel:     "process count",
+		YLabel:     "seconds",
+		Categories: []string{"2", "4", "8", "16"},
+		Series: []Series{
+			{Name: "min", Values: []float64{10, 6, 3.5, 2}},
+			{Name: "max", Values: []float64{12, 9, 6, 5}},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := fig5Chart()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*BarChart{
+		{},
+		{Categories: []string{"a"}},
+		{Categories: []string{"a"}, Series: []Series{{Name: "s", Values: []float64{1, 2}}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad chart %d accepted", i)
+		}
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	out, err := fig5Chart().RenderASCII(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Load balance", "2 min", "16 max", "#", "x: process count", "(seconds)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q:\n%s", want, out)
+		}
+	}
+	// The largest value draws the longest bar.
+	lines := strings.Split(out, "\n")
+	longest, longestLine := 0, ""
+	for _, l := range lines {
+		n := strings.Count(l, "#")
+		if n > longest {
+			longest = n
+			longestLine = l
+		}
+	}
+	if !strings.Contains(longestLine, "2 max") {
+		t.Errorf("longest bar on %q, want '2 max'", longestLine)
+	}
+}
+
+func TestRenderASCIITinyWidthClamped(t *testing.T) {
+	if _, err := fig5Chart().RenderASCII(1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderASCIIZeroAndNaNValues(t *testing.T) {
+	c := &BarChart{
+		Categories: []string{"a", "b"},
+		Series:     []Series{{Name: "s", Values: []float64{0, math.NaN()}}},
+	}
+	out, err := c.RenderASCII(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "#") {
+		t.Errorf("zero/NaN values should draw no bar:\n%s", out)
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	svg, err := fig5Chart().RenderSVG(640, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "<rect", "min", "max",
+		"Load balance of function xdouble",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// 4 categories x 2 series bars + background + legend swatches.
+	if n := strings.Count(svg, "<rect"); n < 8 {
+		t.Errorf("only %d rects", n)
+	}
+}
+
+func TestRenderSVGEscapesXML(t *testing.T) {
+	c := fig5Chart()
+	c.Title = `a < b & "c"`
+	svg, err := c.RenderSVG(400, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, `a < b`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a &lt; b &amp; &quot;c&quot;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestRenderSVGMinimumSizeClamped(t *testing.T) {
+	if _, err := fig5Chart().RenderSVG(1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	out := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if out != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp = %q", out)
+	}
+	// NaN bins render as spaces.
+	out = Sparkline([]float64{math.NaN(), 5, math.NaN()})
+	if out[0] != ' ' {
+		t.Errorf("NaN rendering = %q", out)
+	}
+	// Constant series renders at the bottom level.
+	out = Sparkline([]float64{3, 3, 3})
+	if out != "▁▁▁" {
+		t.Errorf("constant = %q", out)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty series should render empty")
+	}
+	if got := Sparkline([]float64{math.NaN(), math.NaN()}); got != "  " {
+		t.Errorf("all-NaN = %q", got)
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{
+		0.7: 1, 1: 1, 1.2: 2, 3: 5, 7: 10, 12: 20, 99: 100, 101: 200,
+		0: 1, -5: 1,
+	}
+	for in, want := range cases {
+		if got := niceCeil(in); got != want {
+			t.Errorf("niceCeil(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestManySeriesCyclePalette(t *testing.T) {
+	c := &BarChart{Categories: []string{"x"}}
+	for i := 0; i < 12; i++ {
+		c.Series = append(c.Series, Series{Name: strings.Repeat("s", i+1), Values: []float64{float64(i)}})
+	}
+	if _, err := c.RenderSVG(800, 400); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,277 @@
+// Package collect implements PerfTrack's automatic capture of build- and
+// runtime-related information (§3.3): the build environment (operating
+// system, machine, user environment), compilation details parsed from a
+// make log (compilers, MPI wrapper scripts, flags, linked libraries), and
+// the runtime environment (environment variables, process counts, runtime
+// libraries, input deck). Captured data converts to PTdf records through
+// the same resource/attribute model the paper describes.
+package collect
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Library describes one static or dynamic library seen during a build or
+// run. Example attributes from the paper: version, size, type (MPI or
+// thread library), timestamp.
+type Library struct {
+	Name      string
+	Path      string
+	Version   string
+	Kind      string // "static", "dynamic", "MPI", "thread"
+	Size      int64
+	Timestamp string
+}
+
+// CompilerInvocation is one compiler command parsed from a make log.
+type CompilerInvocation struct {
+	Compiler        string   // command name, e.g. "gcc" or "mpicc"
+	Version         string   // when known
+	Flags           []string // -O2, -DNDEBUG, ...
+	Sources         []string // .c/.cc/.f files
+	Outputs         []string // -o targets
+	Libraries       []string // -lfoo names
+	IsMPIWrapper    bool
+	WrappedCompiler string // underlying compiler for MPI wrapper scripts
+	IsLink          bool   // produced an executable (no -c)
+}
+
+// mpiWrappers maps wrapper script names to their typical underlying
+// compilers; §3.3: "In the case that the compiler is an MPI wrapper
+// script, we attempt to gather the compiler used by the wrapper script."
+var mpiWrappers = map[string]string{
+	"mpicc":    "cc",
+	"mpicxx":   "c++",
+	"mpiCC":    "c++",
+	"mpic++":   "c++",
+	"mpif77":   "f77",
+	"mpif90":   "f90",
+	"mpxlc":    "xlc",
+	"mpxlf":    "xlf",
+	"mpiicc":   "icc",
+	"mpiifort": "ifort",
+}
+
+// knownCompilers are plain compiler command names recognized in make logs.
+var knownCompilers = map[string]bool{
+	"cc": true, "gcc": true, "g++": true, "c++": true, "clang": true,
+	"icc": true, "icpc": true, "ifort": true, "xlc": true, "xlC": true,
+	"xlf": true, "xlf90": true, "f77": true, "f90": true, "gfortran": true,
+	"pgcc": true, "pgf90": true,
+}
+
+func isSourceFile(tok string) bool {
+	switch strings.ToLower(filepath.Ext(tok)) {
+	case ".c", ".cc", ".cpp", ".cxx", ".f", ".f77", ".f90", ".f95":
+		return true
+	}
+	return false
+}
+
+// ParseMakeLog scans captured `make` output for compiler invocations. It
+// recognizes both direct compiler commands and MPI wrapper scripts, and
+// extracts flags, source files, outputs, and -l libraries.
+func ParseMakeLog(r io.Reader) ([]CompilerInvocation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []CompilerInvocation
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "make") {
+			continue
+		}
+		toks := strings.Fields(line)
+		if len(toks) == 0 {
+			continue
+		}
+		cmd := filepath.Base(toks[0])
+		wrapped, isWrapper := mpiWrappers[cmd]
+		if !isWrapper && !knownCompilers[cmd] {
+			continue
+		}
+		inv := CompilerInvocation{
+			Compiler:        cmd,
+			IsMPIWrapper:    isWrapper,
+			WrappedCompiler: wrapped,
+			IsLink:          true,
+		}
+		for i := 1; i < len(toks); i++ {
+			tok := toks[i]
+			switch {
+			case tok == "-c":
+				inv.IsLink = false
+				inv.Flags = append(inv.Flags, tok)
+			case tok == "-o" && i+1 < len(toks):
+				inv.Outputs = append(inv.Outputs, toks[i+1])
+				i++
+			case strings.HasPrefix(tok, "-l") && len(tok) > 2:
+				inv.Libraries = append(inv.Libraries, tok[2:])
+			case strings.HasPrefix(tok, "-cc=") && isWrapper:
+				inv.WrappedCompiler = tok[len("-cc="):]
+			case strings.HasPrefix(tok, "-"):
+				inv.Flags = append(inv.Flags, tok)
+			case isSourceFile(tok):
+				inv.Sources = append(inv.Sources, tok)
+			}
+		}
+		if len(inv.Sources) == 0 && len(inv.Outputs) == 0 && len(inv.Libraries) == 0 {
+			continue // not a compile or link line after all
+		}
+		out = append(out, inv)
+	}
+	return out, sc.Err()
+}
+
+// BuildInfo is everything the build-capture wrapper records.
+type BuildInfo struct {
+	Name        string // unique build name, e.g. "irs-build-20050401"
+	Application string
+	Machine     string
+	OS          string
+	OSVersion   string
+	Env         map[string]string
+	Invocations []CompilerInvocation
+	Libraries   []Library
+}
+
+// envAllowlist selects environment variables worth recording; recording
+// everything would leak secrets and bloat the store.
+var envAllowlist = []string{
+	"PATH", "LD_LIBRARY_PATH", "CC", "CXX", "FC", "CFLAGS", "CXXFLAGS",
+	"FFLAGS", "LDFLAGS", "MPI_ROOT", "OMP_NUM_THREADS", "HOME", "USER",
+	"SHELL", "HOSTNAME", "LANG",
+}
+
+// CaptureEnv snapshots the allow-listed environment variables.
+func CaptureEnv() map[string]string {
+	out := make(map[string]string)
+	for _, k := range envAllowlist {
+		if v, ok := os.LookupEnv(k); ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// CaptureHost records the current machine and operating system, standing
+// in for the paper's uname-based capture scripts.
+func CaptureHost() (machine, osName, osVersion string) {
+	machine, err := os.Hostname()
+	if err != nil || machine == "" {
+		machine = "unknown-host"
+	}
+	osName = runtime.GOOS
+	osVersion = runtime.GOARCH // stdlib-only proxy for a kernel version
+	if data, err := os.ReadFile("/proc/sys/kernel/osrelease"); err == nil {
+		osVersion = strings.TrimSpace(string(data))
+	}
+	return machine, osName, osVersion
+}
+
+// CaptureBuild assembles a BuildInfo from the live host plus a make log.
+func CaptureBuild(name, application string, makeLog io.Reader) (*BuildInfo, error) {
+	invs, err := ParseMakeLog(makeLog)
+	if err != nil {
+		return nil, err
+	}
+	machine, osName, osVersion := CaptureHost()
+	b := &BuildInfo{
+		Name:        name,
+		Application: application,
+		Machine:     machine,
+		OS:          osName,
+		OSVersion:   osVersion,
+		Env:         CaptureEnv(),
+		Invocations: invs,
+	}
+	// Derive linked-library records from -l flags on link lines.
+	seen := make(map[string]bool)
+	for _, inv := range invs {
+		if !inv.IsLink {
+			continue
+		}
+		for _, lib := range inv.Libraries {
+			if seen[lib] {
+				continue
+			}
+			seen[lib] = true
+			kind := "static"
+			if lib == "mpi" || strings.HasPrefix(lib, "mpi") {
+				kind = "MPI"
+			} else if lib == "pthread" {
+				kind = "thread"
+			}
+			b.Libraries = append(b.Libraries, Library{Name: lib, Kind: kind})
+		}
+	}
+	sort.Slice(b.Libraries, func(i, j int) bool { return b.Libraries[i].Name < b.Libraries[j].Name })
+	return b, nil
+}
+
+// RunInfo is everything the run-capture wrapper records about one
+// execution and its environment.
+type RunInfo struct {
+	Execution   string
+	Application string
+	BuildName   string // the build this run used, when known
+	Machine     string
+	NProcs      int
+	NThreads    int
+	Concurrency string // "MPI", "OpenMP", "MPI+OpenMP", "sequential"
+	InputDeck   string
+	InputTime   string
+	Env         map[string]string
+	Libraries   []Library
+}
+
+// CaptureRun assembles a RunInfo from the live host and the given
+// execution parameters.
+func CaptureRun(execName, application string, nprocs, nthreads int, inputDeck string) *RunInfo {
+	machine, _, _ := CaptureHost()
+	conc := "sequential"
+	switch {
+	case nprocs > 1 && nthreads > 1:
+		conc = "MPI+OpenMP"
+	case nprocs > 1:
+		conc = "MPI"
+	case nthreads > 1:
+		conc = "OpenMP"
+	}
+	info := &RunInfo{
+		Execution:   execName,
+		Application: application,
+		Machine:     machine,
+		NProcs:      nprocs,
+		NThreads:    nthreads,
+		Concurrency: conc,
+		InputDeck:   inputDeck,
+		Env:         CaptureEnv(),
+	}
+	if inputDeck != "" {
+		if st, err := os.Stat(inputDeck); err == nil {
+			info.InputTime = st.ModTime().UTC().Format("2006-01-02T15:04:05Z")
+		}
+	}
+	return info
+}
+
+// Validate checks a RunInfo before conversion.
+func (r *RunInfo) Validate() error {
+	if r.Execution == "" {
+		return fmt.Errorf("collect: run info has no execution name")
+	}
+	if r.Application == "" {
+		return fmt.Errorf("collect: run info has no application")
+	}
+	if r.NProcs < 1 {
+		return fmt.Errorf("collect: run info has %d processes", r.NProcs)
+	}
+	return nil
+}

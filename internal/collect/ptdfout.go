@@ -1,0 +1,164 @@
+package collect
+
+import (
+	"fmt"
+	"sort"
+
+	"perftrack/internal/core"
+	"perftrack/internal/ptdf"
+)
+
+// ToPTdf converts captured build information into PTdf records: a build
+// resource carrying environment attributes, compiler resources (with the
+// wrapped compiler for MPI wrapper scripts), an operatingSystem resource,
+// and environment-hierarchy resources for linked libraries. Compilers are
+// attached to the build as resource-valued attributes, following §2.1's
+// "a compiler may be an attribute of a particular build".
+func (b *BuildInfo) ToPTdf() []ptdf.Record {
+	var recs []ptdf.Record
+	recs = append(recs, ptdf.ApplicationRec{Name: b.Application})
+
+	buildRes := core.ResourceName("/" + b.Name)
+	recs = append(recs, ptdf.ResourceRec{Name: buildRes, Type: "build"})
+	attr := func(res core.ResourceName, name, value string) {
+		recs = append(recs, ptdf.ResourceAttributeRec{
+			Resource: res, Attr: name, Value: value, AttrType: "string",
+		})
+	}
+	attr(buildRes, "application", b.Application)
+	attr(buildRes, "build machine", b.Machine)
+
+	osRes := core.ResourceName("/" + b.OS)
+	recs = append(recs, ptdf.ResourceRec{Name: osRes, Type: "operatingSystem"})
+	attr(osRes, "version", b.OSVersion)
+	recs = append(recs, ptdf.ResourceConstraintRec{R1: buildRes, R2: osRes})
+
+	// Environment settings of the build user's shell.
+	for _, k := range sortedKeys(b.Env) {
+		attr(buildRes, "env "+k, b.Env[k])
+	}
+
+	// Compilers, flags, and wrapped compilers.
+	seenComp := make(map[string]bool)
+	for i, inv := range b.Invocations {
+		compRes := core.ResourceName("/" + inv.Compiler)
+		if !seenComp[inv.Compiler] {
+			seenComp[inv.Compiler] = true
+			recs = append(recs, ptdf.ResourceRec{Name: compRes, Type: "compiler"})
+			if inv.Version != "" {
+				attr(compRes, "version", inv.Version)
+			}
+			if inv.IsMPIWrapper {
+				attr(compRes, "MPI wrapper", "true")
+				attr(compRes, "wrapped compiler", inv.WrappedCompiler)
+			}
+			recs = append(recs, ptdf.ResourceConstraintRec{R1: buildRes, R2: compRes})
+		}
+		attr(buildRes, fmt.Sprintf("compile[%d] command", i), inv.Compiler)
+		attr(buildRes, fmt.Sprintf("compile[%d] flags", i), joinSpace(inv.Flags))
+		if len(inv.Sources) > 0 {
+			attr(buildRes, fmt.Sprintf("compile[%d] sources", i), joinSpace(inv.Sources))
+		}
+	}
+
+	// Static libraries linked into the build.
+	for _, lib := range b.Libraries {
+		libRes := core.ResourceName("/" + b.Name + "-libs/" + lib.Name)
+		recs = append(recs, ptdf.ResourceRec{Name: libRes, Type: "build/module"})
+		attr(libRes, "type", lib.Kind)
+		if lib.Version != "" {
+			attr(libRes, "version", lib.Version)
+		}
+	}
+	return recs
+}
+
+// ToPTdf converts captured run information into PTdf records: the
+// execution, an execution-hierarchy resource per process, a submission
+// resource carrying run attributes, and environment-hierarchy resources
+// for runtime libraries.
+func (r *RunInfo) ToPTdf() ([]ptdf.Record, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	var recs []ptdf.Record
+	recs = append(recs,
+		ptdf.ApplicationRec{Name: r.Application},
+		ptdf.ExecutionRec{Name: r.Execution, App: r.Application},
+	)
+	execRes := core.ResourceName("/" + r.Execution)
+	recs = append(recs, ptdf.ResourceRec{Name: execRes, Type: "execution", Exec: r.Execution})
+	attr := func(res core.ResourceName, name, value string) {
+		recs = append(recs, ptdf.ResourceAttributeRec{
+			Resource: res, Attr: name, Value: value, AttrType: "string",
+		})
+	}
+	attr(execRes, "number of processes", fmt.Sprintf("%d", r.NProcs))
+	attr(execRes, "number of threads", fmt.Sprintf("%d", r.NThreads))
+	attr(execRes, "concurrency model", r.Concurrency)
+	if r.BuildName != "" {
+		attr(execRes, "build", r.BuildName)
+	}
+	if r.Machine != "" {
+		attr(execRes, "machine", r.Machine)
+	}
+	if r.InputDeck != "" {
+		deckRes := core.ResourceName("/" + r.InputDeck)
+		recs = append(recs, ptdf.ResourceRec{Name: deckRes, Type: "inputDeck"})
+		if r.InputTime != "" {
+			attr(deckRes, "timestamp", r.InputTime)
+		}
+		recs = append(recs, ptdf.ResourceConstraintRec{R1: execRes, R2: deckRes})
+	}
+	for _, k := range sortedKeys(r.Env) {
+		attr(execRes, "env "+k, r.Env[k])
+	}
+	// Per-process resources, with threads when the run is threaded.
+	for p := 0; p < r.NProcs; p++ {
+		procRes := execRes.Child(fmt.Sprintf("p%d", p))
+		recs = append(recs, ptdf.ResourceRec{Name: procRes, Type: "execution/process", Exec: r.Execution})
+		for th := 0; r.NThreads > 1 && th < r.NThreads; th++ {
+			recs = append(recs, ptdf.ResourceRec{
+				Name: procRes.Child(fmt.Sprintf("t%d", th)),
+				Type: "execution/process/thread",
+				Exec: r.Execution,
+			})
+		}
+	}
+	// Runtime (dynamic) libraries live in the environment hierarchy.
+	for _, lib := range r.Libraries {
+		libRes := core.ResourceName("/" + r.Execution + "-env/" + lib.Name)
+		recs = append(recs, ptdf.ResourceRec{Name: libRes, Type: "environment/module"})
+		attr(libRes, "type", lib.Kind)
+		if lib.Version != "" {
+			attr(libRes, "version", lib.Version)
+		}
+		if lib.Size > 0 {
+			attr(libRes, "size", fmt.Sprintf("%d", lib.Size))
+		}
+		if lib.Timestamp != "" {
+			attr(libRes, "timestamp", lib.Timestamp)
+		}
+	}
+	return recs, nil
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func joinSpace(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " "
+		}
+		out += p
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package compare
+
+import (
+	"math"
+	"testing"
+
+	"perftrack/internal/core"
+	"perftrack/internal/datastore"
+	"perftrack/internal/reldb"
+)
+
+// twoPlatformStore builds IRS runs on Frost and MCR with per-function
+// timings, matching the §4.1 cross-platform study shape.
+func twoPlatformStore(t *testing.T) *datastore.Store {
+	t.Helper()
+	s, err := datastore.Open(reldb.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = s.AddResource("/irs", "application", "")
+	must(err)
+	for _, fn := range []string{"main", "xdouble", "radsolve"} {
+		_, err = s.AddResource(core.ResourceName("/irsbuild/irs.c/"+fn), "build/module/function", "")
+		must(err)
+	}
+	_, err = s.AddResource("/GF/Frost", "grid/machine", "")
+	must(err)
+	_, err = s.AddResource("/GM/MCR", "grid/machine", "")
+	must(err)
+	_, err = s.AddExecution("irs-frost", "irs")
+	must(err)
+	_, err = s.AddExecution("irs-mcr", "irs")
+	must(err)
+
+	add := func(exec string, machine core.ResourceName, fn string, v float64) {
+		t.Helper()
+		_, err := s.AddPerfResult(&core.PerformanceResult{
+			Execution: exec, Metric: "wall time", Value: v, Units: "seconds", Tool: "IRS",
+			Contexts: []core.Context{core.NewContext("/irs", machine,
+				core.ResourceName("/irsbuild/irs.c/"+fn))},
+		})
+		must(err)
+	}
+	// Frost is ~2x slower on main/xdouble; radsolve only on Frost.
+	add("irs-frost", "/GF/Frost", "main", 100)
+	add("irs-frost", "/GF/Frost", "xdouble", 40)
+	add("irs-frost", "/GF/Frost", "radsolve", 25)
+	add("irs-mcr", "/GM/MCR", "main", 50)
+	add("irs-mcr", "/GM/MCR", "xdouble", 22)
+	// An MCR-only function.
+	_, err = s.AddResource("/irsbuild/irs.c/mcronly", "build/module/function", "")
+	must(err)
+	add("irs-mcr", "/GM/MCR", "mcronly", 1)
+	return s
+}
+
+func TestExecutionsAlignAcrossMachines(t *testing.T) {
+	s := twoPlatformStore(t)
+	cmp, err := Executions(s, "irs-frost", "irs-mcr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Pairs) != 2 {
+		t.Fatalf("paired = %d, want 2 (main, xdouble)", len(cmp.Pairs))
+	}
+	if len(cmp.OnlyA) != 1 || len(cmp.OnlyB) != 1 {
+		t.Errorf("onlyA=%d onlyB=%d", len(cmp.OnlyA), len(cmp.OnlyB))
+	}
+	// main: 100 -> 50.
+	var mainPair *Pair
+	for i := range cmp.Pairs {
+		for _, r := range cmp.Pairs[i].Context {
+			if r.BaseName() == "main" {
+				mainPair = &cmp.Pairs[i]
+			}
+		}
+	}
+	if mainPair == nil {
+		t.Fatal("main pair missing")
+	}
+	if mainPair.A != 100 || mainPair.B != 50 {
+		t.Errorf("main pair = %+v", mainPair)
+	}
+	if mainPair.Speedup() != 2 || mainPair.Ratio() != 0.5 || mainPair.Difference() != -50 {
+		t.Errorf("operators: speedup=%v ratio=%v diff=%v",
+			mainPair.Speedup(), mainPair.Ratio(), mainPair.Difference())
+	}
+	if mainPair.PercentChange() != -50 {
+		t.Errorf("percent change = %v", mainPair.PercentChange())
+	}
+}
+
+func TestExecutionsUnknownExecution(t *testing.T) {
+	s := twoPlatformStore(t)
+	if _, err := Executions(s, "nope", "irs-mcr"); err == nil {
+		t.Error("unknown execution accepted")
+	}
+	if _, err := Executions(s, "irs-frost", "nope"); err == nil {
+		t.Error("unknown execution accepted")
+	}
+}
+
+func TestRegressionsAndImprovements(t *testing.T) {
+	s := twoPlatformStore(t)
+	// Compare in the slow direction: MCR -> Frost regresses.
+	cmp, err := Executions(s, "irs-mcr", "irs-frost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := cmp.Regressions(0.10)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %d", len(regs))
+	}
+	// Worst first: main doubled (100%).
+	if regs[0].Percent < regs[1].Percent {
+		t.Error("regressions not sorted worst-first")
+	}
+	if math.Abs(regs[0].Percent-100) > 1e-9 {
+		t.Errorf("worst regression = %v%%", regs[0].Percent)
+	}
+	// The reverse comparison reports improvements.
+	cmp2, _ := Executions(s, "irs-frost", "irs-mcr")
+	imps := cmp2.Improvements(0.10)
+	if len(imps) != 2 {
+		t.Errorf("improvements = %d", len(imps))
+	}
+	if len(cmp2.Regressions(0.10)) != 0 {
+		t.Error("no regressions expected in the fast direction")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := twoPlatformStore(t)
+	cmp, _ := Executions(s, "irs-frost", "irs-mcr")
+	sum := cmp.Summarize()
+	if sum.Paired != 2 || sum.OnlyA != 1 || sum.OnlyB != 1 {
+		t.Errorf("summary = %+v", sum)
+	}
+	// Geomean of {0.5, 0.55} is sqrt(0.275).
+	want := math.Sqrt(0.5 * (22.0 / 40.0))
+	if math.Abs(sum.GeoMeanRatio-want) > 1e-9 {
+		t.Errorf("geomean = %v, want %v", sum.GeoMeanRatio, want)
+	}
+	if sum.MeanDiff >= 0 {
+		t.Errorf("mean diff = %v, want negative (B faster)", sum.MeanDiff)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	c := &Comparison{}
+	sum := c.Summarize()
+	if sum.Paired != 0 || !math.IsNaN(sum.GeoMeanRatio) {
+		t.Errorf("empty summary = %+v", sum)
+	}
+}
+
+func TestFilterMetric(t *testing.T) {
+	s := twoPlatformStore(t)
+	cmp, _ := Executions(s, "irs-frost", "irs-mcr")
+	if got := cmp.FilterMetric("wall time"); len(got.Pairs) != 2 {
+		t.Errorf("wall time pairs = %d", len(got.Pairs))
+	}
+	if got := cmp.FilterMetric("nosuch"); len(got.Pairs) != 0 {
+		t.Errorf("nosuch pairs = %d", len(got.Pairs))
+	}
+}
+
+func TestDiagnoseBottlenecks(t *testing.T) {
+	s := twoPlatformStore(t)
+	// MCR -> Frost: everything slows down; main contributes most.
+	cmp, err := Executions(s, "irs-mcr", "irs-frost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := cmp.DiagnoseBottlenecks("", 0)
+	if len(findings) != 2 {
+		t.Fatalf("findings = %d", len(findings))
+	}
+	// main: 50 -> 100 (delta 50); xdouble: 22 -> 40 (delta 18).
+	if findings[0].Delta != 50 || findings[1].Delta != 18 {
+		t.Errorf("deltas = %v, %v", findings[0].Delta, findings[1].Delta)
+	}
+	wantShare := 50.0 / 68.0
+	if diff := findings[0].Contribution - wantShare; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("contribution = %v, want %v", findings[0].Contribution, wantShare)
+	}
+	// topN truncates.
+	if got := cmp.DiagnoseBottlenecks("", 1); len(got) != 1 || got[0].Delta != 50 {
+		t.Errorf("topN = %+v", got)
+	}
+	// The fast direction has no bottlenecks.
+	fast, _ := Executions(s, "irs-frost", "irs-mcr")
+	if got := fast.DiagnoseBottlenecks("", 0); len(got) != 0 {
+		t.Errorf("fast direction findings = %d", len(got))
+	}
+	// Metric filter.
+	if got := cmp.DiagnoseBottlenecks("nosuch", 0); len(got) != 0 {
+		t.Errorf("bogus metric findings = %d", len(got))
+	}
+}
+
+func TestPairEdgeCaseOperators(t *testing.T) {
+	p := Pair{A: 0, B: 5}
+	if !math.IsNaN(p.Ratio()) || !math.IsNaN(p.PercentChange()) {
+		t.Error("zero A should yield NaN ratio and percent change")
+	}
+	q := Pair{A: 5, B: 0}
+	if !math.IsNaN(q.Speedup()) {
+		t.Error("zero B should yield NaN speedup")
+	}
+}
+
+func TestDuplicateKeyValuesAveraged(t *testing.T) {
+	s, err := datastore.Open(reldb.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddResource("/app", "application", "")
+	s.AddExecution("a", "app")
+	s.AddExecution("b", "app")
+	for _, v := range []float64{10, 20} {
+		if _, err := s.AddPerfResult(&core.PerformanceResult{
+			Execution: "a", Metric: "m", Value: v,
+			Contexts: []core.Context{core.NewContext("/app")},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.AddPerfResult(&core.PerformanceResult{
+		Execution: "b", Metric: "m", Value: 30,
+		Contexts: []core.Context{core.NewContext("/app")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Executions(s, "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Pairs) != 1 || cmp.Pairs[0].A != 15 || cmp.Pairs[0].B != 30 {
+		t.Errorf("pairs = %+v", cmp.Pairs)
+	}
+}

@@ -1,0 +1,132 @@
+package datastore
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"perftrack/internal/core"
+	"perftrack/internal/ptdf"
+)
+
+// LoadStats summarizes one PTdf load, feeding the Table 1 statistics.
+type LoadStats struct {
+	Records     int
+	Types       int
+	Apps        int
+	Executions  int
+	Resources   int
+	Attributes  int
+	Constraints int
+	Results     int
+}
+
+// Add accumulates another load's statistics.
+func (ls *LoadStats) Add(o LoadStats) {
+	ls.Records += o.Records
+	ls.Types += o.Types
+	ls.Apps += o.Apps
+	ls.Executions += o.Executions
+	ls.Resources += o.Resources
+	ls.Attributes += o.Attributes
+	ls.Constraints += o.Constraints
+	ls.Results += o.Results
+}
+
+// LoadRecord applies one PTdf record to the store.
+func (s *Store) LoadRecord(rec ptdf.Record) error {
+	switch r := rec.(type) {
+	case ptdf.ApplicationRec:
+		_, err := s.AddApplication(r.Name)
+		return err
+	case ptdf.ResourceTypeRec:
+		return s.AddResourceType(r.Type)
+	case ptdf.ExecutionRec:
+		_, err := s.AddExecution(r.Name, r.App)
+		return err
+	case ptdf.ResourceRec:
+		_, err := s.AddResource(r.Name, r.Type, r.Exec)
+		return err
+	case ptdf.ResourceAttributeRec:
+		if r.AttrType == "resource" {
+			// Adding a resource-typed attribute is equivalent to adding a
+			// resource constraint (Figure 6).
+			return s.AddResourceConstraint(r.Resource, core.ResourceName(r.Value))
+		}
+		return s.SetResourceAttribute(r.Resource, r.Attr, r.Value)
+	case ptdf.ResourceConstraintRec:
+		return s.AddResourceConstraint(r.R1, r.R2)
+	case ptdf.PerfResultRec:
+		pr := &core.PerformanceResult{
+			Execution: r.Exec,
+			Metric:    r.Metric,
+			Value:     r.Value,
+			Units:     r.Units,
+			Tool:      r.Tool,
+			Contexts:  r.Contexts(),
+		}
+		_, err := s.AddPerfResult(pr)
+		return err
+	case ptdf.PerfHistogramRec:
+		pr := &core.PerformanceResult{
+			Execution: r.Exec,
+			Metric:    r.Metric,
+			Units:     r.Units,
+			Tool:      r.Tool,
+			Contexts:  r.Contexts(),
+		}
+		_, err := s.AddHistogramResult(pr, r.BinWidth, r.Values)
+		return err
+	default:
+		return fmt.Errorf("datastore: unknown PTdf record %T", rec)
+	}
+}
+
+// LoadPTdf streams a PTdf document into the store.
+func (s *Store) LoadPTdf(r io.Reader) (LoadStats, error) {
+	var stats LoadStats
+	pr := ptdf.NewReader(r)
+	for {
+		rec, err := pr.Next()
+		if err == io.EOF {
+			return stats, nil
+		}
+		if err != nil {
+			return stats, err
+		}
+		if err := s.LoadRecord(rec); err != nil {
+			return stats, fmt.Errorf("datastore: record %d: %w", stats.Records+1, err)
+		}
+		stats.Records++
+		switch rec.(type) {
+		case ptdf.ResourceTypeRec:
+			stats.Types++
+		case ptdf.ApplicationRec:
+			stats.Apps++
+		case ptdf.ExecutionRec:
+			stats.Executions++
+		case ptdf.ResourceRec:
+			stats.Resources++
+		case ptdf.ResourceAttributeRec:
+			stats.Attributes++
+		case ptdf.ResourceConstraintRec:
+			stats.Constraints++
+		case ptdf.PerfResultRec, ptdf.PerfHistogramRec:
+			stats.Results++
+		}
+	}
+}
+
+// LoadPTdfFile loads one PTdf file from disk.
+func (s *Store) LoadPTdfFile(path string) (LoadStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return LoadStats{}, err
+	}
+	defer f.Close()
+	stats, err := s.LoadPTdf(f)
+	if err != nil {
+		return stats, fmt.Errorf("%s: %w", path, err)
+	}
+	return stats, nil
+}

@@ -1,0 +1,105 @@
+package datastore
+
+import (
+	"strings"
+	"testing"
+
+	"perftrack/internal/core"
+)
+
+const sampleDoc = `# PTdf for a small IRS run
+Application irs
+Execution irs-001 irs
+ResourceType grid/machine/partition/node/processor
+Resource /MCRGrid/MCR/batch/n1/p0 grid/machine/partition/node/processor
+Resource /irs application
+Resource /irs-001 execution irs-001
+Resource /irs-001/p0 execution/process irs-001
+ResourceAttribute /irs-001 nprocs 2 string
+ResourceAttribute /irs-001/p0 node /MCRGrid/MCR/batch/n1 resource
+ResourceConstraint /irs-001/p0 /MCRGrid/MCR/batch/n1/p0
+PerfResult irs-001 /irs,/MCRGrid/MCR(primary) IRS "wall time" 98.5 seconds
+PerfResult irs-001 /irs-001/p0(primary) IRS "cpu time" 97.25 seconds
+`
+
+func TestLoadPTdfDocument(t *testing.T) {
+	s := newStore(t)
+	stats, err := s.LoadPTdf(strings.NewReader(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 12 || stats.Results != 2 || stats.Resources != 4 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Attributes != 2 || stats.Constraints != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	// The resource-typed attribute became a constraint.
+	p0, err := s.ResourceByName("/irs-001/p0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p0.Constraints) != 2 {
+		t.Errorf("constraints = %v", p0.Constraints)
+	}
+	// Results are queryable.
+	fam, _ := s.ApplyFilter(core.ResourceFilter{Name: "/irs"})
+	n, err := s.CountMatches(core.PRFilter{Families: []core.Family{fam}})
+	if err != nil || n != 1 {
+		t.Errorf("matches = %d, %v", n, err)
+	}
+}
+
+func TestLoadPTdfErrorAnnotatesRecord(t *testing.T) {
+	s := newStore(t)
+	doc := "Application a\nExecution e1 a\nPerfResult e1 /ghost(primary) t m 1 u\n"
+	_, err := s.LoadPTdf(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "record 3") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLoadPTdfRejectsBadSyntax(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.LoadPTdf(strings.NewReader("Garbage line\n")); err == nil {
+		t.Error("bad syntax accepted")
+	}
+}
+
+func TestLoadPTdfTypeExtensionRecord(t *testing.T) {
+	s := newStore(t)
+	doc := `ResourceType syncObject
+ResourceType syncObject/messageTag
+Resource /tags/42 syncObject/messageTag
+`
+	if _, err := s.LoadPTdf(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Types().Has("syncObject/messageTag") {
+		t.Error("type extension not applied")
+	}
+}
+
+func TestLoadPTdfIdempotentEntities(t *testing.T) {
+	s := newStore(t)
+	doc := "Application a\nApplication a\nExecution e a\nExecution e a\nResource /r application\nResource /r application\n"
+	stats, err := s.LoadPTdf(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 6 {
+		t.Errorf("records = %d", stats.Records)
+	}
+	st := s.Stats()
+	if st.Applications != 1 || st.Executions != 1 {
+		t.Errorf("duplicate entities stored: %+v", st)
+	}
+}
+
+func TestLoadStatsAdd(t *testing.T) {
+	a := LoadStats{Records: 1, Results: 2, Resources: 3}
+	a.Add(LoadStats{Records: 10, Results: 20, Resources: 30, Attributes: 5})
+	if a.Records != 11 || a.Results != 22 || a.Resources != 33 || a.Attributes != 5 {
+		t.Errorf("sum = %+v", a)
+	}
+}

@@ -1,0 +1,549 @@
+package datastore
+
+import (
+	"fmt"
+	"sort"
+
+	"perftrack/internal/core"
+	"perftrack/internal/reldb"
+)
+
+// ResourceByName fetches a resource with its attributes and constraints.
+func (s *Store) ResourceByName(name core.ResourceName) (*core.Resource, error) {
+	s.mu.Lock()
+	id, ok := s.resIDs[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("datastore: no resource %q", name)
+	}
+	return s.resourceByID(id)
+}
+
+func (s *Store) resourceByID(id int64) (*core.Resource, error) {
+	riTab, _ := s.eng.Table("resource_item")
+	row, ok := riTab.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("datastore: no resource id %d", id)
+	}
+	name := core.ResourceName(row[1].Text())
+	typ, err := s.typeOfID(row[4].Int64())
+	if err != nil {
+		return nil, err
+	}
+	res := core.NewResource(name, typ)
+	raTab, _ := s.eng.Table("resource_attribute")
+	if err := raTab.IndexScan("resource_attribute_res", []reldb.Value{reldb.Int(id)},
+		func(_ int64, arow reldb.Row) bool {
+			res.SetAttribute(arow[2].Text(), arow[3].Text())
+			return true
+		}); err != nil {
+		return nil, err
+	}
+	rcTab, _ := s.eng.Table("resource_constraint")
+	if err := rcTab.IndexScan("resource_constraint_r1", []reldb.Value{reldb.Int(id)},
+		func(_ int64, crow reldb.Row) bool {
+			s.mu.Lock()
+			other := s.resNames[crow[2].Int64()]
+			s.mu.Unlock()
+			res.AddConstraint(other)
+			return true
+		}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (s *Store) typeOfID(ffid int64) (core.TypePath, error) {
+	ffTab, _ := s.eng.Table("focus_framework")
+	row, ok := ffTab.Get(ffid)
+	if !ok {
+		return "", fmt.Errorf("datastore: no type id %d", ffid)
+	}
+	return core.TypePath(row[1].Text()), nil
+}
+
+// TypeOfResource returns the type of an existing resource without
+// materializing its attributes.
+func (s *Store) TypeOfResource(name core.ResourceName) (core.TypePath, error) {
+	s.mu.Lock()
+	id, ok := s.resIDs[name]
+	s.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("datastore: no resource %q", name)
+	}
+	riTab, _ := s.eng.Table("resource_item")
+	row, ok := riTab.Get(id)
+	if !ok {
+		return "", fmt.Errorf("datastore: no resource id %d", id)
+	}
+	return s.typeOfID(row[4].Int64())
+}
+
+// HasResource reports whether the full resource name exists.
+func (s *Store) HasResource(name core.ResourceName) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.resIDs[name]
+	return ok
+}
+
+// ResourcesOfType lists resources with exactly the given type, sorted.
+func (s *Store) ResourcesOfType(t core.TypePath) ([]core.ResourceName, error) {
+	s.mu.Lock()
+	ffid, ok := s.typeIDs[t]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("datastore: unknown type %q", t)
+	}
+	riTab, _ := s.eng.Table("resource_item")
+	var out []core.ResourceName
+	if err := riTab.IndexScan("resource_item_type", []reldb.Value{reldb.Int(ffid)},
+		func(_ int64, row reldb.Row) bool {
+			out = append(out, core.ResourceName(row[1].Text()))
+			return true
+		}); err != nil {
+		return nil, err
+	}
+	sortNames(out)
+	return out, nil
+}
+
+// ResourcesWithBaseName lists resources whose final component is base.
+func (s *Store) ResourcesWithBaseName(base string) ([]core.ResourceName, error) {
+	riTab, _ := s.eng.Table("resource_item")
+	var out []core.ResourceName
+	if err := riTab.IndexScan("resource_item_base", []reldb.Value{reldb.Str(base)},
+		func(_ int64, row reldb.Row) bool {
+			out = append(out, core.ResourceName(row[1].Text()))
+			return true
+		}); err != nil {
+		return nil, err
+	}
+	sortNames(out)
+	return out, nil
+}
+
+// Children lists the direct child resources of a name, sorted. The GUI
+// fetches children lazily when the user expands a resource.
+func (s *Store) Children(name core.ResourceName) ([]core.ResourceName, error) {
+	s.mu.Lock()
+	id, ok := s.resIDs[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("datastore: no resource %q", name)
+	}
+	riTab, _ := s.eng.Table("resource_item")
+	var out []core.ResourceName
+	if err := riTab.IndexScan("resource_item_parent", []reldb.Value{reldb.Int(id)},
+		func(_ int64, row reldb.Row) bool {
+			out = append(out, core.ResourceName(row[1].Text()))
+			return true
+		}); err != nil {
+		return nil, err
+	}
+	sortNames(out)
+	return out, nil
+}
+
+// Ancestors returns all proper ancestors of a resource. With closure
+// tables enabled this reads resource_has_ancestor; otherwise it walks
+// parent_id links (the paper notes the tables exist to avoid that walk).
+func (s *Store) Ancestors(name core.ResourceName) ([]core.ResourceName, error) {
+	s.mu.Lock()
+	id, ok := s.resIDs[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("datastore: no resource %q", name)
+	}
+	var out []core.ResourceName
+	if s.UseClosureTables {
+		rhaTab, _ := s.eng.Table("resource_has_ancestor")
+		if err := rhaTab.PKScan([]reldb.Value{reldb.Int(id)},
+			func(_ int64, row reldb.Row) bool {
+				s.mu.Lock()
+				out = append(out, s.resNames[row[1].Int64()])
+				s.mu.Unlock()
+				return true
+			}); err != nil {
+			return nil, err
+		}
+	} else {
+		riTab, _ := s.eng.Table("resource_item")
+		cur := id
+		for {
+			row, ok := riTab.Get(cur)
+			if !ok || row[3].IsNull() {
+				break
+			}
+			cur = row[3].Int64()
+			prow, ok := riTab.Get(cur)
+			if !ok {
+				break
+			}
+			out = append(out, core.ResourceName(prow[1].Text()))
+		}
+	}
+	sortNames(out)
+	return out, nil
+}
+
+// Descendants returns all proper descendants of a resource.
+func (s *Store) Descendants(name core.ResourceName) ([]core.ResourceName, error) {
+	s.mu.Lock()
+	id, ok := s.resIDs[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("datastore: no resource %q", name)
+	}
+	var out []core.ResourceName
+	if s.UseClosureTables {
+		rhdTab, _ := s.eng.Table("resource_has_descendant")
+		if err := rhdTab.PKScan([]reldb.Value{reldb.Int(id)},
+			func(_ int64, row reldb.Row) bool {
+				s.mu.Lock()
+				out = append(out, s.resNames[row[1].Int64()])
+				s.mu.Unlock()
+				return true
+			}); err != nil {
+			return nil, err
+		}
+	} else {
+		// Breadth-first walk over parent links.
+		riTab, _ := s.eng.Table("resource_item")
+		queue := []int64{id}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			_ = riTab.IndexScan("resource_item_parent", []reldb.Value{reldb.Int(cur)},
+				func(cid int64, row reldb.Row) bool {
+					out = append(out, core.ResourceName(row[1].Text()))
+					queue = append(queue, cid)
+					return true
+				})
+		}
+	}
+	sortNames(out)
+	return out, nil
+}
+
+func sortNames(ns []core.ResourceName) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+}
+
+// ApplyFilter evaluates a resource filter over the store, returning the
+// resulting resource family (relatives included per the filter's flag).
+func (s *Store) ApplyFilter(rf core.ResourceFilter) (core.Family, error) {
+	fam := core.NewFamily()
+	var matched []core.ResourceName
+	switch {
+	case rf.Name != "":
+		if s.HasResource(rf.Name) {
+			matched = append(matched, rf.Name)
+		}
+	case rf.BaseName != "":
+		ms, err := s.ResourcesWithBaseName(rf.BaseName)
+		if err != nil {
+			return fam, err
+		}
+		matched = ms
+	case rf.Type != "":
+		ms, err := s.ResourcesOfType(rf.Type)
+		if err != nil {
+			return fam, err
+		}
+		matched = ms
+	default:
+		// Attribute-only filter: scan all resources.
+		riTab, _ := s.eng.Table("resource_item")
+		riTab.Scan(func(_ int64, row reldb.Row) bool {
+			matched = append(matched, core.ResourceName(row[1].Text()))
+			return true
+		})
+	}
+	// Apply attribute predicates.
+	if len(rf.Attrs) > 0 {
+		var kept []core.ResourceName
+		for _, name := range matched {
+			res, err := s.ResourceByName(name)
+			if err != nil {
+				return fam, err
+			}
+			ok := true
+			for _, p := range rf.Attrs {
+				got, has := res.Attributes[p.Attr]
+				if !has || !p.Eval(got) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, name)
+			}
+		}
+		matched = kept
+	}
+	for _, m := range matched {
+		fam.Add(m)
+	}
+	wantAnc := rf.Include == core.IncludeAncestors || rf.Include == core.IncludeBoth
+	wantDesc := rf.Include == core.IncludeDescendants || rf.Include == core.IncludeBoth
+	for _, m := range matched {
+		if wantAnc {
+			anc, err := s.Ancestors(m)
+			if err != nil {
+				return fam, err
+			}
+			for _, a := range anc {
+				fam.Add(a)
+			}
+		}
+		if wantDesc {
+			desc, err := s.Descendants(m)
+			if err != nil {
+				return fam, err
+			}
+			for _, d := range desc {
+				fam.Add(d)
+			}
+		}
+	}
+	return fam, nil
+}
+
+// familyResultIDs returns the set of performance-result IDs whose contexts
+// touch any member of the family.
+func (s *Store) familyResultIDs(fam core.Family) (map[int64]bool, error) {
+	fhrTab, _ := s.eng.Table("focus_has_resource")
+	rhfTab, _ := s.eng.Table("result_has_focus")
+	focusSet := make(map[int64]bool)
+	s.mu.Lock()
+	memberIDs := make([]int64, 0, fam.Size())
+	for _, name := range fam.Members() {
+		if id, ok := s.resIDs[name]; ok {
+			memberIDs = append(memberIDs, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, rid := range memberIDs {
+		if err := fhrTab.IndexScan("fhr_resource", []reldb.Value{reldb.Int(rid)},
+			func(_ int64, row reldb.Row) bool {
+				focusSet[row[0].Int64()] = true
+				return true
+			}); err != nil {
+			return nil, err
+		}
+	}
+	results := make(map[int64]bool)
+	for fid := range focusSet {
+		if err := rhfTab.IndexScan("rhf_focus", []reldb.Value{reldb.Int(fid)},
+			func(_ int64, row reldb.Row) bool {
+				results[row[0].Int64()] = true
+				return true
+			}); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// MatchingResultIDs evaluates a pr-filter: the IDs of performance results
+// whose contexts contain at least one resource from every family.
+func (s *Store) MatchingResultIDs(prf core.PRFilter) ([]int64, error) {
+	prTab, _ := s.eng.Table("performance_result")
+	if len(prf.Families) == 0 {
+		var all []int64
+		prTab.Scan(func(id int64, _ reldb.Row) bool {
+			all = append(all, id)
+			return true
+		})
+		return all, nil
+	}
+	// Intersect per-family result sets, smallest first.
+	sets := make([]map[int64]bool, 0, len(prf.Families))
+	for _, fam := range prf.Families {
+		set, err := s.familyResultIDs(fam)
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, set)
+	}
+	sort.Slice(sets, func(i, j int) bool { return len(sets[i]) < len(sets[j]) })
+	var out []int64
+	for id := range sets[0] {
+		ok := true
+		for _, set := range sets[1:] {
+			if !set[id] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// CountMatches reports how many performance results a pr-filter selects —
+// the GUI's live match count.
+func (s *Store) CountMatches(prf core.PRFilter) (int, error) {
+	ids, err := s.MatchingResultIDs(prf)
+	if err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}
+
+// CountFamilyMatches reports how many results one family alone selects —
+// the GUI's per-family count.
+func (s *Store) CountFamilyMatches(fam core.Family) (int, error) {
+	set, err := s.familyResultIDs(fam)
+	if err != nil {
+		return 0, err
+	}
+	return len(set), nil
+}
+
+// ResultByID materializes a performance result with its contexts.
+func (s *Store) ResultByID(id int64) (*core.PerformanceResult, error) {
+	prTab, _ := s.eng.Table("performance_result")
+	row, ok := prTab.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("datastore: no performance result %d", id)
+	}
+	pr := &core.PerformanceResult{Value: row[5].Float64()}
+	var err error
+	if pr.Execution, err = s.nameOf("execution", row[1].Int64()); err != nil {
+		return nil, err
+	}
+	if pr.Metric, err = s.nameOf("metric", row[2].Int64()); err != nil {
+		return nil, err
+	}
+	if pr.Tool, err = s.nameOf("performance_tool", row[3].Int64()); err != nil {
+		return nil, err
+	}
+	if pr.Units, err = s.nameOf("units", row[4].Int64()); err != nil {
+		return nil, err
+	}
+	// Contexts: result -> foci -> resources, via PK-prefix scans on the
+	// composite-keyed link tables.
+	rhfTab, _ := s.eng.Table("result_has_focus")
+	fTab, _ := s.eng.Table("focus")
+	fhrTab, _ := s.eng.Table("focus_has_resource")
+	var ctxErr error
+	scanErr := rhfTab.PKScan([]reldb.Value{reldb.Int(id)}, func(_ int64, link reldb.Row) bool {
+		fid := link[1].Int64()
+		frow, ok := fTab.Get(fid)
+		if !ok {
+			ctxErr = fmt.Errorf("datastore: missing focus %d", fid)
+			return false
+		}
+		ft, err := core.ParseFocusType(frow[1].Text())
+		if err != nil {
+			ctxErr = err
+			return false
+		}
+		ctx := core.Context{Type: ft}
+		if err := fhrTab.PKScan([]reldb.Value{reldb.Int(fid)}, func(_ int64, fr reldb.Row) bool {
+			s.mu.Lock()
+			ctx.Resources = append(ctx.Resources, s.resNames[fr[1].Int64()])
+			s.mu.Unlock()
+			return true
+		}); err != nil {
+			ctxErr = err
+			return false
+		}
+		pr.Contexts = append(pr.Contexts, ctx)
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	return pr, nil
+}
+
+func (s *Store) nameOf(table string, id int64) (string, error) {
+	t, _ := s.eng.Table(table)
+	row, ok := t.Get(id)
+	if !ok {
+		return "", fmt.Errorf("datastore: no %s id %d", table, id)
+	}
+	return row[1].Text(), nil
+}
+
+// ResultsOfExecution materializes every performance result of one
+// execution via the execution index.
+func (s *Store) ResultsOfExecution(exec string) ([]*core.PerformanceResult, error) {
+	s.mu.Lock()
+	execID, ok := s.execIDs[exec]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("datastore: unknown execution %q", exec)
+	}
+	prTab, _ := s.eng.Table("performance_result")
+	var ids []int64
+	if err := prTab.IndexScan("performance_result_exec", []reldb.Value{reldb.Int(execID)},
+		func(id int64, _ reldb.Row) bool {
+			ids = append(ids, id)
+			return true
+		}); err != nil {
+		return nil, err
+	}
+	out := make([]*core.PerformanceResult, 0, len(ids))
+	for _, id := range ids {
+		pr, err := s.ResultByID(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+// QueryResults evaluates a pr-filter and materializes the matching
+// results.
+func (s *Store) QueryResults(prf core.PRFilter) ([]*core.PerformanceResult, error) {
+	ids, err := s.MatchingResultIDs(prf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*core.PerformanceResult, 0, len(ids))
+	for _, id := range ids {
+		pr, err := s.ResultByID(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+// Applications lists application names, sorted.
+func (s *Store) Applications() []string { return s.sortedNames("application") }
+
+// Executions lists execution names, sorted.
+func (s *Store) Executions() []string { return s.sortedNames("execution") }
+
+// Metrics lists metric names, sorted.
+func (s *Store) Metrics() []string { return s.sortedNames("metric") }
+
+// Tools lists performance tool names, sorted.
+func (s *Store) Tools() []string { return s.sortedNames("performance_tool") }
+
+func (s *Store) sortedNames(table string) []string {
+	t, ok := s.eng.Table(table)
+	if !ok {
+		return nil
+	}
+	var out []string
+	t.Scan(func(_ int64, row reldb.Row) bool {
+		out = append(out, row[1].Text())
+		return true
+	})
+	sort.Strings(out)
+	return out
+}

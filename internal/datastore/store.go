@@ -1,0 +1,482 @@
+package datastore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"perftrack/internal/core"
+	"perftrack/internal/reldb"
+	"perftrack/internal/sqldb"
+)
+
+// Store is PTDataStore: PerfTrack's interface to the underlying DBMS. It
+// is safe for concurrent use; loads serialize on an internal mutex while
+// reads go through the engine's reader lock.
+type Store struct {
+	eng reldb.Engine
+	sql *sqldb.DB
+
+	// UseClosureTables controls whether ancestor/descendant queries use the
+	// resource_has_ancestor / resource_has_descendant tables (the paper's
+	// design, default) or recompute by walking parent links (the ablation
+	// baseline). Loading always maintains the tables.
+	UseClosureTables bool
+
+	mu       sync.Mutex
+	types    *core.TypeSystem
+	typeIDs  map[core.TypePath]int64
+	resIDs   map[core.ResourceName]int64
+	resNames map[int64]core.ResourceName
+	appIDs   map[string]int64
+	execIDs  map[string]int64
+	metricID map[string]int64
+	toolID   map[string]int64
+	unitsID  map[string]int64
+	focusIDs map[string]int64 // signature -> focus id
+}
+
+// Open attaches a store to a storage engine, creating and bootstrapping
+// the schema if it is not present, and warming the name caches if it is.
+func Open(eng reldb.Engine) (*Store, error) {
+	s := &Store{
+		eng:              eng,
+		sql:              sqldb.Open(eng),
+		UseClosureTables: true,
+		types:            core.NewTypeSystem(),
+		typeIDs:          make(map[core.TypePath]int64),
+		resIDs:           make(map[core.ResourceName]int64),
+		resNames:         make(map[int64]core.ResourceName),
+		appIDs:           make(map[string]int64),
+		execIDs:          make(map[string]int64),
+		metricID:         make(map[string]int64),
+		toolID:           make(map[string]int64),
+		unitsID:          make(map[string]int64),
+		focusIDs:         make(map[string]int64),
+	}
+	if !schemaExists(eng) {
+		if err := createSchema(s.sql); err != nil {
+			return nil, err
+		}
+		// §3.1: PerfTrack uses the type extension interface to load the
+		// initial set of base types when a new database is initialized.
+		for _, t := range core.BaseTypes() {
+			if err := s.AddResourceType(t); err != nil {
+				return nil, err
+			}
+		}
+		return s, nil
+	}
+	// Existing store: create any tables added since it was initialized,
+	// then warm the name caches.
+	if err := migrateSchema(s.sql, eng); err != nil {
+		return nil, err
+	}
+	if err := s.warmCaches(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Engine returns the underlying storage engine.
+func (s *Store) Engine() reldb.Engine { return s.eng }
+
+// SQL returns the SQL interface over the same data, for ad-hoc queries.
+func (s *Store) SQL() *sqldb.DB { return s.sql }
+
+// warmCaches rebuilds the in-memory name caches from an existing store.
+func (s *Store) warmCaches() error {
+	ffTab, _ := s.eng.Table("focus_framework")
+	ffTab.Scan(func(_ int64, row reldb.Row) bool {
+		tp := core.TypePath(row[1].Text())
+		s.typeIDs[tp] = row[0].Int64()
+		return true
+	})
+	// Register types root-first so the type system accepts children.
+	var types []core.TypePath
+	for t := range s.typeIDs {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i].Depth() < types[j].Depth() })
+	for _, t := range types {
+		if err := s.types.Add(t); err != nil {
+			return err
+		}
+	}
+	riTab, _ := s.eng.Table("resource_item")
+	riTab.Scan(func(_ int64, row reldb.Row) bool {
+		id := row[0].Int64()
+		name := core.ResourceName(row[1].Text())
+		s.resIDs[name] = id
+		s.resNames[id] = name
+		return true
+	})
+	warm := func(table string, cache map[string]int64) {
+		t, _ := s.eng.Table(table)
+		t.Scan(func(_ int64, row reldb.Row) bool {
+			cache[row[1].Text()] = row[0].Int64()
+			return true
+		})
+	}
+	warm("application", s.appIDs)
+	warm("execution", s.execIDs)
+	warm("metric", s.metricID)
+	warm("performance_tool", s.toolID)
+	warm("units", s.unitsID)
+	fTab, _ := s.eng.Table("focus")
+	fTab.Scan(func(_ int64, row reldb.Row) bool {
+		s.focusIDs[row[2].Text()] = row[0].Int64()
+		return true
+	})
+	return nil
+}
+
+// Types returns the type system view of the store.
+func (s *Store) Types() *core.TypeSystem {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.types
+}
+
+// AddResourceType registers a resource type (the extensible type system of
+// §2.1). Parent levels must be registered first; re-adding is a no-op.
+func (s *Store) AddResourceType(t core.TypePath) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addResourceTypeLocked(t)
+}
+
+func (s *Store) addResourceTypeLocked(t core.TypePath) error {
+	if _, ok := s.typeIDs[t]; ok {
+		return nil
+	}
+	if err := s.types.Add(t); err != nil {
+		return err
+	}
+	parentID := reldb.Null()
+	if p := t.Parent(); p != "" {
+		parentID = reldb.Int(s.typeIDs[p])
+	}
+	id, err := s.eng.Insert("focus_framework", reldb.Row{
+		reldb.Null(), reldb.Str(string(t)), parentID,
+	})
+	if err != nil {
+		return err
+	}
+	s.typeIDs[t] = id
+	return nil
+}
+
+// AddApplication registers an application; re-adding returns the existing
+// ID.
+func (s *Store) AddApplication(name string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addApplicationLocked(name)
+}
+
+func (s *Store) addApplicationLocked(name string) (int64, error) {
+	if id, ok := s.appIDs[name]; ok {
+		return id, nil
+	}
+	if name == "" {
+		return 0, fmt.Errorf("datastore: empty application name")
+	}
+	id, err := s.eng.Insert("application", reldb.Row{reldb.Null(), reldb.Str(name)})
+	if err != nil {
+		return 0, err
+	}
+	s.appIDs[name] = id
+	return id, nil
+}
+
+// AddExecution registers an execution of an application, creating the
+// application if needed.
+func (s *Store) AddExecution(name, app string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addExecutionLocked(name, app)
+}
+
+func (s *Store) addExecutionLocked(name, app string) (int64, error) {
+	if id, ok := s.execIDs[name]; ok {
+		return id, nil
+	}
+	if name == "" {
+		return 0, fmt.Errorf("datastore: empty execution name")
+	}
+	appID, err := s.addApplicationLocked(app)
+	if err != nil {
+		return 0, err
+	}
+	id, err := s.eng.Insert("execution", reldb.Row{
+		reldb.Null(), reldb.Str(name), reldb.Int(appID),
+	})
+	if err != nil {
+		return 0, err
+	}
+	s.execIDs[name] = id
+	return id, nil
+}
+
+// lookupIn interns a name in one of the small lookup tables.
+func (s *Store) lookupIn(table string, cache map[string]int64, name string) (int64, error) {
+	if id, ok := cache[name]; ok {
+		return id, nil
+	}
+	id, err := s.eng.Insert(table, reldb.Row{reldb.Null(), reldb.Str(name)})
+	if err != nil {
+		return 0, err
+	}
+	cache[name] = id
+	return id, nil
+}
+
+// AddResource inserts a resource with the given full name and type,
+// optionally scoped to an execution. Missing ancestor resources are
+// created automatically with the corresponding type prefix. Re-adding an
+// existing resource returns its ID.
+func (s *Store) AddResource(name core.ResourceName, typ core.TypePath, exec string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addResourceLocked(name, typ, exec)
+}
+
+func (s *Store) addResourceLocked(name core.ResourceName, typ core.TypePath, exec string) (int64, error) {
+	if id, ok := s.resIDs[name]; ok {
+		return id, nil
+	}
+	if err := s.types.CheckResource(name, typ); err != nil {
+		return 0, err
+	}
+	var execID reldb.Value = reldb.Null()
+	if exec != "" {
+		id, ok := s.execIDs[exec]
+		if !ok {
+			return 0, fmt.Errorf("datastore: resource %q references unknown execution %q", name, exec)
+		}
+		execID = reldb.Int(id)
+	}
+	// Create missing ancestors, root first, with the matching type prefix.
+	parentID := reldb.Null()
+	if p := name.Parent(); p != "" {
+		pid, ok := s.resIDs[p]
+		if !ok {
+			var err error
+			pid, err = s.addResourceLocked(p, typ.Parent(), exec)
+			if err != nil {
+				return 0, err
+			}
+		}
+		parentID = reldb.Int(pid)
+	}
+	id, err := s.eng.Insert("resource_item", reldb.Row{
+		reldb.Null(),
+		reldb.Str(string(name)),
+		reldb.Str(name.BaseName()),
+		parentID,
+		reldb.Int(s.typeIDs[typ]),
+		execID,
+	})
+	if err != nil {
+		return 0, err
+	}
+	s.resIDs[name] = id
+	s.resNames[id] = name
+	// Maintain the closure tables: link this resource to every ancestor.
+	for _, anc := range name.Ancestors() {
+		aid := s.resIDs[anc]
+		if _, err := s.eng.Insert("resource_has_ancestor", reldb.Row{
+			reldb.Int(id), reldb.Int(aid),
+		}); err != nil {
+			return 0, err
+		}
+		if _, err := s.eng.Insert("resource_has_descendant", reldb.Row{
+			reldb.Int(aid), reldb.Int(id),
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// SetResourceAttribute attaches a string attribute to a resource.
+func (s *Store) SetResourceAttribute(name core.ResourceName, attr, value string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.resIDs[name]
+	if !ok {
+		return fmt.Errorf("datastore: no resource %q", name)
+	}
+	_, err := s.eng.Insert("resource_attribute", reldb.Row{
+		reldb.Null(), reldb.Int(id), reldb.Str(attr), reldb.Str(value), reldb.Str("string"),
+	})
+	return err
+}
+
+// AddResourceConstraint records a resource-valued attribute: r2 is an
+// attribute of r1 (e.g. the node a process ran on).
+func (s *Store) AddResourceConstraint(r1, r2 core.ResourceName) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id1, ok := s.resIDs[r1]
+	if !ok {
+		return fmt.Errorf("datastore: no resource %q", r1)
+	}
+	id2, ok := s.resIDs[r2]
+	if !ok {
+		return fmt.Errorf("datastore: no resource %q", r2)
+	}
+	_, err := s.eng.Insert("resource_constraint", reldb.Row{
+		reldb.Null(), reldb.Int(id1), reldb.Int(id2),
+	})
+	return err
+}
+
+// focusSignature canonically identifies a context for deduplication: a
+// single context can apply to multiple performance results.
+func focusSignature(ft core.FocusType, ids []int64) string {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var b strings.Builder
+	b.WriteString(ft.String())
+	for _, id := range ids {
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(id, 10))
+	}
+	return b.String()
+}
+
+// internFocus returns the focus ID for a context, creating the focus and
+// its focus_has_resource rows if it is new.
+func (s *Store) internFocus(ctx core.Context) (int64, error) {
+	ids := make([]int64, 0, len(ctx.Resources))
+	for _, r := range ctx.Resources {
+		id, ok := s.resIDs[r]
+		if !ok {
+			return 0, fmt.Errorf("datastore: context references unknown resource %q", r)
+		}
+		ids = append(ids, id)
+	}
+	sig := focusSignature(ctx.Type, ids)
+	if id, ok := s.focusIDs[sig]; ok {
+		return id, nil
+	}
+	fid, err := s.eng.Insert("focus", reldb.Row{
+		reldb.Null(), reldb.Str(ctx.Type.String()), reldb.Str(sig),
+	})
+	if err != nil {
+		return 0, err
+	}
+	seen := make(map[int64]bool, len(ids))
+	for _, rid := range ids {
+		if seen[rid] {
+			continue
+		}
+		seen[rid] = true
+		if _, err := s.eng.Insert("focus_has_resource", reldb.Row{
+			reldb.Int(fid), reldb.Int(rid),
+		}); err != nil {
+			return 0, err
+		}
+	}
+	s.focusIDs[sig] = fid
+	return fid, nil
+}
+
+// AddPerfResult stores a performance result with its contexts. The
+// execution and all context resources must already exist.
+func (s *Store) AddPerfResult(pr *core.PerformanceResult) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addPerfResultLocked(pr)
+}
+
+func (s *Store) addPerfResultLocked(pr *core.PerformanceResult) (int64, error) {
+	if err := pr.Validate(); err != nil {
+		return 0, err
+	}
+	execID, ok := s.execIDs[pr.Execution]
+	if !ok {
+		return 0, fmt.Errorf("datastore: unknown execution %q", pr.Execution)
+	}
+	metricID, err := s.lookupIn("metric", s.metricID, pr.Metric)
+	if err != nil {
+		return 0, err
+	}
+	tool := pr.Tool
+	if tool == "" {
+		tool = "unknown"
+	}
+	toolID, err := s.lookupIn("performance_tool", s.toolID, tool)
+	if err != nil {
+		return 0, err
+	}
+	units := pr.Units
+	if units == "" {
+		units = "unitless"
+	}
+	unitsID, err := s.lookupIn("units", s.unitsID, units)
+	if err != nil {
+		return 0, err
+	}
+	rid, err := s.eng.Insert("performance_result", reldb.Row{
+		reldb.Null(), reldb.Int(execID), reldb.Int(metricID),
+		reldb.Int(toolID), reldb.Int(unitsID), reldb.Float(pr.Value),
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Duplicate contexts within one result collapse to a single focus link.
+	seenFoci := make(map[int64]bool, len(pr.Contexts))
+	for _, ctx := range pr.Contexts {
+		fid, err := s.internFocus(ctx)
+		if err != nil {
+			return 0, err
+		}
+		if seenFoci[fid] {
+			continue
+		}
+		seenFoci[fid] = true
+		if _, err := s.eng.Insert("result_has_focus", reldb.Row{
+			reldb.Int(rid), reldb.Int(fid),
+		}); err != nil {
+			return 0, err
+		}
+	}
+	return rid, nil
+}
+
+// Stats summarizes the store for Table 1 style reporting.
+type Stats struct {
+	Applications int64
+	Executions   int64
+	Resources    int64
+	Attributes   int64
+	Results      int64
+	Metrics      int64
+	Foci         int64
+	DataBytes    int64
+}
+
+// Stats reports current row counts and data volume.
+func (s *Store) Stats() Stats {
+	count := func(table string) int64 {
+		t, ok := s.eng.Table(table)
+		if !ok {
+			return 0
+		}
+		return int64(t.Len())
+	}
+	return Stats{
+		Applications: count("application"),
+		Executions:   count("execution"),
+		Resources:    count("resource_item"),
+		Attributes:   count("resource_attribute"),
+		Results:      count("performance_result"),
+		Metrics:      count("metric"),
+		Foci:         count("focus"),
+		DataBytes:    s.eng.Stats().DataBytes,
+	}
+}

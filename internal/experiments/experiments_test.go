@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"perftrack/internal/datastore"
+	"perftrack/internal/reldb"
+)
+
+func TestTable1QuickShapesMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates and loads three datasets")
+	}
+	rows, err := Table1(QuickTable1Config(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Table1Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	irsRow := byName["IRS"]
+	// Per-execution file counts match Table 1 exactly.
+	if irsRow.FilesPerExec != 6 || byName["SMG-UV"].FilesPerExec != 2 || byName["SMG-BG/L"].FilesPerExec != 1 {
+		t.Errorf("files per exec: %d/%d/%d",
+			irsRow.FilesPerExec, byName["SMG-UV"].FilesPerExec, byName["SMG-BG/L"].FilesPerExec)
+	}
+	// Raw bytes per execution in the same order of magnitude as the paper
+	// (61 KB / 191 KB / 1 KB).
+	if irsRow.RawBytesPerExec < 20_000 || irsRow.RawBytesPerExec > 300_000 {
+		t.Errorf("IRS raw bytes = %d", irsRow.RawBytesPerExec)
+	}
+	uv := byName["SMG-UV"]
+	bgl := byName["SMG-BG/L"]
+	if uv.RawBytesPerExec <= irsRow.RawBytesPerExec {
+		t.Errorf("SMG-UV (%d) should be the largest raw dataset (IRS %d)",
+			uv.RawBytesPerExec, irsRow.RawBytesPerExec)
+	}
+	if bgl.RawBytesPerExec > 5_000 {
+		t.Errorf("SMG-BG/L raw bytes = %d, want ~1 KB", bgl.RawBytesPerExec)
+	}
+	// Results per execution: ~1,500 (IRS, paper 1,514), thousands
+	// (SMG-UV, paper 9,777), exactly 8 (BG/L).
+	if irsRow.ResultsPerExec < 1200 || irsRow.ResultsPerExec > 1700 {
+		t.Errorf("IRS results/exec = %d, want ~1514", irsRow.ResultsPerExec)
+	}
+	// Per-execution resources: IRS ~280 in the paper (functions +
+	// processes + processors); ours lands in the same range.
+	if irsRow.ResourcesPerExec < 150 || irsRow.ResourcesPerExec > 450 {
+		t.Errorf("IRS resources/exec = %d, want ~280", irsRow.ResourcesPerExec)
+	}
+	// SMG-BG/L at 512 ranks declares ~1k run resources (paper: 522).
+	if bglR := byName["SMG-BG/L"].ResourcesPerExec; bglR < 400 {
+		t.Errorf("SMG-BG/L resources/exec = %d, want hundreds", bglR)
+	}
+	if bgl.ResultsPerExec != 8 || bgl.MetricsPerExec != 8 {
+		t.Errorf("BG/L results/metrics = %d/%d, want 8/8", bgl.ResultsPerExec, bgl.MetricsPerExec)
+	}
+	if uv.ResultsPerExec < 5000 {
+		t.Errorf("SMG-UV results/exec = %d, want thousands", uv.ResultsPerExec)
+	}
+	// DB growth ranking matches the paper: SMG-UV > BG/L-vs-IRS depends on
+	// exec count; at equal quick scale UV must dominate IRS per exec.
+	if uv.DBSizeIncrease <= irsRow.DBSizeIncrease*int64(irsRow.ExecsLoaded)/int64(uv.ExecsLoaded)/4 {
+		t.Errorf("SMG-UV DB growth (%d) unexpectedly small vs IRS (%d)",
+			uv.DBSizeIncrease, irsRow.DBSizeIncrease)
+	}
+	out := FormatTable1(rows)
+	for _, want := range []string{"IRS", "SMG-UV", "SMG-BG/L", "paper", "measured"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q", want)
+		}
+	}
+}
+
+func TestFig5ChartShape(t *testing.T) {
+	counts := []int{2, 4, 8, 16}
+	s, err := Fig5Store(counts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Fig5(s, "xdouble", counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Categories) != 4 || len(c.Series) != 2 {
+		t.Fatalf("chart shape = %d cats, %d series", len(c.Categories), len(c.Series))
+	}
+	// min <= max for every process count.
+	for i := range c.Categories {
+		if c.Series[0].Values[i] > c.Series[1].Values[i] {
+			t.Errorf("np=%s: min %v > max %v", c.Categories[i],
+				c.Series[0].Values[i], c.Series[1].Values[i])
+		}
+		if c.Series[1].Values[i] <= 0 {
+			t.Errorf("np=%s: max is %v", c.Categories[i], c.Series[1].Values[i])
+		}
+	}
+	// Renderable both ways.
+	if _, err := c.RenderASCII(40); err != nil {
+		t.Error(err)
+	}
+	if _, err := c.RenderSVG(640, 360); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFig5UnknownFunction(t *testing.T) {
+	s, err := Fig5Store([]int{2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fig5(s, "nosuchfunction", []int{2}); err == nil {
+		t.Error("unknown function accepted")
+	}
+}
+
+func TestFig9SampleShowsRecords(t *testing.T) {
+	out, err := Fig9Sample(t.TempDir(), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Application smg2000", "Execution", "PerfResult", "more records"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig9 sample missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2Fig10Fig11Render(t *testing.T) {
+	s, err := datastore.Open(reldb.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2 := Fig2BaseTypes(s)
+	for _, want := range []string{"grid / machine / partition / node / processor",
+		"build / module / function / codeBlock", "application", "metric"} {
+		if !strings.Contains(f2, want) {
+			t.Errorf("Fig2 missing %q:\n%s", want, f2)
+		}
+	}
+	f10 := Fig10Hierarchy()
+	for _, want := range []string{"Code", "Machine", "SyncObject"} {
+		if !strings.Contains(f10, want) {
+			t.Errorf("Fig10 missing %q", want)
+		}
+	}
+	f11 := Fig11Mapping()
+	for _, want := range []string{
+		"/Code/irs.c/main", "build/module/function",
+		"/Machine/mcr123/irs{1234}", "execution/process", "node=mcr123",
+		"syncObject/type/object",
+	} {
+		if !strings.Contains(f11, want) {
+			t.Errorf("Fig11 missing %q:\n%s", want, f11)
+		}
+	}
+}
+
+func TestModelDemoEndToEnd(t *testing.T) {
+	counts := []int{2, 4, 8, 16}
+	s, err := Fig5Store(counts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ModelDemo(s, "xdouble", append(counts, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Scaling model for xdouble", "R^2", "procs", "32"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("model demo missing %q:\n%s", want, out)
+		}
+	}
+	// Predictions were stored as tool "model" results.
+	found := false
+	for _, tool := range s.Tools() {
+		if tool == "model" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("model predictions not stored; tools = %v", s.Tools())
+	}
+	if _, err := ModelDemo(s, "nosuchfn", counts); err == nil {
+		t.Error("unknown function accepted")
+	}
+}
+
+func TestPaperTable1Reference(t *testing.T) {
+	rows := PaperTable1()
+	if len(rows) != 3 || rows[0].ResultsPerExec != 1514 || rows[1].MetricsPerExec != 259 {
+		t.Errorf("paper reference = %+v", rows)
+	}
+}

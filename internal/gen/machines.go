@@ -1,0 +1,152 @@
+// Package gen provides the synthetic substitutes for the LLNL testbed:
+// descriptive data for the four machines the paper's case studies ran on
+// (MCR, Frost, UV, and BlueGene/L), and study orchestration that writes
+// tool-output files at Table 1 scales and converts them — via the PTdfGen
+// index-file workflow of §3.3 — into PTdf for loading.
+package gen
+
+import (
+	"fmt"
+
+	"perftrack/internal/core"
+	"perftrack/internal/ptdf"
+)
+
+// Partition is one scheduling partition of a machine.
+type Partition struct {
+	Name         string
+	Nodes        int
+	ProcsPerNode int
+}
+
+// Machine describes one platform from the case studies.
+type Machine struct {
+	Name          string
+	GridName      string // top-level grid resource, e.g. "MCRGrid"
+	Vendor        string
+	OS            string
+	OSVersion     string
+	ProcessorType string
+	ClockMHz      int
+	Partitions    []Partition
+}
+
+// Catalog returns the four case-study machines with their published
+// characteristics: MCR (a Linux cluster, §4.1), Frost (an AIX cluster,
+// §4.1), UV (128 8-way Power4+ nodes at 1.5 GHz, §4.2), and BlueGene/L
+// (an early partition of 16k PowerPC 440 nodes, §4.2).
+func Catalog() []Machine {
+	return []Machine{
+		{
+			Name: "MCR", GridName: "MCRGrid", Vendor: "LNXI",
+			OS: "Linux", OSVersion: "CHAOS 2.0", ProcessorType: "Xeon",
+			ClockMHz: 2400,
+			Partitions: []Partition{
+				{Name: "batch", Nodes: 1024, ProcsPerNode: 2},
+				{Name: "debug", Nodes: 32, ProcsPerNode: 2},
+			},
+		},
+		{
+			Name: "Frost", GridName: "SingleMachineFrost", Vendor: "IBM",
+			OS: "AIX", OSVersion: "5.2", ProcessorType: "Power3",
+			ClockMHz: 375,
+			Partitions: []Partition{
+				{Name: "batch", Nodes: 64, ProcsPerNode: 16},
+				{Name: "debug", Nodes: 4, ProcsPerNode: 16},
+			},
+		},
+		{
+			Name: "UV", GridName: "UVGrid", Vendor: "IBM",
+			OS: "AIX", OSVersion: "5.2", ProcessorType: "Power4+",
+			ClockMHz: 1500,
+			Partitions: []Partition{
+				{Name: "batch", Nodes: 128, ProcsPerNode: 8},
+			},
+		},
+		{
+			Name: "BGL", GridName: "BGLGrid", Vendor: "IBM",
+			OS: "BLRTS", OSVersion: "1.0", ProcessorType: "PowerPC 440",
+			ClockMHz: 700,
+			Partitions: []Partition{
+				{Name: "R0", Nodes: 16384, ProcsPerNode: 2},
+			},
+		},
+	}
+}
+
+// MachineByName returns the catalog machine with the given name.
+func MachineByName(name string) (Machine, error) {
+	for _, m := range Catalog() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Machine{}, fmt.Errorf("gen: no machine %q in catalog", name)
+}
+
+// Res returns the machine's full resource name.
+func (m Machine) Res() core.ResourceName {
+	return core.ResourceName("/" + m.GridName + "/" + m.Name)
+}
+
+// ToPTdf emits grid-hierarchy resources for the machine. maxNodes caps
+// the nodes emitted per partition (BlueGene/L has 16k nodes; a full
+// emission is possible but rarely needed), with the true node count
+// recorded as a partition attribute either way. maxNodes <= 0 emits
+// every node.
+func (m Machine) ToPTdf(maxNodes int) []ptdf.Record {
+	var recs []ptdf.Record
+	gridRes := core.ResourceName("/" + m.GridName)
+	recs = append(recs, ptdf.ResourceRec{Name: gridRes, Type: "grid"})
+	machRes := gridRes.Child(m.Name)
+	recs = append(recs, ptdf.ResourceRec{Name: machRes, Type: "grid/machine"})
+	attr := func(res core.ResourceName, name, value string) {
+		recs = append(recs, ptdf.ResourceAttributeRec{
+			Resource: res, Attr: name, Value: value, AttrType: "string",
+		})
+	}
+	attr(machRes, "vendor", m.Vendor)
+	attr(machRes, "operating system", m.OS)
+	attr(machRes, "os version", m.OSVersion)
+	osRes := core.ResourceName("/" + m.OS)
+	recs = append(recs, ptdf.ResourceRec{Name: osRes, Type: "operatingSystem"})
+	recs = append(recs, ptdf.ResourceConstraintRec{R1: machRes, R2: osRes})
+
+	for _, part := range m.Partitions {
+		partRes := machRes.Child(part.Name)
+		recs = append(recs, ptdf.ResourceRec{Name: partRes, Type: "grid/machine/partition"})
+		attr(partRes, "node count", fmt.Sprintf("%d", part.Nodes))
+		attr(partRes, "processors per node", fmt.Sprintf("%d", part.ProcsPerNode))
+		nodes := part.Nodes
+		if maxNodes > 0 && nodes > maxNodes {
+			nodes = maxNodes
+		}
+		for n := 0; n < nodes; n++ {
+			nodeRes := partRes.Child(fmt.Sprintf("%s%d", nodeStem(m.Name), n))
+			recs = append(recs, ptdf.ResourceRec{Name: nodeRes, Type: "grid/machine/partition/node"})
+			for p := 0; p < part.ProcsPerNode; p++ {
+				procRes := nodeRes.Child(fmt.Sprintf("p%d", p))
+				recs = append(recs, ptdf.ResourceRec{Name: procRes, Type: "grid/machine/partition/node/processor"})
+				attr(procRes, "processor type", m.ProcessorType)
+				attr(procRes, "clock MHz", fmt.Sprintf("%d", m.ClockMHz))
+				attr(procRes, "vendor", m.Vendor)
+			}
+		}
+	}
+	return recs
+}
+
+func nodeStem(machine string) string {
+	switch machine {
+	case "Frost":
+		return "frost"
+	case "MCR":
+		return "mcr"
+	case "UV":
+		return "uv"
+	case "BGL":
+		return "bgl"
+	default:
+		return "n"
+	}
+}

@@ -1,0 +1,441 @@
+package gen
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"perftrack/internal/core"
+	"perftrack/internal/irs"
+	"perftrack/internal/mpip"
+	"perftrack/internal/pmapi"
+	"perftrack/internal/ptdf"
+	"perftrack/internal/smg"
+)
+
+// Study kinds, matching the three Table 1 rows.
+const (
+	KindIRS    = "irs"     // §4.1: IRS benchmark output (6 files/exec)
+	KindSMGUV  = "smg-uv"  // §4.2: SMG + PMAPI + mpiP on UV (2 files/exec)
+	KindSMGBGL = "smg-bgl" // §4.2: raw SMG output on BG/L (1 file/exec)
+)
+
+// ExecSpec parameterizes the raw data generated for one execution.
+type ExecSpec struct {
+	Kind      string
+	Execution string
+	App       string
+	Machine   string // catalog machine name
+	NProcs    int
+	Seed      int64
+}
+
+// WriteExecution generates the native tool-output files for one execution
+// under dir, returning the file names written.
+func WriteExecution(dir string, spec ExecSpec) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	switch spec.Kind {
+	case KindIRS:
+		return writeIRSExecution(dir, spec)
+	case KindSMGUV:
+		return writeSMGUVExecution(dir, spec)
+	case KindSMGBGL:
+		return writeSMGBGLExecution(dir, spec)
+	default:
+		return nil, fmt.Errorf("gen: unknown study kind %q", spec.Kind)
+	}
+}
+
+// writeIRSExecution writes the six per-execution files of the Purple
+// study: four timer-group timing reports (IRS splits its timing data over
+// several files), a build log, and a run environment capture.
+func writeIRSExecution(dir string, spec ExecSpec) ([]string, error) {
+	var files []string
+	// Four timing files, each covering one timer group (a quarter of the
+	// instrumented functions), as the real benchmark splits its output.
+	groupSize := (irs.FunctionCount() + 3) / 4
+	for g := 0; g < 4; g++ {
+		name := fmt.Sprintf("%s_grp%d.time", spec.Execution, g)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		err = irs.Generate(f, irs.Run{
+			Execution: spec.Execution,
+			NProcs:    spec.NProcs,
+			Seed:      spec.Seed*16 + int64(g),
+			FuncStart: g * groupSize,
+			FuncCount: groupSize,
+		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, name)
+	}
+	// Build log and run environment.
+	buildName := spec.Execution + ".build"
+	if err := os.WriteFile(filepath.Join(dir, buildName),
+		[]byte(syntheticBuildLog(spec)), 0o644); err != nil {
+		return nil, err
+	}
+	files = append(files, buildName)
+	envName := spec.Execution + ".runenv"
+	if err := os.WriteFile(filepath.Join(dir, envName),
+		[]byte(syntheticRunEnv(spec)), 0o644); err != nil {
+		return nil, err
+	}
+	files = append(files, envName)
+	return files, nil
+}
+
+func syntheticBuildLog(spec ExecSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "make -C %s all\n", spec.App)
+	for _, src := range []string{"irs.c", "rad.c", "hydro.c", "comm.c"} {
+		fmt.Fprintf(&b, "mpicc -c -O2 -DNDEBUG -qarch=auto %s -o %s.o\n",
+			src, strings.TrimSuffix(src, ".c"))
+	}
+	fmt.Fprintf(&b, "mpicc -o %s irs.o rad.o hydro.o comm.o -lm -lmpi -lpthread\n", spec.App)
+	return b.String()
+}
+
+func syntheticRunEnv(spec ExecSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "execution: %s\n", spec.Execution)
+	fmt.Fprintf(&b, "machine: %s\n", spec.Machine)
+	fmt.Fprintf(&b, "nprocs: %d\n", spec.NProcs)
+	fmt.Fprintf(&b, "OMP_NUM_THREADS=1\n")
+	fmt.Fprintf(&b, "LD_LIBRARY_PATH=/usr/lib:/opt/mpi/lib\n")
+	return b.String()
+}
+
+// topology factors nprocs into a 3-D process grid.
+func topology(nprocs int) (int, int, int) {
+	px, py, pz := 1, 1, 1
+	d := 0
+	for rem := nprocs; rem > 1; {
+		f := smallestFactor(rem)
+		switch d % 3 {
+		case 0:
+			px *= f
+		case 1:
+			py *= f
+		case 2:
+			pz *= f
+		}
+		rem /= f
+		d++
+	}
+	return px, py, pz
+}
+
+func smallestFactor(n int) int {
+	for f := 2; f*f <= n; f++ {
+		if n%f == 0 {
+			return f
+		}
+	}
+	return n
+}
+
+// writeSMGUVExecution writes the two per-execution files of the UV noise
+// study: the combined SMG benchmark + PMAPI counter output (Figure 7) and
+// the mpiP report (Figure 8).
+func writeSMGUVExecution(dir string, spec ExecSpec) ([]string, error) {
+	px, py, pz := topology(spec.NProcs)
+	outName := spec.Execution + ".out"
+	var buf bytes.Buffer
+	if err := smg.Generate(&buf, smg.Run{
+		Execution: spec.Execution, NProcs: spec.NProcs,
+		Px: px, Py: py, Pz: pz, Nx: 35, Ny: 35, Nz: 35,
+		Seed: spec.Seed,
+	}); err != nil {
+		return nil, err
+	}
+	buf.WriteString("\n")
+	if err := pmapi.Generate(&buf, pmapi.Run{
+		Execution: spec.Execution, NProcs: spec.NProcs, Seed: spec.Seed + 1,
+	}); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, outName), buf.Bytes(), 0o644); err != nil {
+		return nil, err
+	}
+
+	mpipName := spec.Execution + ".mpiP"
+	f, err := os.Create(filepath.Join(dir, mpipName))
+	if err != nil {
+		return nil, err
+	}
+	err = mpip.Generate(f, mpip.Run{
+		Execution: spec.Execution,
+		Command:   "./smg2000 -n 35 35 35",
+		NProcs:    spec.NProcs,
+		Callsites: 36,
+		Seed:      spec.Seed + 2,
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return []string{outName, mpipName}, nil
+}
+
+// writeSMGBGLExecution writes the single per-execution file of the BG/L
+// study: raw SMG benchmark output only (~1 KB, 8 values).
+func writeSMGBGLExecution(dir string, spec ExecSpec) ([]string, error) {
+	px, py, pz := topology(spec.NProcs)
+	name := spec.Execution + ".out"
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return nil, err
+	}
+	err = smg.Generate(f, smg.Run{
+		Execution: spec.Execution, NProcs: spec.NProcs,
+		Px: px, Py: py, Pz: pz, Nx: 35, Ny: 35, Nz: 35,
+		Seed: spec.Seed,
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return []string{name}, nil
+}
+
+// splitCombinedOutput separates an SMG+PMAPI combined file.
+func splitCombinedOutput(data []byte) (smgPart, pmapiPart []byte) {
+	marker := []byte("PMAPI hardware counter report")
+	if i := bytes.Index(data, marker); i >= 0 {
+		return data[:i], data[i:]
+	}
+	return data, nil
+}
+
+// runResourceRecords emits the execution-hierarchy resources of one run:
+// a process resource per rank, each constrained (§3.1's "process 8 runs on
+// node 16" example) to the processor it occupied, filling the machine's
+// first partition in rank order. The per-execution resource counts of
+// Table 1 are dominated by these records.
+func runResourceRecords(execName string, m Machine, np int) []ptdf.Record {
+	var recs []ptdf.Record
+	execRes := core.ResourceName("/" + execName)
+	recs = append(recs, ptdf.ResourceRec{Name: execRes, Type: "execution", Exec: execName})
+	if len(m.Partitions) == 0 {
+		return recs
+	}
+	part := m.Partitions[0]
+	partRes := m.Res().Child(part.Name)
+	stem := nodeStem(m.Name)
+	for r := 0; r < np; r++ {
+		node := (r / part.ProcsPerNode) % part.Nodes
+		cpu := r % part.ProcsPerNode
+		procRes := partRes.Child(fmt.Sprintf("%s%d", stem, node)).Child(fmt.Sprintf("p%d", cpu))
+		recs = append(recs, ptdf.ResourceRec{
+			Name: procRes, Type: "grid/machine/partition/node/processor",
+		})
+		rankRes := execRes.Child(fmt.Sprintf("p%d", r))
+		recs = append(recs, ptdf.ResourceRec{Name: rankRes, Type: "execution/process", Exec: execName})
+		recs = append(recs, ptdf.ResourceConstraintRec{R1: rankRes, R2: procRes})
+	}
+	return recs
+}
+
+// ConvertExecution parses the native files of one execution and emits the
+// equivalent PTdf records, tagging every result with the machine resource.
+func ConvertExecution(dir string, spec ExecSpec) ([]ptdf.Record, error) {
+	m, err := MachineByName(spec.Machine)
+	if err != nil {
+		return nil, err
+	}
+	machineRes := m.Res()
+	switch spec.Kind {
+	case KindIRS:
+		var recs []ptdf.Record
+		for g := 0; g < 4; g++ {
+			path := filepath.Join(dir, fmt.Sprintf("%s_grp%d.time", spec.Execution, g))
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := irs.Parse(f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			recs = append(recs, rep.ToPTdf(spec.App, machineRes)...)
+		}
+		recs = append(recs, runResourceRecords(spec.Execution, m, spec.NProcs)...)
+		return recs, nil
+	case KindSMGUV:
+		data, err := os.ReadFile(filepath.Join(dir, spec.Execution+".out"))
+		if err != nil {
+			return nil, err
+		}
+		smgData, pmapiData := splitCombinedOutput(data)
+		smgRep, err := smg.Parse(bytes.NewReader(smgData))
+		if err != nil {
+			return nil, err
+		}
+		recs := smgRep.ToPTdf(spec.App, spec.Execution, machineRes)
+		if len(pmapiData) > 0 {
+			pmRep, err := pmapi.Parse(bytes.NewReader(pmapiData))
+			if err != nil {
+				return nil, err
+			}
+			recs = append(recs, pmRep.ToPTdf(spec.App, spec.Execution, machineRes)...)
+		}
+		f, err := os.Open(filepath.Join(dir, spec.Execution+".mpiP"))
+		if err != nil {
+			return nil, err
+		}
+		mpRep, err := mpip.Parse(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, mpRep.ToPTdf(spec.App, spec.Execution, machineRes)...)
+		recs = append(recs, runResourceRecords(spec.Execution, m, spec.NProcs)...)
+		return recs, nil
+	case KindSMGBGL:
+		f, err := os.Open(filepath.Join(dir, spec.Execution+".out"))
+		if err != nil {
+			return nil, err
+		}
+		rep, err := smg.Parse(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		recs := rep.ToPTdf(spec.App, spec.Execution, machineRes)
+		recs = append(recs, runResourceRecords(spec.Execution, m, spec.NProcs)...)
+		return recs, nil
+	default:
+		return nil, fmt.Errorf("gen: unknown study kind %q", spec.Kind)
+	}
+}
+
+// IndexEntry is one line of the PTdfGen index file (§3.3): execution
+// name, application name, concurrency model, process and thread counts,
+// and build/run timestamps, plus the study kind, machine, and data
+// directory needed to locate the files.
+type IndexEntry struct {
+	Execution   string
+	App         string
+	Concurrency string
+	NProcs      int
+	NThreads    int
+	BuildTime   string
+	RunTime     string
+	Kind        string
+	Machine     string
+	Dir         string
+	Seed        int64
+}
+
+// WriteIndex writes a PTdfGen index file.
+func WriteIndex(w io.Writer, entries []IndexEntry) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# exec app concurrency nprocs nthreads buildTime runTime kind machine dir seed\n")
+	for _, e := range entries {
+		fmt.Fprintf(bw, "%s %s %s %d %d %s %s %s %s %s %d\n",
+			e.Execution, e.App, e.Concurrency, e.NProcs, e.NThreads,
+			e.BuildTime, e.RunTime, e.Kind, e.Machine, e.Dir, e.Seed)
+	}
+	return bw.Flush()
+}
+
+// ParseIndex reads a PTdfGen index file.
+func ParseIndex(r io.Reader) ([]IndexEntry, error) {
+	sc := bufio.NewScanner(r)
+	var out []IndexEntry
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 11 {
+			return nil, fmt.Errorf("gen: index line %d: expected 11 fields, got %d", line, len(fields))
+		}
+		np, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("gen: index line %d: bad nprocs", line)
+		}
+		nt, err := strconv.Atoi(fields[4])
+		if err != nil {
+			return nil, fmt.Errorf("gen: index line %d: bad nthreads", line)
+		}
+		seed, err := strconv.ParseInt(fields[10], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gen: index line %d: bad seed", line)
+		}
+		out = append(out, IndexEntry{
+			Execution: fields[0], App: fields[1], Concurrency: fields[2],
+			NProcs: np, NThreads: nt, BuildTime: fields[5], RunTime: fields[6],
+			Kind: fields[7], Machine: fields[8], Dir: fields[9], Seed: seed,
+		})
+	}
+	return out, sc.Err()
+}
+
+// PTdfGen converts every execution listed in an index file into one PTdf
+// file per execution under outDir, returning the paths written — the
+// §3.3 "PTdfGen script to generate PTdf for a directory full of files".
+// Execution attributes from the index (concurrency model, counts,
+// timestamps) are appended to each file.
+func PTdfGen(entries []IndexEntry, outDir string) ([]string, error) {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		recs, err := ConvertExecution(e.Dir, ExecSpec{
+			Kind: e.Kind, Execution: e.Execution, App: e.App,
+			Machine: e.Machine, NProcs: e.NProcs, Seed: e.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("gen: %s: %w", e.Execution, err)
+		}
+		execRes := core.ResourceName("/" + e.Execution)
+		recs = append(recs,
+			ptdf.ResourceAttributeRec{Resource: execRes, Attr: "concurrency model",
+				Value: e.Concurrency, AttrType: "string"},
+			ptdf.ResourceAttributeRec{Resource: execRes, Attr: "number of threads",
+				Value: strconv.Itoa(e.NThreads), AttrType: "string"},
+			ptdf.ResourceAttributeRec{Resource: execRes, Attr: "build timestamp",
+				Value: e.BuildTime, AttrType: "string"},
+			ptdf.ResourceAttributeRec{Resource: execRes, Attr: "run timestamp",
+				Value: e.RunTime, AttrType: "string"},
+		)
+		path := filepath.Join(outDir, e.Execution+".ptdf")
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		err = ptdf.WriteAll(f, recs)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

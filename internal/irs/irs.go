@@ -1,0 +1,273 @@
+// Package irs generates and parses timing output of the Implicit
+// Radiation Solver (IRS) ASC Purple benchmark used in the paper's §4.1
+// case study. The real benchmark emits, per run, timing data for roughly
+// 80 functions with aggregate, average, max, and min values for five
+// metrics, cumulative over all processes — about 1,500 performance
+// results per execution (Table 1 reports 1,514). Because the original
+// LLNL runs are unavailable, Generate produces files with the same
+// structure and statistical shape; Parse converts either generated or
+// real-format files into PTdf records.
+package irs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"perftrack/internal/core"
+	"perftrack/internal/ptdf"
+)
+
+// Metrics are the five per-function metrics IRS reports.
+var Metrics = []string{"CPUTime", "WallTime", "MPITime", "FLOPCount", "CacheMisses"}
+
+// Stats are the four summary statistics reported per metric.
+var Stats = []string{"aggregate", "average", "max", "min"}
+
+// metricUnits maps metrics to their units.
+var metricUnits = map[string]string{
+	"CPUTime":     "seconds",
+	"WallTime":    "seconds",
+	"MPITime":     "seconds",
+	"FLOPCount":   "operations",
+	"CacheMisses": "misses",
+}
+
+// functionNames lists IRS source functions used by the generator; the
+// real code has ~80 instrumented functions.
+var functionNames = func() []string {
+	bases := []string{
+		"main", "rcomdbl", "xdouble", "radsolve", "matsolve", "conjgrad",
+		"setboundary", "hydro", "advance", "eosdriver", "zonecalc",
+		"fluxcalc", "gradcalc", "smooth", "restrict", "prolong",
+		"dotproduct", "axpy", "spmv", "precond",
+	}
+	var out []string
+	for _, b := range bases {
+		out = append(out, b)
+		for i := 1; i <= 3; i++ {
+			out = append(out, fmt.Sprintf("%s_phase%d", b, i))
+		}
+	}
+	return out // 80 functions
+}()
+
+// FunctionCount is the number of functions the generator emits.
+func FunctionCount() int { return len(functionNames) }
+
+// Run describes one generated IRS execution. FuncStart/FuncCount select a
+// slice of the instrumented functions: the real benchmark splits its
+// timing data over several files, each covering a timer group. A zero
+// FuncCount means all functions.
+type Run struct {
+	Execution string
+	NProcs    int
+	Seed      int64
+	FuncStart int
+	FuncCount int
+}
+
+// funcs returns the function-name slice the run covers.
+func (r Run) funcs() []string {
+	if r.FuncCount <= 0 {
+		return functionNames
+	}
+	start := r.FuncStart
+	if start < 0 {
+		start = 0
+	}
+	if start >= len(functionNames) {
+		return nil
+	}
+	end := start + r.FuncCount
+	if end > len(functionNames) {
+		end = len(functionNames)
+	}
+	return functionNames[start:end]
+}
+
+// Generate writes one IRS timing file in the benchmark's report format.
+// Some (function, metric) cells are skipped at random, matching the
+// paper's "sometimes one of the values or metrics doesn't apply".
+func Generate(w io.Writer, run Run) error {
+	rng := rand.New(rand.NewSource(run.Seed))
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "IRS Timing Report\n")
+	fmt.Fprintf(bw, "Code Version: 1.4\n")
+	fmt.Fprintf(bw, "Execution: %s\n", run.Execution)
+	fmt.Fprintf(bw, "Processes: %d\n", run.NProcs)
+	fmt.Fprintf(bw, "%s\n", strings.Repeat("-", 96))
+	fmt.Fprintf(bw, "%-24s %-12s %14s %14s %14s %14s\n",
+		"Function", "Metric", "Aggregate", "Average", "Max", "Min")
+	for _, fn := range run.funcs() {
+		weight := 0.2 + rng.Float64()*2.0
+		for _, m := range Metrics {
+			// ~6% of cells do not apply, so results-per-execution varies
+			// around 1,500 like the paper's 1,514.
+			if rng.Float64() < 0.06 {
+				continue
+			}
+			var avg float64
+			switch m {
+			case "CPUTime", "WallTime":
+				avg = weight * (1 + rng.Float64())
+			case "MPITime":
+				avg = weight * rng.Float64() * 0.4
+			case "FLOPCount":
+				avg = weight * (1e8 + rng.Float64()*1e9)
+			case "CacheMisses":
+				avg = weight * (1e5 + rng.Float64()*1e7)
+			}
+			imbalance := 1 + rng.Float64()*0.5
+			maxV := avg * imbalance
+			minV := avg / imbalance
+			agg := avg * float64(run.NProcs)
+			fmt.Fprintf(bw, "%-24s %-12s %14.4f %14.4f %14.4f %14.4f\n",
+				fn, m, agg, avg, maxV, minV)
+		}
+	}
+	return bw.Flush()
+}
+
+// Report is the parsed form of one IRS timing file.
+type Report struct {
+	Execution string
+	Version   string
+	NProcs    int
+	Rows      []ReportRow
+}
+
+// ReportRow is one (function, metric) line.
+type ReportRow struct {
+	Function  string
+	Metric    string
+	Aggregate float64
+	Average   float64
+	Max       float64
+	Min       float64
+}
+
+// Parse reads an IRS timing file.
+func Parse(r io.Reader) (*Report, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	rep := &Report{}
+	inTable := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(text, "IRS Timing Report"):
+			continue
+		case strings.HasPrefix(text, "Code Version:"):
+			rep.Version = strings.TrimSpace(strings.TrimPrefix(text, "Code Version:"))
+		case strings.HasPrefix(text, "Execution:"):
+			rep.Execution = strings.TrimSpace(strings.TrimPrefix(text, "Execution:"))
+		case strings.HasPrefix(text, "Processes:"):
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(text, "Processes:")))
+			if err != nil {
+				return nil, fmt.Errorf("irs: line %d: bad process count: %w", line, err)
+			}
+			rep.NProcs = n
+		case strings.HasPrefix(text, "---"):
+			continue
+		case strings.HasPrefix(text, "Function"):
+			inTable = true
+		default:
+			if !inTable {
+				return nil, fmt.Errorf("irs: line %d: unexpected text %q before table", line, text)
+			}
+			fields := strings.Fields(text)
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("irs: line %d: expected 6 columns, got %d", line, len(fields))
+			}
+			row := ReportRow{Function: fields[0], Metric: fields[1]}
+			vals := make([]float64, 4)
+			for i := 0; i < 4; i++ {
+				v, err := strconv.ParseFloat(fields[2+i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("irs: line %d: bad value %q", line, fields[2+i])
+				}
+				vals[i] = v
+			}
+			row.Aggregate, row.Average, row.Max, row.Min = vals[0], vals[1], vals[2], vals[3]
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rep.Execution == "" {
+		return nil, fmt.Errorf("irs: missing Execution header")
+	}
+	if len(rep.Rows) == 0 {
+		return nil, fmt.Errorf("irs: no data rows")
+	}
+	return rep, nil
+}
+
+// ToPTdf converts a parsed report to PTdf records: the application and
+// execution, build-hierarchy resources for each function, a whole-program
+// context, and one performance result per (function, metric, statistic).
+// machineRes, when nonempty, joins each context (the measured platform).
+func (rep *Report) ToPTdf(app string, machineRes core.ResourceName) []ptdf.Record {
+	var recs []ptdf.Record
+	recs = append(recs,
+		ptdf.ApplicationRec{Name: app},
+		ptdf.ExecutionRec{Name: rep.Execution, App: app},
+	)
+	appRes := core.ResourceName("/" + app)
+	recs = append(recs, ptdf.ResourceRec{Name: appRes, Type: "application"})
+	execRes := core.ResourceName("/" + rep.Execution)
+	recs = append(recs, ptdf.ResourceRec{Name: execRes, Type: "execution", Exec: rep.Execution})
+	recs = append(recs, ptdf.ResourceAttributeRec{
+		Resource: execRes, Attr: "number of processes",
+		Value: strconv.Itoa(rep.NProcs), AttrType: "string",
+	})
+	if rep.Version != "" {
+		recs = append(recs, ptdf.ResourceAttributeRec{
+			Resource: execRes, Attr: "code version", Value: rep.Version, AttrType: "string",
+		})
+	}
+
+	buildRoot := core.ResourceName("/" + app + "-code")
+	recs = append(recs, ptdf.ResourceRec{Name: buildRoot, Type: "build"})
+	moduleRes := buildRoot.Child("irs.c")
+	recs = append(recs, ptdf.ResourceRec{Name: moduleRes, Type: "build/module"})
+
+	seenFn := make(map[string]bool)
+	for _, row := range rep.Rows {
+		fnRes := moduleRes.Child(row.Function)
+		if !seenFn[row.Function] {
+			seenFn[row.Function] = true
+			recs = append(recs, ptdf.ResourceRec{Name: fnRes, Type: "build/module/function"})
+		}
+		ctx := []core.ResourceName{appRes, execRes, fnRes}
+		if machineRes != "" {
+			ctx = append(ctx, machineRes)
+		}
+		statValues := map[string]float64{
+			"aggregate": row.Aggregate, "average": row.Average,
+			"max": row.Max, "min": row.Min,
+		}
+		for _, stat := range Stats {
+			value := statValues[stat]
+			recs = append(recs, ptdf.PerfResultRec{
+				Exec:   rep.Execution,
+				Sets:   []ptdf.ResourceSet{{Names: ctx, Type: core.FocusPrimary}},
+				Tool:   "IRS",
+				Metric: row.Metric + " " + stat,
+				Value:  value,
+				Units:  metricUnits[row.Metric],
+			})
+		}
+	}
+	return recs
+}

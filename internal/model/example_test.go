@@ -1,0 +1,29 @@
+package model_test
+
+import (
+	"fmt"
+
+	"perftrack/internal/model"
+)
+
+// Fit a scaling model to measured run times and predict an unmeasured
+// process count (§6 future work).
+func ExampleFitScaling() {
+	points := []model.Point{
+		{Procs: 1, Value: 65.0}, // 1 + 64/1
+		{Procs: 2, Value: 33.0},
+		{Procs: 4, Value: 17.0},
+		{Procs: 8, Value: 9.0},
+		{Procs: 16, Value: 5.0},
+	}
+	m, err := model.FitScaling(points)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("R^2 = %.3f\n", m.R2(points))
+	fmt.Printf("T(32) = %.2f\n", m.Predict(32))
+	// Output:
+	// R^2 = 1.000
+	// T(32) = 3.00
+}

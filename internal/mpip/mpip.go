@@ -1,0 +1,391 @@
+// Package mpip generates and parses mpiP-style lightweight MPI profiling
+// reports, the third data kind in the §4.2 noise study (Figure 8). An
+// mpiP report breaks measurements down by process or whole execution, MPI
+// function, and callsite of the MPI function; some measurements report
+// time in each MPI function according to the calling function. That
+// caller/callee structure is what motivated PerfTrack's multiple resource
+// sets per performance result — the parser emits a parent (caller) and
+// child (MPI function) resource set for each callsite value, so no
+// granularity is lost.
+package mpip
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"perftrack/internal/core"
+	"perftrack/internal/ptdf"
+)
+
+// mpiCalls are the MPI operations the generator samples.
+var mpiCalls = []string{
+	"Allreduce", "Isend", "Irecv", "Waitall", "Barrier", "Bcast",
+	"Reduce", "Allgather",
+}
+
+// callerFuncs are application functions that appear as callsite parents.
+var callerFuncs = []string{
+	"main", "hypre_SMGSolve", "hypre_SMGRelax", "hypre_StructInnerProd",
+	"hypre_SemiRestrict", "hypre_SemiInterp",
+}
+
+// Run describes one generated mpiP capture.
+type Run struct {
+	Execution string
+	Command   string
+	NProcs    int
+	Callsites int // number of distinct callsites to fabricate
+	Seed      int64
+}
+
+// Callsite is one MPI call location.
+type Callsite struct {
+	ID     int
+	File   string
+	Line   int
+	Parent string // calling function
+	Call   string // MPI operation
+}
+
+// TaskTime is per-task app/MPI time.
+type TaskTime struct {
+	Task    int // -1 for the aggregate "*" row
+	AppTime float64
+	MPITime float64
+}
+
+// SiteStat is one callsite timing row: per rank, or aggregate when
+// Rank == -1. Times are milliseconds, as in mpiP.
+type SiteStat struct {
+	Site  int
+	Rank  int // -1 means "*"
+	Count int64
+	Max   float64
+	Mean  float64
+	Min   float64
+}
+
+// Report is a parsed mpiP report.
+type Report struct {
+	Command   string
+	Version   string
+	NProcs    int
+	Tasks     []TaskTime
+	Callsites []Callsite
+	SiteStats []SiteStat
+}
+
+// Generate writes an mpiP-format report.
+func Generate(w io.Writer, run Run) error {
+	rng := rand.New(rand.NewSource(run.Seed))
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "@ mpiP\n")
+	fmt.Fprintf(bw, "@ Command : %s\n", run.Command)
+	fmt.Fprintf(bw, "@ Version : 2.8.2\n")
+	fmt.Fprintf(bw, "@ MPI Task Assignment : %d tasks\n", run.NProcs)
+	fmt.Fprintf(bw, "\n@--- MPI Time (seconds) ---\n")
+	fmt.Fprintf(bw, "%-6s %12s %12s %8s\n", "Task", "AppTime", "MPITime", "MPI%")
+	totalApp, totalMPI := 0.0, 0.0
+	for t := 0; t < run.NProcs; t++ {
+		app := 30 + rng.Float64()*5
+		mpi := app * (0.25 + rng.Float64()*0.15)
+		totalApp += app
+		totalMPI += mpi
+		fmt.Fprintf(bw, "%-6d %12.2f %12.2f %8.2f\n", t, app, mpi, mpi/app*100)
+	}
+	fmt.Fprintf(bw, "%-6s %12.2f %12.2f %8.2f\n", "*", totalApp, totalMPI, totalMPI/totalApp*100)
+
+	nSites := run.Callsites
+	if nSites <= 0 {
+		nSites = 12
+	}
+	fmt.Fprintf(bw, "\n@--- Callsites: %d ---\n", nSites)
+	fmt.Fprintf(bw, "%3s %3s %-20s %5s %-24s %s\n", "ID", "Lev", "File/Address", "Line", "Parent_Funct", "MPI_Call")
+	sites := make([]Callsite, nSites)
+	for i := range sites {
+		sites[i] = Callsite{
+			ID:     i + 1,
+			File:   "smg2000.c",
+			Line:   100 + rng.Intn(2000),
+			Parent: callerFuncs[rng.Intn(len(callerFuncs))],
+			Call:   mpiCalls[rng.Intn(len(mpiCalls))],
+		}
+		fmt.Fprintf(bw, "%3d %3d %-20s %5d %-24s %s\n",
+			sites[i].ID, 0, sites[i].File, sites[i].Line, sites[i].Parent, sites[i].Call)
+	}
+
+	fmt.Fprintf(bw, "\n@--- Callsite Time statistics (all, milliseconds): %d ---\n", nSites*(run.NProcs+1))
+	fmt.Fprintf(bw, "%-16s %5s %5s %8s %10s %10s %10s\n", "Name", "Site", "Rank", "Count", "Max", "Mean", "Min")
+	for _, site := range sites {
+		var aggCount int64
+		var aggMax, aggMeanSum, aggMin float64
+		aggMin = 1e300
+		for t := 0; t < run.NProcs; t++ {
+			count := int64(50 + rng.Intn(500))
+			mean := 0.01 + rng.Float64()*0.5
+			maxV := mean * (1.5 + rng.Float64())
+			minV := mean * (0.2 + rng.Float64()*0.5)
+			aggCount += count
+			aggMeanSum += mean
+			if maxV > aggMax {
+				aggMax = maxV
+			}
+			if minV < aggMin {
+				aggMin = minV
+			}
+			fmt.Fprintf(bw, "%-16s %5d %5d %8d %10.3f %10.3f %10.3f\n",
+				site.Call, site.ID, t, count, maxV, mean, minV)
+		}
+		fmt.Fprintf(bw, "%-16s %5d %5s %8d %10.3f %10.3f %10.3f\n",
+			site.Call, site.ID, "*", aggCount, aggMax, aggMeanSum/float64(run.NProcs), aggMin)
+	}
+	return bw.Flush()
+}
+
+// Parse reads an mpiP report.
+func Parse(r io.Reader) (*Report, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	rep := &Report{}
+	section := ""
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(text, "@ Command :"):
+			rep.Command = strings.TrimSpace(strings.TrimPrefix(text, "@ Command :"))
+			continue
+		case strings.HasPrefix(text, "@ Version :"):
+			rep.Version = strings.TrimSpace(strings.TrimPrefix(text, "@ Version :"))
+			continue
+		case strings.HasPrefix(text, "@ MPI Task Assignment :"):
+			fields := strings.Fields(strings.TrimPrefix(text, "@ MPI Task Assignment :"))
+			if len(fields) > 0 {
+				if n, err := strconv.Atoi(fields[0]); err == nil {
+					rep.NProcs = n
+				}
+			}
+			continue
+		case strings.HasPrefix(text, "@---"):
+			switch {
+			case strings.Contains(text, "MPI Time"):
+				section = "time"
+			case strings.Contains(text, "Callsite Time statistics"):
+				section = "sitestats"
+			case strings.Contains(text, "Callsites"):
+				section = "callsites"
+			default:
+				section = ""
+			}
+			continue
+		case strings.HasPrefix(text, "@"):
+			continue
+		}
+		switch section {
+		case "time":
+			if strings.HasPrefix(text, "Task") {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("mpip: line %d: bad task time row", line)
+			}
+			tt := TaskTime{Task: -1}
+			if fields[0] != "*" {
+				n, err := strconv.Atoi(fields[0])
+				if err != nil {
+					return nil, fmt.Errorf("mpip: line %d: bad task %q", line, fields[0])
+				}
+				tt.Task = n
+			}
+			var err error
+			if tt.AppTime, err = strconv.ParseFloat(fields[1], 64); err != nil {
+				return nil, fmt.Errorf("mpip: line %d: %w", line, err)
+			}
+			if tt.MPITime, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return nil, fmt.Errorf("mpip: line %d: %w", line, err)
+			}
+			rep.Tasks = append(rep.Tasks, tt)
+		case "callsites":
+			if strings.HasPrefix(text, "ID") {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("mpip: line %d: bad callsite row", line)
+			}
+			id, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, fmt.Errorf("mpip: line %d: bad callsite id", line)
+			}
+			ln, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("mpip: line %d: bad line number", line)
+			}
+			rep.Callsites = append(rep.Callsites, Callsite{
+				ID: id, File: fields[2], Line: ln, Parent: fields[4], Call: fields[5],
+			})
+		case "sitestats":
+			if strings.HasPrefix(text, "Name") {
+				continue
+			}
+			fields := strings.Fields(text)
+			if len(fields) != 7 {
+				return nil, fmt.Errorf("mpip: line %d: bad site stat row", line)
+			}
+			st := SiteStat{Rank: -1}
+			var err error
+			if st.Site, err = strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("mpip: line %d: bad site", line)
+			}
+			if fields[2] != "*" {
+				if st.Rank, err = strconv.Atoi(fields[2]); err != nil {
+					return nil, fmt.Errorf("mpip: line %d: bad rank", line)
+				}
+			}
+			if st.Count, err = strconv.ParseInt(fields[3], 10, 64); err != nil {
+				return nil, fmt.Errorf("mpip: line %d: bad count", line)
+			}
+			if st.Max, err = strconv.ParseFloat(fields[4], 64); err != nil {
+				return nil, fmt.Errorf("mpip: line %d: bad max", line)
+			}
+			if st.Mean, err = strconv.ParseFloat(fields[5], 64); err != nil {
+				return nil, fmt.Errorf("mpip: line %d: bad mean", line)
+			}
+			if st.Min, err = strconv.ParseFloat(fields[6], 64); err != nil {
+				return nil, fmt.Errorf("mpip: line %d: bad min", line)
+			}
+			rep.SiteStats = append(rep.SiteStats, st)
+		default:
+			return nil, fmt.Errorf("mpip: line %d: text outside any section: %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Tasks) == 0 {
+		return nil, fmt.Errorf("mpip: no task time section")
+	}
+	return rep, nil
+}
+
+// ToPTdf converts a parsed report. Per-task app/MPI times become results
+// on process resources; callsite statistics become results whose contexts
+// carry TWO extra resource sets — the calling function as a parent set and
+// the MPI function as a child set — recording caller and callee with no
+// loss of granularity (§4.2).
+func (rep *Report) ToPTdf(app, execName string, machineRes core.ResourceName) []ptdf.Record {
+	var recs []ptdf.Record
+	recs = append(recs,
+		ptdf.ApplicationRec{Name: app},
+		ptdf.ExecutionRec{Name: execName, App: app},
+	)
+	appRes := core.ResourceName("/" + app)
+	recs = append(recs, ptdf.ResourceRec{Name: appRes, Type: "application"})
+	execRes := core.ResourceName("/" + execName)
+	recs = append(recs, ptdf.ResourceRec{Name: execRes, Type: "execution", Exec: execName})
+	if rep.Command != "" {
+		recs = append(recs, ptdf.ResourceAttributeRec{
+			Resource: execRes, Attr: "command", Value: rep.Command, AttrType: "string",
+		})
+	}
+
+	baseCtx := []core.ResourceName{appRes, execRes}
+	if machineRes != "" {
+		baseCtx = append(baseCtx, machineRes)
+	}
+	emit := func(metric string, value float64, units string, sets []ptdf.ResourceSet) {
+		recs = append(recs, ptdf.PerfResultRec{
+			Exec: execName, Sets: sets, Tool: "mpiP",
+			Metric: metric, Value: value, Units: units,
+		})
+	}
+
+	// Per-task (and whole-execution "*") app/MPI time.
+	procRes := func(task int) core.ResourceName {
+		return execRes.Child(fmt.Sprintf("p%d", task))
+	}
+	seenProc := make(map[int]bool)
+	ensureProc := func(task int) core.ResourceName {
+		pr := procRes(task)
+		if !seenProc[task] {
+			seenProc[task] = true
+			recs = append(recs, ptdf.ResourceRec{Name: pr, Type: "execution/process", Exec: execName})
+		}
+		return pr
+	}
+	for _, tt := range rep.Tasks {
+		ctx := append([]core.ResourceName{}, baseCtx...)
+		if tt.Task >= 0 {
+			ctx = append(ctx, ensureProc(tt.Task))
+		}
+		sets := []ptdf.ResourceSet{{Names: ctx, Type: core.FocusPrimary}}
+		emit("AppTime", tt.AppTime, "seconds", sets)
+		emit("MPITime", tt.MPITime, "seconds", sets)
+	}
+
+	// Code resources: calling functions (environment of the app code) and
+	// MPI functions (the MPI library module).
+	codeRoot := core.ResourceName("/" + app + "-code")
+	recs = append(recs, ptdf.ResourceRec{Name: codeRoot, Type: "build"})
+	mpiRoot := core.ResourceName("/" + execName + "-mpilib")
+	recs = append(recs, ptdf.ResourceRec{Name: mpiRoot, Type: "environment"})
+	mpiModule := mpiRoot.Child("libmpi")
+	recs = append(recs, ptdf.ResourceRec{Name: mpiModule, Type: "environment/module"})
+
+	siteByID := make(map[int]Callsite, len(rep.Callsites))
+	seenFile := make(map[string]bool)
+	seenFn := make(map[string]bool)
+	seenMPI := make(map[string]bool)
+	for _, cs := range rep.Callsites {
+		siteByID[cs.ID] = cs
+		fileRes := codeRoot.Child(cs.File)
+		if !seenFile[cs.File] {
+			seenFile[cs.File] = true
+			recs = append(recs, ptdf.ResourceRec{Name: fileRes, Type: "build/module"})
+		}
+		if !seenFn[cs.Parent] {
+			seenFn[cs.Parent] = true
+			recs = append(recs, ptdf.ResourceRec{Name: fileRes.Child(cs.Parent), Type: "build/module/function"})
+		}
+		if !seenMPI[cs.Call] {
+			seenMPI[cs.Call] = true
+			recs = append(recs, ptdf.ResourceRec{
+				Name: mpiModule.Child("MPI_" + cs.Call), Type: "environment/module/function",
+			})
+		}
+	}
+
+	// Callsite statistics with caller (parent) and callee (child) sets.
+	for _, st := range rep.SiteStats {
+		cs, ok := siteByID[st.Site]
+		if !ok {
+			continue
+		}
+		ctx := append([]core.ResourceName{}, baseCtx...)
+		if st.Rank >= 0 {
+			ctx = append(ctx, ensureProc(st.Rank))
+		}
+		callerRes := codeRoot.Child(cs.File).Child(cs.Parent)
+		calleeRes := mpiModule.Child("MPI_" + cs.Call)
+		sets := []ptdf.ResourceSet{
+			{Names: ctx, Type: core.FocusPrimary},
+			{Names: []core.ResourceName{callerRes}, Type: core.FocusParent},
+			{Names: []core.ResourceName{calleeRes}, Type: core.FocusChild},
+		}
+		site := fmt.Sprintf("site %d ", st.Site)
+		emit(site+"call count", float64(st.Count), "calls", sets)
+		emit(site+"max time", st.Max, "milliseconds", sets)
+		emit(site+"mean time", st.Mean, "milliseconds", sets)
+		emit(site+"min time", st.Min, "milliseconds", sets)
+	}
+	return recs
+}

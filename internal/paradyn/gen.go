@@ -1,0 +1,212 @@
+package paradyn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+)
+
+// Run parameterizes a generated Paradyn export bundle. The §4.3 study
+// imported three IRS executions with roughly 17,000 resources, 8 metrics,
+// and 25,000 performance results each; GenerateBundle reproduces that
+// shape at a configurable scale (resource counts are dominated by code
+// resources and histogram-bin time resources).
+type Run struct {
+	Execution string
+	NModules  int // code modules
+	NFuncs    int // functions per module
+	NProcs    int
+	NBins     int     // bins per histogram
+	BinWidth  float64 // seconds per bin
+	Metrics   []string
+	NFoci     int     // histograms per metric
+	NanFrac   float64 // fraction of leading bins with no data
+	Seed      int64
+}
+
+// DefaultMetrics are Paradyn's usual time-based metrics (8, as in §4.3).
+var DefaultMetrics = []string{
+	"cpu", "cpu_inclusive", "exec_time", "sync_wait",
+	"msg_bytes_sent", "msg_bytes_recv", "io_wait", "procedure_calls",
+}
+
+// Synthesize builds an in-memory bundle.
+func Synthesize(run Run) *Bundle {
+	rng := rand.New(rand.NewSource(run.Seed))
+	if len(run.Metrics) == 0 {
+		run.Metrics = DefaultMetrics
+	}
+	b := &Bundle{}
+	// Resources: machine/process/thread plus code modules and functions.
+	node := fmt.Sprintf("mcr%d.llnl.gov", 100+rng.Intn(100))
+	for p := 0; p < run.NProcs; p++ {
+		proc := fmt.Sprintf("/Machine/%s/irs{%d}", node, 10000+p)
+		b.Resources = append(b.Resources, proc, proc+"/thr_0")
+	}
+	var functions []string
+	for m := 0; m < run.NModules; m++ {
+		mod := fmt.Sprintf("/Code/irs_%02d.c", m)
+		b.Resources = append(b.Resources, mod)
+		for f := 0; f < run.NFuncs; f++ {
+			fn := fmt.Sprintf("%s/func_%02d_%03d", mod, m, f)
+			b.Resources = append(b.Resources, fn)
+			functions = append(functions, fn)
+		}
+	}
+	// DEFAULT_MODULE holds functions Paradyn could not place (§4.3).
+	b.Resources = append(b.Resources,
+		"/Code/DEFAULT_MODULE", "/Code/DEFAULT_MODULE/__builtin_memcpy")
+	functions = append(functions, "/Code/DEFAULT_MODULE/__builtin_memcpy")
+	// SyncObjects.
+	b.Resources = append(b.Resources,
+		"/SyncObject/Message", "/SyncObject/Message/MPI_COMM_WORLD")
+
+	// Histograms: per metric, NFoci foci drawn from functions/processes.
+	for _, metric := range run.Metrics {
+		for i := 0; i < run.NFoci; i++ {
+			focus := []string{functions[rng.Intn(len(functions))]}
+			if rng.Float64() < 0.5 && run.NProcs > 0 {
+				focus = append(focus, fmt.Sprintf("/Machine/%s/irs{%d}", node, 10000+rng.Intn(run.NProcs)))
+			}
+			h := &Histogram{
+				Metric:   metric,
+				Focus:    focus,
+				Phase:    "global",
+				NumBins:  run.NBins,
+				BinWidth: run.BinWidth,
+			}
+			// Leading bins are nan: dynamic instrumentation was inserted
+			// some time after the program started (§4.3).
+			nanLead := int(run.NanFrac * float64(run.NBins) * (0.5 + rng.Float64()))
+			if nanLead > run.NBins {
+				nanLead = run.NBins
+			}
+			level := rng.Float64() * 10
+			for bin := 0; bin < run.NBins; bin++ {
+				if bin < nanLead {
+					h.Values = append(h.Values, math.NaN())
+					continue
+				}
+				level = math.Max(0, level+rng.NormFloat64()*0.5)
+				h.Values = append(h.Values, level)
+			}
+			b.Histograms = append(b.Histograms, h)
+		}
+	}
+
+	// A small search history graph.
+	hyps := []string{"ExcessiveSyncWaitingTime", "CPUBound", "ExcessiveIOBlockingTime"}
+	for i, hy := range hyps {
+		truth := "false"
+		if i == rng.Intn(len(hyps)) {
+			truth = "true"
+		}
+		b.SHG = append(b.SHG, SHGNode{
+			ID: i + 1, Hypothesis: hy,
+			Focus: []string{functions[rng.Intn(len(functions))]},
+			Truth: truth,
+		})
+	}
+	return b
+}
+
+// GenerateBundle writes a bundle to dir as the set of files Paradyn's
+// Export button produces: histogram_NNN.hist files, index.txt,
+// resources.txt, and shg.txt.
+func GenerateBundle(dir string, run Run) error {
+	b := Synthesize(run)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var index []IndexEntry
+	for i, h := range b.Histograms {
+		name := fmt.Sprintf("histogram_%03d.hist", i)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := WriteHistogram(f, h); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		index = append(index, IndexEntry{File: name, Metric: h.Metric, Focus: h.Focus})
+	}
+	writeFile := func(name string, fn func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := writeFile("index.txt", func(f *os.File) error {
+		return WriteIndex(f, index)
+	}); err != nil {
+		return err
+	}
+	if err := writeFile("resources.txt", func(f *os.File) error {
+		bw := f
+		for _, r := range b.Resources {
+			if _, err := fmt.Fprintln(bw, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return writeFile("shg.txt", func(f *os.File) error {
+		return WriteSearchHistory(f, b.SHG)
+	})
+}
+
+// LoadBundle reads an exported bundle from dir.
+func LoadBundle(dir string) (*Bundle, error) {
+	b := &Bundle{}
+	rf, err := os.Open(filepath.Join(dir, "resources.txt"))
+	if err != nil {
+		return nil, err
+	}
+	b.Resources, err = ParseResources(rf)
+	rf.Close()
+	if err != nil {
+		return nil, err
+	}
+	idxF, err := os.Open(filepath.Join(dir, "index.txt"))
+	if err != nil {
+		return nil, err
+	}
+	index, err := ParseIndex(idxF)
+	idxF.Close()
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range index {
+		hf, err := os.Open(filepath.Join(dir, e.File))
+		if err != nil {
+			return nil, err
+		}
+		h, err := ParseHistogram(hf)
+		hf.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.File, err)
+		}
+		b.Histograms = append(b.Histograms, h)
+	}
+	if shgF, err := os.Open(filepath.Join(dir, "shg.txt")); err == nil {
+		b.SHG, err = ParseSearchHistory(shgF)
+		shgF.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}

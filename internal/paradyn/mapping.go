@@ -1,0 +1,333 @@
+package paradyn
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"perftrack/internal/core"
+	"perftrack/internal/ptdf"
+)
+
+// MappedResource is the PerfTrack view of one Paradyn resource after
+// applying the Figure 11 type mapping.
+type MappedResource struct {
+	Name core.ResourceName
+	Type core.TypePath
+	// Attributes carries extra data that does not map structurally — e.g.
+	// the machine node of a process.
+	Attributes map[string]string
+}
+
+// NewTypes are the PerfTrack type extensions required before loading
+// Paradyn data: the syncObject hierarchy mirroring Paradyn's (§4.3), and
+// a bin level under time/interval for histogram bins.
+func NewTypes() []core.TypePath {
+	return []core.TypePath{
+		"syncObject", "syncObject/type", "syncObject/type/object",
+		"time/interval/bin",
+	}
+}
+
+// MapResource translates one Paradyn resource name into PerfTrack terms.
+// The prefix is prepended to names to keep executions distinct (Paradyn
+// names like /Code/irs.c/main would otherwise collide across runs).
+func MapResource(pdName, prefix string) (*MappedResource, error) {
+	if !strings.HasPrefix(pdName, "/") {
+		return nil, fmt.Errorf("paradyn: resource %q is not absolute", pdName)
+	}
+	segs := strings.Split(strings.TrimPrefix(pdName, "/"), "/")
+	if len(segs) == 0 || segs[0] == "" {
+		return nil, fmt.Errorf("paradyn: empty resource %q", pdName)
+	}
+	root, rest := segs[0], segs[1:]
+	switch root {
+	case "Code":
+		// /Code/<module>/<function>[/<loop>] → build hierarchy. Loops map
+		// to codeBlock. Dynamic vs static cannot always be determined, so
+		// build (static) is the default, including DEFAULT_MODULE.
+		types := []core.TypePath{"build", "build/module", "build/module/function",
+			"build/module/function/codeBlock"}
+		if len(rest) > 3 {
+			return nil, fmt.Errorf("paradyn: Code resource %q too deep", pdName)
+		}
+		name := core.ResourceName("/" + prefix + "-code")
+		for _, s := range rest {
+			name = name.Child(s)
+		}
+		return &MappedResource{Name: name, Type: types[len(rest)]}, nil
+	case "Machine":
+		// /Machine/<node>/<process>[/<thread>] → execution hierarchy; the
+		// node becomes an attribute of the process resource.
+		switch len(rest) {
+		case 0:
+			return &MappedResource{
+				Name: core.ResourceName("/" + prefix),
+				Type: "execution",
+			}, nil
+		case 1:
+			// A bare node has no execution-hierarchy analogue; it is
+			// recorded as an attribute carrier on the execution itself.
+			return &MappedResource{
+				Name:       core.ResourceName("/" + prefix),
+				Type:       "execution",
+				Attributes: map[string]string{"node": rest[0]},
+			}, nil
+		case 2, 3:
+			name := core.ResourceName("/" + prefix).Child(sanitizeProcess(rest[1]))
+			typ := core.TypePath("execution/process")
+			attrs := map[string]string{"node": rest[0]}
+			if len(rest) == 3 {
+				name = name.Child(rest[2])
+				typ = "execution/process/thread"
+			}
+			return &MappedResource{Name: name, Type: typ, Attributes: attrs}, nil
+		default:
+			return nil, fmt.Errorf("paradyn: Machine resource %q too deep", pdName)
+		}
+	case "SyncObject":
+		// /SyncObject/<type>[/<object>] → the new syncObject hierarchy.
+		types := []core.TypePath{"syncObject", "syncObject/type", "syncObject/type/object"}
+		if len(rest) > 2 {
+			return nil, fmt.Errorf("paradyn: SyncObject resource %q too deep", pdName)
+		}
+		name := core.ResourceName("/" + prefix + "-sync")
+		for _, s := range rest {
+			name = name.Child(s)
+		}
+		return &MappedResource{Name: name, Type: types[len(rest)]}, nil
+	default:
+		return nil, fmt.Errorf("paradyn: unknown hierarchy root %q in %q", root, pdName)
+	}
+}
+
+// sanitizeProcess rewrites Paradyn process names like "irs{12345}" into
+// path-safe components.
+func sanitizeProcess(s string) string {
+	s = strings.ReplaceAll(s, "{", "_")
+	s = strings.ReplaceAll(s, "}", "")
+	return s
+}
+
+// Bundle is a full parsed Paradyn export for one execution.
+type Bundle struct {
+	Resources  []string
+	Histograms []*Histogram
+	SHG        []SHGNode
+}
+
+// ToPTdf converts a bundle into PTdf records. Every Paradyn resource maps
+// per Figure 11; the time hierarchy gains a global phase with one bin
+// resource per histogram bin (start/end attributes); each non-nan bin
+// value becomes a performance result whose context joins the mapped focus
+// resources and the bin. 'nan' bins — where dynamic instrumentation was
+// not yet inserted — are not recorded (§4.3).
+func (b *Bundle) ToPTdf(app, execName string) ([]ptdf.Record, error) {
+	var recs []ptdf.Record
+	for _, t := range NewTypes() {
+		recs = append(recs, ptdf.ResourceTypeRec{Type: t})
+	}
+	recs = append(recs,
+		ptdf.ApplicationRec{Name: app},
+		ptdf.ExecutionRec{Name: execName, App: app},
+	)
+	appRes := core.ResourceName("/" + app)
+	recs = append(recs, ptdf.ResourceRec{Name: appRes, Type: "application"})
+
+	emitted := make(map[core.ResourceName]bool)
+	emit := func(m *MappedResource) {
+		if !emitted[m.Name] {
+			emitted[m.Name] = true
+			exec := ""
+			if m.Type.Root() == "execution" || m.Type.Root() == "time" {
+				exec = execName
+			}
+			recs = append(recs, ptdf.ResourceRec{Name: m.Name, Type: m.Type, Exec: exec})
+		}
+		for k, v := range m.Attributes {
+			recs = append(recs, ptdf.ResourceAttributeRec{
+				Resource: m.Name, Attr: k, Value: v, AttrType: "string",
+			})
+		}
+	}
+	// The execution resource itself anchors the Machine mapping.
+	emit(&MappedResource{Name: core.ResourceName("/" + execName), Type: "execution"})
+
+	// Declare every exported resource.
+	for _, pd := range b.Resources {
+		m, err := MapResource(pd, execName)
+		if err != nil {
+			return nil, err
+		}
+		emit(m)
+	}
+
+	// Global phase at the top of the time hierarchy.
+	globalPhase := core.ResourceName("/" + execName + "-time")
+	recs = append(recs, ptdf.ResourceRec{Name: globalPhase, Type: "time", Exec: execName})
+	recs = append(recs, ptdf.ResourceAttributeRec{
+		Resource: globalPhase, Attr: "phase", Value: "global", AttrType: "string",
+	})
+
+	phaseRes := make(map[string]core.ResourceName) // local phase -> resource
+	binRes := make(map[string]bool)
+
+	for _, h := range b.Histograms {
+		// Map the focus.
+		var focusNames []core.ResourceName
+		for _, f := range h.Focus {
+			m, err := MapResource(f, execName)
+			if err != nil {
+				return nil, err
+			}
+			emit(m)
+			focusNames = append(focusNames, m.Name)
+		}
+		// Phase container: global phase children are bins or local phases;
+		// local phases also have bins as children (§4.3).
+		parent := globalPhase
+		if h.Phase != "" && h.Phase != "global" {
+			pr, ok := phaseRes[h.Phase]
+			if !ok {
+				pr = globalPhase.Child(h.Phase)
+				phaseRes[h.Phase] = pr
+				recs = append(recs, ptdf.ResourceRec{Name: pr, Type: "time/interval", Exec: execName})
+				recs = append(recs, ptdf.ResourceAttributeRec{
+					Resource: pr, Attr: "phase", Value: h.Phase, AttrType: "string",
+				})
+			}
+			parent = pr
+		}
+		for i, v := range h.Values {
+			if math.IsNaN(v) {
+				continue // no data: instrumentation not yet inserted
+			}
+			var bin core.ResourceName
+			if parent == globalPhase {
+				bin = parent.Child(fmt.Sprintf("bin%d", i))
+			} else {
+				bin = parent.Child(fmt.Sprintf("bin%d", i))
+			}
+			key := string(bin)
+			if !binRes[key] {
+				binRes[key] = true
+				binType := core.TypePath("time/interval")
+				if parent != globalPhase {
+					binType = "time/interval/bin"
+				}
+				recs = append(recs, ptdf.ResourceRec{Name: bin, Type: binType, Exec: execName})
+				start := float64(i) * h.BinWidth
+				recs = append(recs,
+					ptdf.ResourceAttributeRec{Resource: bin, Attr: "start time",
+						Value: fmt.Sprintf("%g", start), AttrType: "string"},
+					ptdf.ResourceAttributeRec{Resource: bin, Attr: "end time",
+						Value: fmt.Sprintf("%g", start+h.BinWidth), AttrType: "string"},
+				)
+			}
+			ctx := append([]core.ResourceName{appRes, core.ResourceName("/" + execName), bin}, focusNames...)
+			recs = append(recs, ptdf.PerfResultRec{
+				Exec:   execName,
+				Sets:   []ptdf.ResourceSet{{Names: ctx, Type: core.FocusPrimary}},
+				Tool:   "Paradyn",
+				Metric: h.Metric,
+				Value:  v,
+				Units:  "units/second",
+			})
+		}
+	}
+
+	// Search history graph: record the Performance Consultant's findings
+	// as attributes of the execution.
+	recs = append(recs, b.shgRecords(execName)...)
+	return recs, nil
+}
+
+func (b *Bundle) shgRecords(execName string) []ptdf.Record {
+	execRes := core.ResourceName("/" + execName)
+	var recs []ptdf.Record
+	for _, n := range b.SHG {
+		recs = append(recs, ptdf.ResourceAttributeRec{
+			Resource: execRes,
+			Attr:     fmt.Sprintf("PC hypothesis %d", n.ID),
+			Value:    fmt.Sprintf("%s @ %s = %s", n.Hypothesis, strings.Join(n.Focus, ","), n.Truth),
+			AttrType: "string",
+		})
+	}
+	return recs
+}
+
+// ToPTdfCompact converts a bundle using complex (histogram-valued)
+// performance results: one PerfHistogram record per metric-focus pair
+// instead of one scalar result per bin, realizing the §6 future-work
+// item. Resource mapping is identical to ToPTdf, but no per-bin time
+// resources are created — the bins live inside the result.
+func (b *Bundle) ToPTdfCompact(app, execName string) ([]ptdf.Record, error) {
+	var recs []ptdf.Record
+	for _, t := range NewTypes() {
+		recs = append(recs, ptdf.ResourceTypeRec{Type: t})
+	}
+	recs = append(recs,
+		ptdf.ApplicationRec{Name: app},
+		ptdf.ExecutionRec{Name: execName, App: app},
+	)
+	appRes := core.ResourceName("/" + app)
+	recs = append(recs, ptdf.ResourceRec{Name: appRes, Type: "application"})
+
+	emitted := make(map[core.ResourceName]bool)
+	emit := func(m *MappedResource) {
+		if !emitted[m.Name] {
+			emitted[m.Name] = true
+			exec := ""
+			if m.Type.Root() == "execution" || m.Type.Root() == "time" {
+				exec = execName
+			}
+			recs = append(recs, ptdf.ResourceRec{Name: m.Name, Type: m.Type, Exec: exec})
+		}
+		for k, v := range m.Attributes {
+			recs = append(recs, ptdf.ResourceAttributeRec{
+				Resource: m.Name, Attr: k, Value: v, AttrType: "string",
+			})
+		}
+	}
+	emit(&MappedResource{Name: core.ResourceName("/" + execName), Type: "execution"})
+	for _, pd := range b.Resources {
+		m, err := MapResource(pd, execName)
+		if err != nil {
+			return nil, err
+		}
+		emit(m)
+	}
+	for _, h := range b.Histograms {
+		var focusNames []core.ResourceName
+		for _, f := range h.Focus {
+			m, err := MapResource(f, execName)
+			if err != nil {
+				return nil, err
+			}
+			emit(m)
+			focusNames = append(focusNames, m.Name)
+		}
+		hasData := false
+		for _, v := range h.Values {
+			if !math.IsNaN(v) {
+				hasData = true
+				break
+			}
+		}
+		if !hasData {
+			continue
+		}
+		ctx := append([]core.ResourceName{appRes, core.ResourceName("/" + execName)}, focusNames...)
+		recs = append(recs, ptdf.PerfHistogramRec{
+			Exec:     execName,
+			Sets:     []ptdf.ResourceSet{{Names: ctx, Type: core.FocusPrimary}},
+			Tool:     "Paradyn",
+			Metric:   h.Metric,
+			BinWidth: h.BinWidth,
+			Units:    "units/second",
+			Values:   h.Values,
+		})
+	}
+	recs = append(recs, b.shgRecords(execName)...)
+	return recs, nil
+}

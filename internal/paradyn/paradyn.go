@@ -1,0 +1,248 @@
+// Package paradyn parses and generates Paradyn performance-data exports
+// and maps them into the PerfTrack model, reproducing the §4.3 case
+// study. Paradyn's "Export" button emits several text files: histogram
+// files (one per metric-focus pair, with a header and one value per time
+// bin, 'nan' for bins with no data), an index file describing the
+// histogram files, a resources file listing every Paradyn resource, and a
+// search history graph from the Performance Consultant.
+//
+// Paradyn's resource hierarchy (Figure 10) has three main types — Code
+// (modules, functions, loops), Machine (nodes, processes, threads), and
+// SyncObject — and is mapped onto PerfTrack types per Figure 11:
+//
+//   - /Code/<module>/<function> → PerfTrack build (static) hierarchy by
+//     default, since dynamic/static cannot always be distinguished
+//     (DEFAULT_MODULE resources always go to build);
+//   - /Machine/<node>/<process>/<thread> → execution hierarchy, with the
+//     machine node recorded as a resource attribute of the process;
+//   - /SyncObject/... → a new top-level PerfTrack hierarchy that exactly
+//     mirrors Paradyn's syncObject hierarchy;
+//   - Paradyn's global phase → the top of PerfTrack's time hierarchy,
+//     with histogram bins (and local phases) as children carrying start
+//     and end attributes.
+package paradyn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Histogram is one exported metric-focus data array.
+type Histogram struct {
+	Metric   string
+	Focus    []string // Paradyn resource names making up the focus
+	Phase    string   // "global" or a local phase name
+	NumBins  int
+	BinWidth float64   // seconds per bin
+	Values   []float64 // NaN marks bins with no data
+}
+
+// WriteHistogram emits a histogram file in export format.
+func WriteHistogram(w io.Writer, h *Histogram) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# Paradyn histogram export\n")
+	fmt.Fprintf(bw, "metric: %s\n", h.Metric)
+	fmt.Fprintf(bw, "focus: %s\n", strings.Join(h.Focus, ","))
+	fmt.Fprintf(bw, "phase: %s\n", h.Phase)
+	fmt.Fprintf(bw, "numBins: %d\n", h.NumBins)
+	fmt.Fprintf(bw, "binWidth: %g\n", h.BinWidth)
+	for _, v := range h.Values {
+		if math.IsNaN(v) {
+			fmt.Fprintf(bw, "nan\n")
+		} else {
+			fmt.Fprintf(bw, "%g\n", v)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseHistogram reads a histogram export file.
+func ParseHistogram(r io.Reader) (*Histogram, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	h := &Histogram{NumBins: -1, Phase: "global"}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(text, "metric:"):
+			h.Metric = strings.TrimSpace(strings.TrimPrefix(text, "metric:"))
+		case strings.HasPrefix(text, "focus:"):
+			for _, f := range strings.Split(strings.TrimPrefix(text, "focus:"), ",") {
+				f = strings.TrimSpace(f)
+				if f != "" {
+					h.Focus = append(h.Focus, f)
+				}
+			}
+		case strings.HasPrefix(text, "phase:"):
+			h.Phase = strings.TrimSpace(strings.TrimPrefix(text, "phase:"))
+		case strings.HasPrefix(text, "numBins:"):
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(text, "numBins:")))
+			if err != nil {
+				return nil, fmt.Errorf("paradyn: line %d: %w", line, err)
+			}
+			h.NumBins = n
+		case strings.HasPrefix(text, "binWidth:"):
+			v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(text, "binWidth:")), 64)
+			if err != nil {
+				return nil, fmt.Errorf("paradyn: line %d: %w", line, err)
+			}
+			h.BinWidth = v
+		default:
+			if text == "nan" {
+				h.Values = append(h.Values, math.NaN())
+				continue
+			}
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("paradyn: line %d: bad bin value %q", line, text)
+			}
+			h.Values = append(h.Values, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if h.Metric == "" {
+		return nil, fmt.Errorf("paradyn: histogram has no metric")
+	}
+	if h.NumBins >= 0 && h.NumBins != len(h.Values) {
+		return nil, fmt.Errorf("paradyn: header says %d bins, file has %d", h.NumBins, len(h.Values))
+	}
+	if h.BinWidth <= 0 {
+		return nil, fmt.Errorf("paradyn: non-positive bin width")
+	}
+	return h, nil
+}
+
+// IndexEntry describes one histogram file in the export index.
+type IndexEntry struct {
+	File   string
+	Metric string
+	Focus  []string
+}
+
+// WriteIndex emits the index file.
+func WriteIndex(w io.Writer, entries []IndexEntry) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# Paradyn export index: file metric focus\n")
+	for _, e := range entries {
+		fmt.Fprintf(bw, "%s\t%s\t%s\n", e.File, e.Metric, strings.Join(e.Focus, ","))
+	}
+	return bw.Flush()
+}
+
+// ParseIndex reads the index file.
+func ParseIndex(r io.Reader) ([]IndexEntry, error) {
+	sc := bufio.NewScanner(r)
+	var out []IndexEntry
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("paradyn: index line %d: expected 3 tab-separated fields", line)
+		}
+		e := IndexEntry{File: parts[0], Metric: parts[1]}
+		for _, f := range strings.Split(parts[2], ",") {
+			f = strings.TrimSpace(f)
+			if f != "" {
+				e.Focus = append(e.Focus, f)
+			}
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// ParseResources reads the exported resources file: one Paradyn resource
+// name per line.
+func ParseResources(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []string
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if !strings.HasPrefix(text, "/") {
+			return nil, fmt.Errorf("paradyn: resources line %d: %q is not a resource path", line, text)
+		}
+		out = append(out, text)
+	}
+	return out, sc.Err()
+}
+
+// SHGNode is one node of the Performance Consultant's search history
+// graph: a hypothesis tested at a focus.
+type SHGNode struct {
+	ID         int
+	Hypothesis string
+	Focus      []string
+	Truth      string // "true", "false", or "unknown"
+}
+
+// WriteSearchHistory emits a search history graph file.
+func WriteSearchHistory(w io.Writer, nodes []SHGNode) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# Paradyn search history graph: id hypothesis focus truth\n")
+	for _, n := range nodes {
+		fmt.Fprintf(bw, "%d\t%s\t%s\t%s\n", n.ID, n.Hypothesis, strings.Join(n.Focus, ","), n.Truth)
+	}
+	return bw.Flush()
+}
+
+// ParseSearchHistory reads a search history graph file.
+func ParseSearchHistory(r io.Reader) ([]SHGNode, error) {
+	sc := bufio.NewScanner(r)
+	var out []SHGNode
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, "\t")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("paradyn: SHG line %d: expected 4 fields", line)
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("paradyn: SHG line %d: bad id", line)
+		}
+		n := SHGNode{ID: id, Hypothesis: parts[1], Truth: parts[3]}
+		for _, f := range strings.Split(parts[2], ",") {
+			f = strings.TrimSpace(f)
+			if f != "" {
+				n.Focus = append(n.Focus, f)
+			}
+		}
+		out = append(out, n)
+	}
+	return out, sc.Err()
+}
+
+// Hierarchy returns Paradyn's own resource type hierarchy (Figure 10).
+func Hierarchy() map[string][]string {
+	return map[string][]string{
+		"Code":       {"module", "function", "loop"},
+		"Machine":    {"node", "process", "thread"},
+		"SyncObject": {"type", "object"},
+	}
+}

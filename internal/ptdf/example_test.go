@@ -1,0 +1,44 @@
+package ptdf_test
+
+import (
+	"fmt"
+	"strings"
+
+	"perftrack/internal/ptdf"
+)
+
+// A PTdf document mixes resource definitions and performance results
+// (Figure 6 / Figure 9).
+func ExampleReadAll() {
+	doc := `# PTdf for one IRS run
+Application irs
+Execution irs-001 irs
+Resource /irs application
+PerfResult irs-001 /irs(primary) IRS "wall time" 98.5 seconds
+`
+	recs, err := ptdf.ReadAll(strings.NewReader(doc))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, rec := range recs {
+		fmt.Printf("%T\n", rec)
+	}
+	// Output:
+	// ptdf.ApplicationRec
+	// ptdf.ExecutionRec
+	// ptdf.ResourceRec
+	// ptdf.PerfResultRec
+}
+
+// Resource sets carry focus types; multiple sets express caller/callee or
+// sender/receiver relationships (§4.2).
+func ExampleParseResourceSet() {
+	sets, _ := ptdf.ParseResourceSet("/e1/p0(sender):/e1/p1(receiver)")
+	for _, s := range sets {
+		fmt.Println(s.Type, s.Names)
+	}
+	// Output:
+	// sender [/e1/p0]
+	// receiver [/e1/p1]
+}

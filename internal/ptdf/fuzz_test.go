@@ -1,0 +1,49 @@
+package ptdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseLine checks that arbitrary input never panics the PTdf parser
+// and that every accepted record re-serializes to a line that parses to
+// an equivalent record (idempotent round trip).
+func FuzzParseLine(f *testing.F) {
+	seeds := []string{
+		"Application irs",
+		"ResourceType grid/machine",
+		"Execution irs-001 irs",
+		"Resource /irs application",
+		"Resource /irs-001 execution irs-001",
+		`ResourceAttribute /a "clock MHz" 2400 string`,
+		"ResourceConstraint /e1/p8 /m/b/n16",
+		`PerfResult e1 /irs,/MCR(primary) IRS "wall time" 12.5 seconds`,
+		`PerfHistogram e1 /a(primary) Paradyn cpu 0.2 u nan,1.5,2.5`,
+		"# comment",
+		"",
+		`Application "quoted \" name"`,
+		"PerfResult e1 /a(sender):/b(receiver) t m 1 u",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		if strings.ContainsAny(line, "\n\r") {
+			return // line-oriented format
+		}
+		rec, err := ParseLine(line)
+		if err != nil || rec == nil {
+			return
+		}
+		// Round trip: the formatted record must parse to itself.
+		line2 := FormatRecord(rec)
+		rec2, err := ParseLine(line2)
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", line2, err)
+		}
+		line3 := FormatRecord(rec2)
+		if line2 != line3 {
+			t.Fatalf("format not stable: %q vs %q", line2, line3)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package query
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports the table, including added columns, in a format
+// suitable for spreadsheet import (§3.2/§4.1: "output a dataset of
+// interest into a text file, input it into an OpenOffice spreadsheet").
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	cols := t.Columns()
+	if err := cw.Write(cols); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		rec := make([]string, len(cols))
+		for i, c := range cols {
+			rec[i] = t.Cell(row, c)
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV imports a table previously written by WriteCSV ("store the data
+// to files, read it back in"). The result is detached from any store:
+// free-resource analysis is unavailable, but sorting, filtering, grouping,
+// and charting work.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("query: CSV header: %w", err)
+	}
+	if len(header) < len(FixedColumns) {
+		return nil, fmt.Errorf("query: CSV header has %d columns, need at least %d",
+			len(header), len(FixedColumns))
+	}
+	for i, want := range FixedColumns {
+		if header[i] != want {
+			return nil, fmt.Errorf("query: CSV column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	t := &Table{}
+	t.ExtraColumns = append(t.ExtraColumns, header[len(FixedColumns):]...)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("query: CSV line %d: bad value %q", line, rec[2])
+		}
+		row := &Row{
+			Execution: rec[0],
+			Metric:    rec[1],
+			Value:     v,
+			Units:     rec[3],
+			Tool:      rec[4],
+			Extra:     make(map[string]string),
+		}
+		for i, c := range t.ExtraColumns {
+			row.Extra[c] = rec[len(FixedColumns)+i]
+		}
+		t.Rows = append(t.Rows, row)
+	}
+}

@@ -1,0 +1,75 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"perftrack/internal/core"
+)
+
+// ParseFilterSpec parses the textual resource-filter syntax shared by the
+// CLI tools: semicolon-separated key=value clauses.
+//
+//	type=grid/machine          select by resource type
+//	name=/MCRGrid/MCR          select by full resource name
+//	base=batch                 select by base name
+//	attr=clock MHz>1000        attribute predicate (= != < <= > >= ~)
+//	rel=D                      relatives flag: N, D (default), A, or B
+func ParseFilterSpec(spec string) (core.ResourceFilter, error) {
+	rf := core.ResourceFilter{Include: core.IncludeDescendants}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return rf, fmt.Errorf("query: bad filter clause %q (want key=value)", part)
+		}
+		key, val := strings.TrimSpace(kv[0]), kv[1]
+		switch key {
+		case "type":
+			rf.Type = core.TypePath(val)
+		case "name":
+			rf.Name = core.ResourceName(val)
+		case "base":
+			rf.BaseName = val
+		case "rel":
+			c, err := core.ParseClusion(val)
+			if err != nil {
+				return rf, err
+			}
+			rf.Include = c
+		case "attr":
+			p, err := ParseAttrPredicate(val)
+			if err != nil {
+				return rf, err
+			}
+			rf.Attrs = append(rf.Attrs, p)
+		default:
+			return rf, fmt.Errorf("query: unknown filter key %q", key)
+		}
+	}
+	return rf, nil
+}
+
+// ParseAttrPredicate parses "name<op>value" where <op> is one of
+// = != < <= > >= or ~ (contains).
+func ParseAttrPredicate(s string) (core.AttrPredicate, error) {
+	// Two-character operators must be tried before their one-character
+	// prefixes.
+	for _, op := range []string{"!=", "<=", ">=", "=", "<", ">", "~"} {
+		if i := strings.Index(s, op); i > 0 {
+			cmp := core.Comparator(op)
+			if op == "~" {
+				cmp = core.CmpContains
+			}
+			return core.AttrPredicate{
+				Attr:  strings.TrimSpace(s[:i]),
+				Cmp:   cmp,
+				Value: strings.TrimSpace(s[i+len(op):]),
+			}, nil
+		}
+	}
+	return core.AttrPredicate{}, fmt.Errorf("query: bad attribute predicate %q", s)
+}

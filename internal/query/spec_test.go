@@ -1,0 +1,87 @@
+package query
+
+import (
+	"testing"
+
+	"perftrack/internal/core"
+)
+
+func TestParseFilterSpecAllKeys(t *testing.T) {
+	rf, err := ParseFilterSpec("type=grid/machine; name=/G/M; base=batch; rel=B; attr=clock MHz>=375")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Type != "grid/machine" || rf.Name != "/G/M" || rf.BaseName != "batch" {
+		t.Errorf("rf = %+v", rf)
+	}
+	if rf.Include != core.IncludeBoth {
+		t.Errorf("Include = %v", rf.Include)
+	}
+	if len(rf.Attrs) != 1 || rf.Attrs[0].Attr != "clock MHz" ||
+		rf.Attrs[0].Cmp != core.CmpGe || rf.Attrs[0].Value != "375" {
+		t.Errorf("attrs = %+v", rf.Attrs)
+	}
+}
+
+func TestParseFilterSpecDefaultsToDescendants(t *testing.T) {
+	rf, err := ParseFilterSpec("name=/X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Include != core.IncludeDescendants {
+		t.Errorf("default Include = %v, want D (the GUI default)", rf.Include)
+	}
+}
+
+func TestParseFilterSpecValuesMayContainEquals(t *testing.T) {
+	rf, err := ParseFilterSpec("attr=env PATH=/usr/bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Attrs[0].Attr != "env PATH" || rf.Attrs[0].Value != "/usr/bin" {
+		t.Errorf("attrs = %+v", rf.Attrs)
+	}
+}
+
+func TestParseFilterSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"justtext",
+		"unknown=x",
+		"rel=Z",
+		"attr=noseparator",
+	} {
+		if _, err := ParseFilterSpec(spec); err == nil {
+			t.Errorf("ParseFilterSpec(%q) should fail", spec)
+		}
+	}
+}
+
+func TestParseAttrPredicateOperators(t *testing.T) {
+	cases := []struct {
+		in   string
+		attr string
+		cmp  core.Comparator
+		val  string
+	}{
+		{"a=1", "a", core.CmpEq, "1"},
+		{"a!=1", "a", core.CmpNe, "1"},
+		{"a<1", "a", core.CmpLt, "1"},
+		{"a<=1", "a", core.CmpLe, "1"},
+		{"a>1", "a", core.CmpGt, "1"},
+		{"a>=1", "a", core.CmpGe, "1"},
+		{"a~sub", "a", core.CmpContains, "sub"},
+		{"clock MHz >= 375", "clock MHz", core.CmpGe, "375"},
+	}
+	for _, c := range cases {
+		p, err := ParseAttrPredicate(c.in)
+		if err != nil {
+			t.Fatalf("ParseAttrPredicate(%q): %v", c.in, err)
+		}
+		if p.Attr != c.attr || p.Cmp != c.cmp || p.Value != c.val {
+			t.Errorf("ParseAttrPredicate(%q) = %+v", c.in, p)
+		}
+	}
+	if _, err := ParseAttrPredicate("=leadingop"); err == nil {
+		t.Error("predicate without attribute name accepted")
+	}
+}

@@ -1,0 +1,293 @@
+package reldb
+
+import (
+	"bytes"
+	"sort"
+)
+
+// btree is an in-memory B-tree mapping byte-string keys to int64 payloads
+// (row IDs). It backs every table index. Keys are unique within a tree;
+// non-unique indexes achieve multiplicity by suffixing the row ID onto the
+// key with the order-preserving codec.
+//
+// The degree is fixed: interior and leaf nodes hold at most maxItems
+// entries and split at the midpoint when full, giving the usual O(log n)
+// point operations and ordered range scans.
+const (
+	btreeDegree = 32                // minimum children per interior node
+	maxItems    = 2*btreeDegree - 1 // maximum items per node
+)
+
+type btreeItem struct {
+	key []byte
+	val int64
+}
+
+type btreeNode struct {
+	items    []btreeItem
+	children []*btreeNode // nil for leaves
+}
+
+func (n *btreeNode) leaf() bool { return len(n.children) == 0 }
+
+// find returns the position of key in n.items and whether it is present.
+func (n *btreeNode) find(key []byte) (int, bool) {
+	i := sort.Search(len(n.items), func(i int) bool {
+		return bytes.Compare(n.items[i].key, key) >= 0
+	})
+	if i < len(n.items) && bytes.Equal(n.items[i].key, key) {
+		return i, true
+	}
+	return i, false
+}
+
+// btree is the tree root plus bookkeeping.
+type btree struct {
+	root *btreeNode
+	size int
+}
+
+func newBTree() *btree {
+	return &btree{root: &btreeNode{}}
+}
+
+// Len reports the number of entries.
+func (t *btree) Len() int { return t.size }
+
+// Get returns the payload for key and whether it exists.
+func (t *btree) Get(key []byte) (int64, bool) {
+	n := t.root
+	for {
+		i, ok := n.find(key)
+		if ok {
+			return n.items[i].val, true
+		}
+		if n.leaf() {
+			return 0, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Set inserts key with payload val, replacing any existing entry.
+// It reports whether a new entry was created.
+func (t *btree) Set(key []byte, val int64) bool {
+	if len(t.root.items) == maxItems {
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.root.splitChild(0)
+	}
+	created := t.root.insert(key, val)
+	if created {
+		t.size++
+	}
+	return created
+}
+
+// splitChild splits the full child at index i, lifting its median item.
+func (n *btreeNode) splitChild(i int) {
+	child := n.children[i]
+	mid := maxItems / 2
+	median := child.items[mid]
+
+	right := &btreeNode{}
+	right.items = append(right.items, child.items[mid+1:]...)
+	child.items = child.items[:mid]
+	if !child.leaf() {
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+
+	n.items = append(n.items, btreeItem{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *btreeNode) insert(key []byte, val int64) bool {
+	i, ok := n.find(key)
+	if ok {
+		n.items[i].val = val
+		return false
+	}
+	if n.leaf() {
+		n.items = append(n.items, btreeItem{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = btreeItem{key: key, val: val}
+		return true
+	}
+	if len(n.children[i].items) == maxItems {
+		n.splitChild(i)
+		switch c := bytes.Compare(key, n.items[i].key); {
+		case c == 0:
+			n.items[i].val = val
+			return false
+		case c > 0:
+			i++
+		}
+	}
+	return n.children[i].insert(key, val)
+}
+
+// Delete removes key and reports whether it was present.
+func (t *btree) Delete(key []byte) bool {
+	if t.root == nil {
+		return false
+	}
+	deleted := t.root.remove(key)
+	if len(t.root.items) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+const minItems = btreeDegree - 1
+
+func (n *btreeNode) remove(key []byte) bool {
+	i, ok := n.find(key)
+	if n.leaf() {
+		if !ok {
+			return false
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return true
+	}
+	if ok {
+		// Replace with predecessor from the left subtree, then delete it.
+		left := n.children[i]
+		if len(left.items) > minItems {
+			pred := left.max()
+			n.items[i] = pred
+			return left.remove(pred.key)
+		}
+		right := n.children[i+1]
+		if len(right.items) > minItems {
+			succ := right.min()
+			n.items[i] = succ
+			return right.remove(succ.key)
+		}
+		n.mergeChildren(i)
+		return n.children[i].remove(key)
+	}
+	// Descend, ensuring the child can afford a removal.
+	if len(n.children[i].items) <= minItems {
+		i = n.rebalance(i)
+	}
+	return n.children[i].remove(key)
+}
+
+func (n *btreeNode) max() btreeItem {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+func (n *btreeNode) min() btreeItem {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+// rebalance gives child i enough items to tolerate a removal, borrowing
+// from a sibling or merging. It returns the index to descend into.
+func (n *btreeNode) rebalance(i int) int {
+	if i > 0 && len(n.children[i-1].items) > minItems {
+		// Rotate right: move separator down, left sibling's max up.
+		child, left := n.children[i], n.children[i-1]
+		child.items = append(child.items, btreeItem{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[i-1]
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !left.leaf() {
+			moved := left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = moved
+		}
+		return i
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].items) > minItems {
+		// Rotate left: move separator down, right sibling's min up.
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = append(right.items[:0], right.items[1:]...)
+		if !right.leaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = append(right.children[:0], right.children[1:]...)
+		}
+		return i
+	}
+	if i == len(n.children)-1 {
+		i--
+	}
+	n.mergeChildren(i)
+	return i
+}
+
+// mergeChildren merges child i, separator i, and child i+1 into child i.
+func (n *btreeNode) mergeChildren(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.items = append(left.items, n.items[i])
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Ascend visits entries with key in [lo, hi) in order. A nil hi means
+// unbounded above; a nil lo starts at the minimum. The visitor returns
+// false to stop early.
+func (t *btree) Ascend(lo, hi []byte, fn func(key []byte, val int64) bool) {
+	t.root.ascend(lo, hi, fn)
+}
+
+func (n *btreeNode) ascend(lo, hi []byte, fn func([]byte, int64) bool) bool {
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(n.items), func(i int) bool {
+			return bytes.Compare(n.items[i].key, lo) >= 0
+		})
+	}
+	for i := start; i <= len(n.items); i++ {
+		if !n.leaf() {
+			if !n.children[i].ascend(lo, hi, fn) {
+				return false
+			}
+		}
+		if i == len(n.items) {
+			break
+		}
+		if hi != nil && bytes.Compare(n.items[i].key, hi) >= 0 {
+			return false
+		}
+		if !fn(n.items[i].key, n.items[i].val) {
+			return false
+		}
+	}
+	return true
+}
+
+// prefixUpperBound returns the smallest byte string greater than every
+// string with the given prefix, or nil if no such bound exists (prefix is
+// all 0xFF). It is used to turn a key prefix into a half-open scan range.
+func prefixUpperBound(prefix []byte) []byte {
+	hi := bytes.Clone(prefix)
+	for i := len(hi) - 1; i >= 0; i-- {
+		if hi[i] != 0xFF {
+			hi[i]++
+			return hi[:i+1]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package reldb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBTreeSetGet(t *testing.T) {
+	bt := newBTree()
+	for i := 0; i < 1000; i++ {
+		key := []byte(fmt.Sprintf("key-%04d", i))
+		if !bt.Set(key, int64(i)) {
+			t.Fatalf("Set(%s) should create", key)
+		}
+	}
+	if bt.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", bt.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		key := []byte(fmt.Sprintf("key-%04d", i))
+		v, ok := bt.Get(key)
+		if !ok || v != int64(i) {
+			t.Fatalf("Get(%s) = %d,%v", key, v, ok)
+		}
+	}
+	if _, ok := bt.Get([]byte("absent")); ok {
+		t.Error("Get(absent) should miss")
+	}
+}
+
+func TestBTreeReplace(t *testing.T) {
+	bt := newBTree()
+	bt.Set([]byte("k"), 1)
+	if bt.Set([]byte("k"), 2) {
+		t.Error("replacing should not report creation")
+	}
+	if v, _ := bt.Get([]byte("k")); v != 2 {
+		t.Errorf("Get = %d, want 2", v)
+	}
+	if bt.Len() != 1 {
+		t.Errorf("Len = %d, want 1", bt.Len())
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	bt := newBTree()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		bt.Set([]byte(fmt.Sprintf("%06d", i)), int64(i))
+	}
+	// Delete every other key.
+	for i := 0; i < n; i += 2 {
+		if !bt.Delete([]byte(fmt.Sprintf("%06d", i))) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if bt.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", bt.Len(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := bt.Get([]byte(fmt.Sprintf("%06d", i)))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) present=%v, want %v", i, ok, want)
+		}
+	}
+	if bt.Delete([]byte("absent")) {
+		t.Error("Delete(absent) should report false")
+	}
+}
+
+func TestBTreeAscendFullOrder(t *testing.T) {
+	bt := newBTree()
+	perm := rand.New(rand.NewSource(1)).Perm(500)
+	for _, i := range perm {
+		bt.Set([]byte(fmt.Sprintf("%05d", i)), int64(i))
+	}
+	var got []int64
+	bt.Ascend(nil, nil, func(_ []byte, v int64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 500 {
+		t.Fatalf("visited %d, want 500", len(got))
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("position %d has %d", i, v)
+		}
+	}
+}
+
+func TestBTreeAscendRange(t *testing.T) {
+	bt := newBTree()
+	for i := 0; i < 100; i++ {
+		bt.Set([]byte(fmt.Sprintf("%03d", i)), int64(i))
+	}
+	var got []int64
+	bt.Ascend([]byte("010"), []byte("020"), func(_ []byte, v int64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("range scan got %v", got)
+	}
+}
+
+func TestBTreeAscendEarlyStop(t *testing.T) {
+	bt := newBTree()
+	for i := 0; i < 100; i++ {
+		bt.Set([]byte(fmt.Sprintf("%03d", i)), int64(i))
+	}
+	count := 0
+	bt.Ascend(nil, nil, func(_ []byte, _ int64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("visited %d, want 5", count)
+	}
+}
+
+func TestBTreeEmptyOperations(t *testing.T) {
+	bt := newBTree()
+	if bt.Len() != 0 {
+		t.Error("empty Len != 0")
+	}
+	if _, ok := bt.Get([]byte("x")); ok {
+		t.Error("Get on empty should miss")
+	}
+	if bt.Delete([]byte("x")) {
+		t.Error("Delete on empty should report false")
+	}
+	visited := false
+	bt.Ascend(nil, nil, func([]byte, int64) bool { visited = true; return true })
+	if visited {
+		t.Error("Ascend on empty should not visit")
+	}
+}
+
+// TestBTreeRandomizedAgainstMap runs a long random sequence of operations,
+// comparing the tree against a reference map and checking sorted iteration
+// after every few hundred steps.
+func TestBTreeRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	bt := newBTree()
+	ref := make(map[string]int64)
+	keyPool := make([]string, 300)
+	for i := range keyPool {
+		keyPool[i] = fmt.Sprintf("k%08x", rng.Uint32()%5000)
+	}
+	for step := 0; step < 20000; step++ {
+		key := keyPool[rng.Intn(len(keyPool))]
+		switch rng.Intn(3) {
+		case 0, 1: // insert/replace
+			val := rng.Int63()
+			created := bt.Set([]byte(key), val)
+			_, existed := ref[key]
+			if created == existed {
+				t.Fatalf("step %d: Set created=%v but existed=%v", step, created, existed)
+			}
+			ref[key] = val
+		case 2: // delete
+			deleted := bt.Delete([]byte(key))
+			_, existed := ref[key]
+			if deleted != existed {
+				t.Fatalf("step %d: Delete=%v but existed=%v", step, deleted, existed)
+			}
+			delete(ref, key)
+		}
+		if bt.Len() != len(ref) {
+			t.Fatalf("step %d: Len=%d ref=%d", step, bt.Len(), len(ref))
+		}
+		if step%500 == 0 {
+			checkTreeMatchesRef(t, bt, ref)
+		}
+	}
+	checkTreeMatchesRef(t, bt, ref)
+}
+
+func checkTreeMatchesRef(t *testing.T, bt *btree, ref map[string]int64) {
+	t.Helper()
+	keys := make([]string, 0, len(ref))
+	for k := range ref {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	bt.Ascend(nil, nil, func(key []byte, val int64) bool {
+		if i >= len(keys) {
+			t.Fatalf("tree has extra key %q", key)
+		}
+		if string(key) != keys[i] {
+			t.Fatalf("position %d: tree %q, ref %q", i, key, keys[i])
+		}
+		if val != ref[keys[i]] {
+			t.Fatalf("key %q: tree val %d, ref %d", key, val, ref[keys[i]])
+		}
+		i++
+		return true
+	})
+	if i != len(keys) {
+		t.Fatalf("tree visited %d keys, ref has %d", i, len(keys))
+	}
+	// Structural invariants.
+	checkNodeInvariants(t, bt.root, true)
+}
+
+// checkNodeInvariants verifies B-tree shape: item counts within bounds,
+// keys sorted within nodes, child subtrees bracketed by separators.
+func checkNodeInvariants(t *testing.T, n *btreeNode, isRoot bool) (min, max []byte) {
+	t.Helper()
+	if !isRoot && len(n.items) < minItems {
+		t.Fatalf("non-root node has %d items, min %d", len(n.items), minItems)
+	}
+	if len(n.items) > maxItems {
+		t.Fatalf("node has %d items, max %d", len(n.items), maxItems)
+	}
+	for i := 1; i < len(n.items); i++ {
+		if bytes.Compare(n.items[i-1].key, n.items[i].key) >= 0 {
+			t.Fatalf("node items out of order")
+		}
+	}
+	if n.leaf() {
+		if len(n.items) == 0 {
+			return nil, nil
+		}
+		return n.items[0].key, n.items[len(n.items)-1].key
+	}
+	if len(n.children) != len(n.items)+1 {
+		t.Fatalf("node has %d children for %d items", len(n.children), len(n.items))
+	}
+	var first, last []byte
+	for i, child := range n.children {
+		cmin, cmax := checkNodeInvariants(t, child, false)
+		if i > 0 && cmin != nil && bytes.Compare(cmin, n.items[i-1].key) <= 0 {
+			t.Fatalf("child %d min %q <= separator %q", i, cmin, n.items[i-1].key)
+		}
+		if i < len(n.items) && cmax != nil && bytes.Compare(cmax, n.items[i].key) >= 0 {
+			t.Fatalf("child %d max %q >= separator %q", i, cmax, n.items[i].key)
+		}
+		if i == 0 {
+			first = cmin
+		}
+		if i == len(n.children)-1 {
+			last = cmax
+		}
+	}
+	return first, last
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	bt := newBTree()
+	keys := make([][]byte, b.N)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%010d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Set(keys[i], int64(i))
+	}
+}
+
+func BenchmarkBTreeGet(b *testing.B) {
+	bt := newBTree()
+	const n = 100000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%010d", i))
+		bt.Set(keys[i], int64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt.Get(keys[i%n])
+	}
+}

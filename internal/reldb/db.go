@@ -1,0 +1,331 @@
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// mutOp enumerates logical mutations, as recorded in the write-ahead log
+// and in transaction undo logs.
+type mutOp uint8
+
+const (
+	opCreateTable mutOp = iota + 1
+	opDropTable
+	opInsert
+	opUpdate
+	opDelete
+	opCreateIndex
+	opDropIndex
+)
+
+// mutation is one logical change to the database.
+type mutation struct {
+	op     mutOp
+	table  string
+	id     int64
+	row    Row     // opInsert/opUpdate: new image
+	old    Row     // opUpdate/opDelete: previous image (for undo; not logged)
+	schema *Schema // opCreateTable
+	index  IndexSpec
+}
+
+// mutationLogger receives each applied mutation; the file engine uses it
+// to append to the WAL. It is invoked with the DB write lock held.
+type mutationLogger interface {
+	logMutation(m *mutation) error
+}
+
+// DB is the shared in-memory core of both storage engines: a set of tables
+// guarded by one readers-writer lock. Mutations optionally stream to a
+// mutationLogger for durability.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	logger mutationLogger
+}
+
+// NewMem creates an in-memory database engine. It corresponds to running
+// the PerfTrack store on a transient backend.
+func NewMem() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable creates a table from the schema.
+func (db *DB) CreateTable(schema *Schema) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.createTableLocked(schema, true)
+}
+
+func (db *DB) createTableLocked(schema *Schema, log bool) error {
+	if _, exists := db.tables[schema.Name]; exists {
+		return fmt.Errorf("reldb: table %q already exists", schema.Name)
+	}
+	schema = schema.Clone()
+	t, err := newTable(db, schema)
+	if err != nil {
+		return err
+	}
+	if log && db.logger != nil {
+		if err := db.logger.logMutation(&mutation{op: opCreateTable, schema: schema}); err != nil {
+			return err
+		}
+	}
+	db.tables[schema.Name] = t
+	return nil
+}
+
+// DropTable removes a table and its data.
+func (db *DB) DropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[name]; !exists {
+		return fmt.Errorf("reldb: no table %q", name)
+	}
+	if db.logger != nil {
+		if err := db.logger.logMutation(&mutation{op: opDropTable, table: name}); err != nil {
+			return err
+		}
+	}
+	delete(db.tables, name)
+	return nil
+}
+
+// CreateIndex adds a secondary index to an existing table and backfills it.
+func (db *DB) CreateIndex(table string, spec IndexSpec) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, exists := db.tables[table]
+	if !exists {
+		return fmt.Errorf("reldb: no table %q", table)
+	}
+	if db.logger != nil {
+		if err := db.logger.logMutation(&mutation{op: opCreateIndex, table: table, index: spec}); err != nil {
+			return err
+		}
+	}
+	if err := t.addIndex(spec); err != nil {
+		return err
+	}
+	t.schema.Indexes = append(t.schema.Indexes, spec)
+	return nil
+}
+
+// DropIndex removes a secondary index from a table.
+func (db *DB) DropIndex(table, index string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, exists := db.tables[table]
+	if !exists {
+		return fmt.Errorf("reldb: no table %q", table)
+	}
+	if _, exists := t.indexes[index]; !exists {
+		return fmt.Errorf("reldb: table %q has no index %q", table, index)
+	}
+	if db.logger != nil {
+		if err := db.logger.logMutation(&mutation{op: opDropIndex, table: table,
+			index: IndexSpec{Name: index}}); err != nil {
+			return err
+		}
+	}
+	delete(t.indexes, index)
+	for i, spec := range t.schema.Indexes {
+		if spec.Name == index {
+			t.schema.Indexes = append(t.schema.Indexes[:i], t.schema.Indexes[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Table returns a handle for the named table.
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// TableNames returns the names of all tables, sorted.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Insert adds a row to the named table, returning its row ID. A NULL value
+// in a single-column integer primary key receives an auto-assigned ID.
+func (db *DB) Insert(table string, row Row) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.insertLocked(table, row, true)
+}
+
+func (db *DB) insertLocked(table string, row Row, log bool) (int64, error) {
+	t, exists := db.tables[table]
+	if !exists {
+		return 0, fmt.Errorf("reldb: no table %q", table)
+	}
+	id, err := t.insertLocked(row)
+	if err != nil {
+		return 0, err
+	}
+	if log && db.logger != nil {
+		if err := db.logger.logMutation(&mutation{op: opInsert, table: table, id: id, row: t.rows[id]}); err != nil {
+			_, _ = t.deleteLocked(id)
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// Update replaces the row with the given ID.
+func (db *DB) Update(table string, id int64, row Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, err := db.updateLocked(table, id, row, true)
+	return err
+}
+
+func (db *DB) updateLocked(table string, id int64, row Row, log bool) (Row, error) {
+	t, exists := db.tables[table]
+	if !exists {
+		return nil, fmt.Errorf("reldb: no table %q", table)
+	}
+	old, err := t.updateLocked(id, row)
+	if err != nil {
+		return nil, err
+	}
+	if log && db.logger != nil {
+		if err := db.logger.logMutation(&mutation{op: opUpdate, table: table, id: id, row: t.rows[id]}); err != nil {
+			_, _ = t.updateLocked(id, old)
+			return nil, err
+		}
+	}
+	return old, nil
+}
+
+// Delete removes the row with the given ID.
+func (db *DB) Delete(table string, id int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, err := db.deleteLocked(table, id, true)
+	return err
+}
+
+func (db *DB) deleteLocked(table string, id int64, log bool) (Row, error) {
+	t, exists := db.tables[table]
+	if !exists {
+		return nil, fmt.Errorf("reldb: no table %q", table)
+	}
+	old, err := t.deleteLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if log && db.logger != nil {
+		if err := db.logger.logMutation(&mutation{op: opDelete, table: table, id: id}); err != nil {
+			_, _ = t.insertLocked(old)
+			return nil, err
+		}
+	}
+	return old, nil
+}
+
+// checkForeignKeys verifies every foreign key of schema against the
+// current table set. Called with the write lock held.
+func (db *DB) checkForeignKeys(schema *Schema, row Row) error {
+	for _, fk := range schema.ForeignKeys {
+		v := row[schema.ColumnIndex(fk.Column)]
+		if v.IsNull() {
+			continue
+		}
+		ref, ok := db.tables[fk.RefTable]
+		if !ok {
+			return fmt.Errorf("reldb: table %q: foreign key references missing table %q",
+				schema.Name, fk.RefTable)
+		}
+		if !ref.containsValueLocked(fk.RefColumn, v) {
+			return fmt.Errorf("reldb: table %q: foreign key %s=%s has no match in %s.%s",
+				schema.Name, fk.Column, v, fk.RefTable, fk.RefColumn)
+		}
+	}
+	return nil
+}
+
+// containsValueLocked reports whether any row has the given value in the
+// named column, using the primary key or an index when possible.
+func (t *Table) containsValueLocked(column string, v Value) bool {
+	// Fast path: column is the whole primary key.
+	if len(t.pkCols) == 1 && t.schema.Columns[t.pkCols[0]].Name == column {
+		_, ok := t.primary.Get(EncodeKey(nil, v))
+		return ok
+	}
+	// Indexed path.
+	for _, ix := range t.indexes {
+		if t.schema.Columns[ix.cols[0]].Name == column {
+			lo := EncodeKey(nil, v)
+			hi := prefixUpperBound(lo)
+			found := false
+			ix.tree.Ascend(lo, hi, func([]byte, int64) bool {
+				found = true
+				return false
+			})
+			return found
+		}
+	}
+	// Fallback scan.
+	ci := t.schema.ColumnIndex(column)
+	if ci < 0 {
+		return false
+	}
+	for _, row := range t.rows {
+		if Equal(row[ci], v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats summarizes the database contents.
+type Stats struct {
+	Tables    int
+	Rows      int64
+	DataBytes int64
+	PerTable  map[string]TableStats
+}
+
+// TableStats summarizes one table.
+type TableStats struct {
+	Rows      int64
+	DataBytes int64
+	Indexes   int
+}
+
+// Stats returns current row counts and approximate data volume.
+func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := Stats{PerTable: make(map[string]TableStats, len(db.tables))}
+	for name, t := range db.tables {
+		ts := TableStats{
+			Rows:      int64(len(t.rows)),
+			DataBytes: t.dataBytes,
+			Indexes:   len(t.indexes),
+		}
+		s.Tables++
+		s.Rows += ts.Rows
+		s.DataBytes += ts.DataBytes
+		s.PerTable[name] = ts
+	}
+	return s
+}
+
+// Close releases the engine. The in-memory engine has nothing to release.
+func (db *DB) Close() error { return nil }

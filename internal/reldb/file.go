@@ -1,0 +1,387 @@
+package reldb
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FileEngine is the durable storage engine: an in-memory DB whose
+// mutations stream to a write-ahead log, with periodic full snapshots.
+// Opening a directory loads the latest snapshot and replays the WAL,
+// discarding a torn trailing record. It stands in for the persistent DBMS
+// backends (Oracle, PostgreSQL) of the original PerfTrack prototype.
+type FileEngine struct {
+	*DB
+	dir      string
+	wal      *os.File
+	walW     *recordWriter
+	walCount int64 // records since last checkpoint
+	syncWAL  bool  // fsync the WAL after every flush
+
+	// AutoCheckpoint, when > 0, triggers a snapshot after that many WAL
+	// records. Zero disables automatic checkpoints.
+	AutoCheckpoint int64
+}
+
+const (
+	snapshotFile = "perftrack.snap"
+	walFile      = "perftrack.wal"
+)
+
+// snapshot record tags
+const (
+	snapTagSchema byte = 1
+	snapTagRow    byte = 2
+)
+
+// OpenFile opens (or creates) a durable database rooted at dir.
+func OpenFile(dir string) (*FileEngine, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("reldb: open %s: %w", dir, err)
+	}
+	fe := &FileEngine{DB: NewMem(), dir: dir}
+	if err := fe.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := fe.replayWAL(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(fe.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("reldb: open WAL: %w", err)
+	}
+	fe.wal = wal
+	fe.walW = newRecordWriter(wal)
+	fe.DB.logger = fe
+	return fe, nil
+}
+
+// SetSync controls whether the WAL is fsynced after every logged mutation
+// batch. Synchronous mode is durable against power loss but much slower;
+// it is off by default, matching a DBMS with commit batching.
+func (fe *FileEngine) SetSync(sync bool) { fe.syncWAL = sync }
+
+func (fe *FileEngine) snapPath() string { return filepath.Join(fe.dir, snapshotFile) }
+func (fe *FileEngine) walPath() string  { return filepath.Join(fe.dir, walFile) }
+
+// logMutation appends one mutation to the WAL. Called with the DB write
+// lock held. In the default asynchronous mode records accumulate in the
+// writer's buffer and reach the file in batches (flushed on checkpoint,
+// close, and size queries); synchronous mode flushes and fsyncs per
+// mutation, trading load throughput for crash durability — the usual
+// DBMS commit-batching trade-off.
+func (fe *FileEngine) logMutation(m *mutation) error {
+	if err := fe.walW.writeRecord(encodeMutationPayload(m)); err != nil {
+		return err
+	}
+	if fe.syncWAL {
+		if err := fe.walW.flush(); err != nil {
+			return err
+		}
+		if err := fe.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	fe.walCount++
+	return nil
+}
+
+// apply reproduces a logged mutation during recovery (no re-logging).
+func (fe *FileEngine) apply(m *mutation) error {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	switch m.op {
+	case opCreateTable:
+		return fe.createTableLocked(m.schema, false)
+	case opDropTable:
+		delete(fe.tables, m.table)
+		return nil
+	case opCreateIndex:
+		t, ok := fe.tables[m.table]
+		if !ok {
+			return fmt.Errorf("reldb: recovery: no table %q", m.table)
+		}
+		if err := t.addIndex(m.index); err != nil {
+			return err
+		}
+		t.schema.Indexes = append(t.schema.Indexes, m.index)
+		return nil
+	case opDropIndex:
+		t, ok := fe.tables[m.table]
+		if !ok {
+			return fmt.Errorf("reldb: recovery: no table %q", m.table)
+		}
+		delete(t.indexes, m.index.Name)
+		for i, spec := range t.schema.Indexes {
+			if spec.Name == m.index.Name {
+				t.schema.Indexes = append(t.schema.Indexes[:i], t.schema.Indexes[i+1:]...)
+				break
+			}
+		}
+		return nil
+	case opInsert:
+		t, ok := fe.tables[m.table]
+		if !ok {
+			return fmt.Errorf("reldb: recovery: no table %q", m.table)
+		}
+		return t.insertAtLocked(m.id, m.row)
+	case opUpdate:
+		_, err := fe.updateLocked(m.table, m.id, m.row, false)
+		return err
+	case opDelete:
+		_, err := fe.deleteLocked(m.table, m.id, false)
+		return err
+	default:
+		return fmt.Errorf("%w: op %d", ErrCorruptLog, m.op)
+	}
+}
+
+// insertAtLocked inserts a row under a specific row ID (recovery path).
+func (t *Table) insertAtLocked(id int64, row Row) error {
+	if _, exists := t.rows[id]; exists {
+		return fmt.Errorf("reldb: recovery: table %q: row %d already present", t.schema.Name, id)
+	}
+	row = row.Clone()
+	if err := t.schema.CheckRow(row); err != nil {
+		return err
+	}
+	pk := t.pkKey(row)
+	if _, exists := t.primary.Get(pk); exists {
+		return fmt.Errorf("reldb: recovery: table %q: duplicate primary key %s", t.schema.Name, row)
+	}
+	for _, ix := range t.indexes {
+		if err := ix.insert(row, id); err != nil {
+			return err
+		}
+	}
+	t.rows[id] = row
+	t.primary.Set(pk, id)
+	t.dataBytes += rowBytes(row)
+	if id >= t.nextID {
+		t.nextID = id + 1
+	}
+	return nil
+}
+
+func (fe *FileEngine) loadSnapshot() error {
+	f, err := os.Open(fe.snapPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("reldb: open snapshot: %w", err)
+	}
+	defer f.Close()
+	rr := newRecordReader(f)
+	var current string
+	for {
+		payload, err := rr.readRecord()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("reldb: snapshot %s: %w", fe.snapPath(), err)
+		}
+		p := &payloadReader{buf: payload}
+		tag, err := p.byteVal()
+		if err != nil {
+			return err
+		}
+		switch tag {
+		case snapTagSchema:
+			schema, err := decodeSchemaPayload(p)
+			if err != nil {
+				return err
+			}
+			fe.mu.Lock()
+			err = fe.createTableLocked(schema, false)
+			fe.mu.Unlock()
+			if err != nil {
+				return err
+			}
+			current = schema.Name
+		case snapTagRow:
+			id, err := p.varint()
+			if err != nil {
+				return err
+			}
+			row, err := decodeRowPayload(p)
+			if err != nil {
+				return err
+			}
+			fe.mu.Lock()
+			t, ok := fe.tables[current]
+			if !ok {
+				fe.mu.Unlock()
+				return fmt.Errorf("reldb: snapshot row before schema")
+			}
+			err = t.insertAtLocked(id, row)
+			fe.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: snapshot tag %d", ErrCorruptLog, tag)
+		}
+	}
+}
+
+func (fe *FileEngine) replayWAL() error {
+	f, err := os.Open(fe.walPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("reldb: open WAL: %w", err)
+	}
+	defer f.Close()
+	rr := newRecordReader(f)
+	var good int64 // bytes of fully-valid records
+	for {
+		payload, err := rr.readRecord()
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, ErrCorruptLog) {
+			// Torn tail: truncate the WAL to the last valid record.
+			if terr := os.Truncate(fe.walPath(), good); terr != nil {
+				return fmt.Errorf("reldb: truncate torn WAL: %w", terr)
+			}
+			break
+		}
+		if err != nil {
+			return err
+		}
+		m, err := decodeMutationPayload(payload)
+		if err != nil {
+			return err
+		}
+		if err := fe.apply(m); err != nil {
+			return err
+		}
+		good += int64(len(payload)) + 8
+	}
+	return nil
+}
+
+// Checkpoint writes a full snapshot atomically and truncates the WAL.
+func (fe *FileEngine) Checkpoint() error {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	tmp := fe.snapPath() + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("reldb: checkpoint: %w", err)
+	}
+	rw := newRecordWriter(f)
+	names := make([]string, 0, len(fe.tables))
+	for name := range fe.tables {
+		names = append(names, name)
+	}
+	// Stable order for reproducible snapshots.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	for _, name := range names {
+		t := fe.tables[name]
+		payload := append([]byte{snapTagSchema}, encodeSchemaPayload(nil, t.schema)...)
+		if err := rw.writeRecord(payload); err != nil {
+			f.Close()
+			return err
+		}
+		var werr error
+		t.primary.Ascend(nil, nil, func(_ []byte, id int64) bool {
+			p := []byte{snapTagRow}
+			p = putVarint(p, id)
+			p = encodeRowPayload(p, t.rows[id])
+			if err := rw.writeRecord(p); err != nil {
+				werr = err
+				return false
+			}
+			return true
+		})
+		if werr != nil {
+			f.Close()
+			return werr
+		}
+	}
+	if err := rw.flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, fe.snapPath()); err != nil {
+		return err
+	}
+	// Truncate the WAL: its effects are captured by the snapshot.
+	if err := fe.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := fe.wal.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	fe.walW = newRecordWriter(fe.wal)
+	fe.walCount = 0
+	return nil
+}
+
+// maybeCheckpoint runs a checkpoint if the auto-checkpoint threshold has
+// been crossed. Callers invoke it between batches, not per row.
+func (fe *FileEngine) MaybeCheckpoint() error {
+	if fe.AutoCheckpoint > 0 && fe.walCount >= fe.AutoCheckpoint {
+		return fe.Checkpoint()
+	}
+	return nil
+}
+
+// DiskSize reports the total bytes on disk (snapshot + WAL), flushing
+// buffered WAL records first so the figure is accurate.
+func (fe *FileEngine) DiskSize() (int64, error) {
+	fe.mu.Lock()
+	err := fe.walW.flush()
+	fe.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, path := range []string{fe.snapPath(), fe.walPath()} {
+		info, err := os.Stat(path)
+		if errors.Is(err, os.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return 0, err
+		}
+		total += info.Size()
+	}
+	return total, nil
+}
+
+// Close flushes the WAL and releases file handles.
+func (fe *FileEngine) Close() error {
+	if fe.walW != nil {
+		if err := fe.walW.flush(); err != nil {
+			return err
+		}
+	}
+	if fe.wal != nil {
+		if err := fe.wal.Sync(); err != nil {
+			return err
+		}
+		return fe.wal.Close()
+	}
+	return nil
+}

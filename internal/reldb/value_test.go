@@ -1,0 +1,170 @@
+package reldb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if v := Int(42); v.Kind() != KindInt || v.Int64() != 42 {
+		t.Errorf("Int(42) = %v", v)
+	}
+	if v := Float(3.5); v.Kind() != KindFloat || v.Float64() != 3.5 {
+		t.Errorf("Float(3.5) = %v", v)
+	}
+	if v := Str("abc"); v.Kind() != KindString || v.Text() != "abc" {
+		t.Errorf("Str = %v", v)
+	}
+	if v := Bool(true); v.Kind() != KindBool || !v.Truth() {
+		t.Errorf("Bool = %v", v)
+	}
+	if v := Null(); !v.IsNull() || v.Kind() != KindNull {
+		t.Errorf("Null = %v", v)
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Error("zero Value should be NULL")
+	}
+}
+
+func TestValueIntWidensToFloat(t *testing.T) {
+	if got := Int(7).Float64(); got != 7.0 {
+		t.Errorf("Int(7).Float64() = %v, want 7", got)
+	}
+}
+
+func TestCompareSameKind(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(5), Int(5), 0},
+		{Float(1.5), Float(2.5), -1},
+		{Float(2.5), Float(2.5), 0},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("a"), 1},
+		{Str("same"), Str("same"), 0},
+		{Bool(false), Bool(true), -1},
+		{Bool(true), Bool(false), 1},
+		{Bool(true), Bool(true), 0},
+		{Null(), Null(), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareNullSortsFirst(t *testing.T) {
+	for _, v := range []Value{Int(0), Float(-1e300), Str(""), Bool(false)} {
+		if Compare(Null(), v) != -1 {
+			t.Errorf("NULL should sort before %v", v)
+		}
+		if Compare(v, Null()) != 1 {
+			t.Errorf("%v should sort after NULL", v)
+		}
+	}
+}
+
+func TestCompareMixedNumeric(t *testing.T) {
+	if Compare(Int(2), Float(2.5)) != -1 {
+		t.Error("2 < 2.5 across kinds")
+	}
+	if Compare(Float(2.5), Int(2)) != 1 {
+		t.Error("2.5 > 2 across kinds")
+	}
+	if Compare(Int(3), Float(3.0)) != 0 {
+		t.Error("3 == 3.0 across kinds")
+	}
+}
+
+func TestCompareNaNOrdering(t *testing.T) {
+	nan := Float(math.NaN())
+	if Compare(nan, nan) != 0 {
+		t.Error("NaN == NaN for total order")
+	}
+	if Compare(nan, Float(-math.MaxFloat64)) != -1 {
+		t.Error("NaN sorts before all floats")
+	}
+	if Compare(Float(0), nan) != 1 {
+		t.Error("floats sort after NaN")
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return Compare(Str(a), Str(b)) == -Compare(Str(b), Str(a))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTransitivityProperty(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		va, vb, vc := Float(a), Float(b), Float(c)
+		vals := []Value{va, vb, vc}
+		// Sort by Compare, then check pairwise order is consistent.
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				if Compare(vals[j], vals[i]) < 0 {
+					vals[i], vals[j] = vals[j], vals[i]
+				}
+			}
+		}
+		return Compare(vals[0], vals[1]) <= 0 && Compare(vals[1], vals[2]) <= 0 &&
+			Compare(vals[0], vals[2]) <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{Int(1), Str("x")}
+	c := r.Clone()
+	c[0] = Int(99)
+	if r[0].Int64() != 1 {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(-7), "-7"},
+		{Float(2.5), "2.5"},
+		{Str("hello"), "hello"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNull: "NULL", KindInt: "INTEGER", KindFloat: "REAL",
+		KindString: "TEXT", KindBool: "BOOLEAN",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

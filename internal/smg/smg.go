@@ -1,0 +1,255 @@
+// Package smg generates and parses SMG2000 benchmark output for the §4.2
+// noise-analysis case study. The raw SMG2000 benchmark output contains
+// eight data values at the level of the whole execution (Table 1's
+// SMG-BG/L row: 8 metrics, 8 results): wall and CPU clock times for the
+// Struct Interface, SMG Setup, and SMG Solve phases, the iteration count,
+// and the final relative residual norm. Generate reproduces the output
+// shape (Figure 7); Parse converts real-format or generated files to PTdf.
+package smg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"perftrack/internal/core"
+	"perftrack/internal/ptdf"
+)
+
+// Phases are the three timed phases of an SMG2000 run.
+var Phases = []string{"Struct Interface", "SMG Setup", "SMG Solve"}
+
+// Run describes one generated SMG2000 execution.
+type Run struct {
+	Execution  string
+	NProcs     int
+	Px, Py, Pz int // process topology; Px*Py*Pz should equal NProcs
+	Nx, Ny, Nz int // per-process problem size
+	Seed       int64
+}
+
+// Generate writes SMG2000-format output (the native benchmark portion of
+// Figure 7).
+func Generate(w io.Writer, run Run) error {
+	rng := rand.New(rand.NewSource(run.Seed))
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "Running with these driver parameters:\n")
+	fmt.Fprintf(bw, "  (nx, ny, nz)    = (%d, %d, %d)\n", run.Nx, run.Ny, run.Nz)
+	fmt.Fprintf(bw, "  (Px, Py, Pz)    = (%d, %d, %d)\n", run.Px, run.Py, run.Pz)
+	fmt.Fprintf(bw, "  (bx, by, bz)    = (1, 1, 1)\n")
+	fmt.Fprintf(bw, "  (cx, cy, cz)    = (1.000000, 1.000000, 1.000000)\n")
+	fmt.Fprintf(bw, "  (n_pre, n_post) = (1, 1)\n")
+	fmt.Fprintf(bw, "  dim             = 3\n")
+	fmt.Fprintf(bw, "  solver ID       = 0\n")
+	fmt.Fprintf(bw, "=============================================\n")
+	work := float64(run.Nx*run.Ny*run.Nz) / 42875.0
+	base := []float64{0.4 * work, 3.5 * work, 18.0 * work}
+	for i, phase := range Phases {
+		wall := base[i] * (1 + rng.Float64()*0.2)
+		cpu := wall * (0.92 + rng.Float64()*0.07)
+		fmt.Fprintf(bw, "%s:\n", phase)
+		fmt.Fprintf(bw, "  wall clock time = %.6f seconds\n", wall)
+		fmt.Fprintf(bw, "  cpu clock time  = %.6f seconds\n", cpu)
+		fmt.Fprintf(bw, "=============================================\n")
+	}
+	iters := 5 + rng.Intn(4)
+	fmt.Fprintf(bw, "Iterations = %d\n", iters)
+	fmt.Fprintf(bw, "Final Relative Residual Norm = %e\n", 1e-7*(0.5+rng.Float64()))
+	return bw.Flush()
+}
+
+// Report is the parsed form of one SMG2000 output file.
+type Report struct {
+	Execution  string // supplied by the caller; not present in the output
+	Nx, Ny, Nz int
+	Px, Py, Pz int
+	WallTimes  map[string]float64 // phase -> seconds
+	CPUTimes   map[string]float64
+	Iterations int
+	Residual   float64
+}
+
+// NProcs returns the total process count from the topology.
+func (r *Report) NProcs() int { return r.Px * r.Py * r.Pz }
+
+// Parse reads SMG2000 output.
+func Parse(rd io.Reader) (*Report, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	rep := &Report{
+		WallTimes: make(map[string]float64),
+		CPUTimes:  make(map[string]float64),
+	}
+	currentPhase := ""
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case text == "" || strings.HasPrefix(text, "=") ||
+			strings.HasPrefix(text, "Running with"):
+			continue
+		case strings.HasPrefix(text, "(nx, ny, nz)") || strings.HasPrefix(text, "(Px, Py, Pz)"):
+			vals, err := parseTriple(text)
+			if err != nil {
+				return nil, fmt.Errorf("smg: line %d: %w", line, err)
+			}
+			if strings.HasPrefix(text, "(nx") {
+				rep.Nx, rep.Ny, rep.Nz = vals[0], vals[1], vals[2]
+			} else {
+				rep.Px, rep.Py, rep.Pz = vals[0], vals[1], vals[2]
+			}
+		case strings.HasPrefix(text, "(") || strings.HasPrefix(text, "dim") ||
+			strings.HasPrefix(text, "solver"):
+			continue
+		case strings.HasSuffix(text, ":") && isPhase(strings.TrimSuffix(text, ":")):
+			currentPhase = strings.TrimSuffix(text, ":")
+		case strings.HasPrefix(text, "wall clock time"):
+			v, err := parseTimeLine(text)
+			if err != nil {
+				return nil, fmt.Errorf("smg: line %d: %w", line, err)
+			}
+			if currentPhase == "" {
+				return nil, fmt.Errorf("smg: line %d: time outside a phase", line)
+			}
+			rep.WallTimes[currentPhase] = v
+		case strings.HasPrefix(text, "cpu clock time"):
+			v, err := parseTimeLine(text)
+			if err != nil {
+				return nil, fmt.Errorf("smg: line %d: %w", line, err)
+			}
+			if currentPhase == "" {
+				return nil, fmt.Errorf("smg: line %d: time outside a phase", line)
+			}
+			rep.CPUTimes[currentPhase] = v
+		case strings.HasPrefix(text, "Iterations"):
+			parts := strings.Split(text, "=")
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("smg: line %d: bad Iterations line", line)
+			}
+			n, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+			if err != nil {
+				return nil, fmt.Errorf("smg: line %d: %w", line, err)
+			}
+			rep.Iterations = n
+		case strings.HasPrefix(text, "Final Relative Residual Norm"):
+			parts := strings.Split(text, "=")
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("smg: line %d: bad residual line", line)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("smg: line %d: %w", line, err)
+			}
+			rep.Residual = v
+		default:
+			return nil, fmt.Errorf("smg: line %d: unrecognized text %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.WallTimes) == 0 {
+		return nil, fmt.Errorf("smg: no phase timings found")
+	}
+	return rep, nil
+}
+
+func isPhase(s string) bool {
+	for _, p := range Phases {
+		if p == s {
+			return true
+		}
+	}
+	return false
+}
+
+func parseTriple(text string) ([3]int, error) {
+	var out [3]int
+	open := strings.LastIndexByte(text, '(')
+	closeP := strings.LastIndexByte(text, ')')
+	if open < 0 || closeP < open {
+		return out, fmt.Errorf("bad triple %q", text)
+	}
+	parts := strings.Split(text[open+1:closeP], ",")
+	if len(parts) != 3 {
+		return out, fmt.Errorf("bad triple %q", text)
+	}
+	for i, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return out, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+func parseTimeLine(text string) (float64, error) {
+	parts := strings.Split(text, "=")
+	if len(parts) != 2 {
+		return 0, fmt.Errorf("bad time line %q", text)
+	}
+	val := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(parts[1]), "seconds"))
+	return strconv.ParseFloat(strings.TrimSpace(val), 64)
+}
+
+// ToPTdf converts a parsed report to PTdf: the eight whole-execution
+// values of the raw benchmark, each in a context of application +
+// execution (+ machine when given). Time-hierarchy resources represent
+// the three phases.
+func (rep *Report) ToPTdf(app, execName string, machineRes core.ResourceName) []ptdf.Record {
+	var recs []ptdf.Record
+	recs = append(recs,
+		ptdf.ApplicationRec{Name: app},
+		ptdf.ExecutionRec{Name: execName, App: app},
+	)
+	appRes := core.ResourceName("/" + app)
+	recs = append(recs, ptdf.ResourceRec{Name: appRes, Type: "application"})
+	execRes := core.ResourceName("/" + execName)
+	recs = append(recs, ptdf.ResourceRec{Name: execRes, Type: "execution", Exec: execName})
+	attr := func(name, value string) {
+		recs = append(recs, ptdf.ResourceAttributeRec{
+			Resource: execRes, Attr: name, Value: value, AttrType: "string",
+		})
+	}
+	attr("number of processes", strconv.Itoa(rep.NProcs()))
+	attr("problem nx,ny,nz", fmt.Sprintf("%d,%d,%d", rep.Nx, rep.Ny, rep.Nz))
+	attr("topology Px,Py,Pz", fmt.Sprintf("%d,%d,%d", rep.Px, rep.Py, rep.Pz))
+
+	timeRoot := core.ResourceName("/" + execName + "-time")
+	recs = append(recs, ptdf.ResourceRec{Name: timeRoot, Type: "time"})
+
+	baseCtx := []core.ResourceName{appRes, execRes}
+	if machineRes != "" {
+		baseCtx = append(baseCtx, machineRes)
+	}
+	addResult := func(metric string, value float64, units string, extra ...core.ResourceName) {
+		ctx := append(append([]core.ResourceName{}, baseCtx...), extra...)
+		recs = append(recs, ptdf.PerfResultRec{
+			Exec:   execName,
+			Sets:   []ptdf.ResourceSet{{Names: ctx, Type: core.FocusPrimary}},
+			Tool:   "SMG2000",
+			Metric: metric,
+			Value:  value,
+			Units:  units,
+		})
+	}
+	for _, phase := range Phases {
+		slug := strings.ReplaceAll(phase, " ", "_")
+		phaseRes := timeRoot.Child(slug)
+		recs = append(recs, ptdf.ResourceRec{Name: phaseRes, Type: "time/interval"})
+		if v, ok := rep.WallTimes[phase]; ok {
+			addResult(phase+" wall clock time", v, "seconds", phaseRes)
+		}
+		if v, ok := rep.CPUTimes[phase]; ok {
+			addResult(phase+" cpu clock time", v, "seconds", phaseRes)
+		}
+	}
+	addResult("Iterations", float64(rep.Iterations), "iterations")
+	addResult("Final Relative Residual Norm", rep.Residual, "unitless")
+	return recs
+}

@@ -1,0 +1,1015 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"perftrack/internal/reldb"
+)
+
+// DB executes SQL statements against a reldb storage engine.
+type DB struct {
+	eng reldb.Engine
+}
+
+// Open wraps a storage engine in a SQL executor.
+func Open(eng reldb.Engine) *DB { return &DB{eng: eng} }
+
+// Engine returns the underlying storage engine.
+func (db *DB) Engine() reldb.Engine { return db.eng }
+
+// Result is a query result set.
+type Result struct {
+	Columns []string
+	Rows    []reldb.Row
+}
+
+// Exec parses and runs a statement that returns no rows (DDL, INSERT,
+// UPDATE, DELETE). It reports the number of affected rows.
+func (db *DB) Exec(query string) (int64, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return 0, err
+	}
+	switch s := stmt.(type) {
+	case *CreateTableStmt:
+		if err := s.Schema.Validate(); err != nil {
+			return 0, err
+		}
+		return 0, db.eng.CreateTable(s.Schema)
+	case *CreateIndexStmt:
+		return 0, db.eng.CreateIndex(s.Table, s.Spec)
+	case *DropIndexStmt:
+		return 0, db.eng.DropIndex(s.Table, s.Index)
+	case *DropTableStmt:
+		err := db.eng.DropTable(s.Table)
+		if err != nil && s.IfExists {
+			return 0, nil
+		}
+		return 0, err
+	case *InsertStmt:
+		return db.execInsert(s)
+	case *UpdateStmt:
+		return db.execUpdate(s)
+	case *DeleteStmt:
+		return db.execDelete(s)
+	case *SelectStmt:
+		return 0, fmt.Errorf("sql: use Query for SELECT")
+	default:
+		return 0, fmt.Errorf("sql: unsupported statement %T", stmt)
+	}
+}
+
+// Query parses and runs a SELECT.
+func (db *DB) Query(query string) (*Result, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: Query requires SELECT, got %T", stmt)
+	}
+	return db.execSelect(sel)
+}
+
+// QueryScalar runs a SELECT expected to return a single value.
+func (db *DB) QueryScalar(query string) (reldb.Value, error) {
+	res, err := db.Query(query)
+	if err != nil {
+		return reldb.Null(), err
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		return reldb.Null(), fmt.Errorf("sql: scalar query returned %d rows x %d cols",
+			len(res.Rows), len(res.Columns))
+	}
+	return res.Rows[0][0], nil
+}
+
+func (db *DB) execInsert(s *InsertStmt) (int64, error) {
+	tab, ok := db.eng.Table(s.Table)
+	if !ok {
+		return 0, fmt.Errorf("sql: no table %q", s.Table)
+	}
+	schema := tab.Schema()
+	emptyFrame := &frame{}
+	var count int64
+	for _, exprRow := range s.Rows {
+		row := make(reldb.Row, len(schema.Columns))
+		if len(s.Columns) == 0 {
+			if len(exprRow) != len(schema.Columns) {
+				return count, fmt.Errorf("sql: INSERT has %d values, table %q has %d columns",
+					len(exprRow), s.Table, len(schema.Columns))
+			}
+			for i, e := range exprRow {
+				v, err := eval(e, emptyFrame, nil)
+				if err != nil {
+					return count, err
+				}
+				row[i] = v
+			}
+		} else {
+			if len(exprRow) != len(s.Columns) {
+				return count, fmt.Errorf("sql: INSERT names %d columns but has %d values",
+					len(s.Columns), len(exprRow))
+			}
+			for i := range row {
+				row[i] = reldb.Null()
+			}
+			for i, col := range s.Columns {
+				ci := schema.ColumnIndex(col)
+				if ci < 0 {
+					return count, fmt.Errorf("sql: table %q has no column %q", s.Table, col)
+				}
+				v, err := eval(exprRow[i], emptyFrame, nil)
+				if err != nil {
+					return count, err
+				}
+				row[ci] = v
+			}
+		}
+		if _, err := db.eng.Insert(s.Table, row); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}
+
+func (db *DB) execUpdate(s *UpdateStmt) (int64, error) {
+	tab, ok := db.eng.Table(s.Table)
+	if !ok {
+		return 0, fmt.Errorf("sql: no table %q", s.Table)
+	}
+	schema := tab.Schema()
+	f := frameForTable(s.Table, schema)
+	type pending struct {
+		id  int64
+		row reldb.Row
+	}
+	var updates []pending
+	var scanErr error
+	tab.Scan(func(id int64, row reldb.Row) bool {
+		if s.Where != nil {
+			v, err := eval(s.Where, f, row)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if v.Kind() != reldb.KindBool || !v.Truth() {
+				return true
+			}
+		}
+		newRow := row.Clone()
+		for _, a := range s.Set {
+			ci := schema.ColumnIndex(a.Column)
+			if ci < 0 {
+				scanErr = fmt.Errorf("sql: table %q has no column %q", s.Table, a.Column)
+				return false
+			}
+			v, err := eval(a.Value, f, row)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			newRow[ci] = v
+		}
+		updates = append(updates, pending{id: id, row: newRow})
+		return true
+	})
+	if scanErr != nil {
+		return 0, scanErr
+	}
+	for _, u := range updates {
+		if err := db.eng.Update(s.Table, u.id, u.row); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(updates)), nil
+}
+
+func (db *DB) execDelete(s *DeleteStmt) (int64, error) {
+	tab, ok := db.eng.Table(s.Table)
+	if !ok {
+		return 0, fmt.Errorf("sql: no table %q", s.Table)
+	}
+	f := frameForTable(s.Table, tab.Schema())
+	var ids []int64
+	var scanErr error
+	tab.Scan(func(id int64, row reldb.Row) bool {
+		if s.Where != nil {
+			v, err := eval(s.Where, f, row)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if v.Kind() != reldb.KindBool || !v.Truth() {
+				return true
+			}
+		}
+		ids = append(ids, id)
+		return true
+	})
+	if scanErr != nil {
+		return 0, scanErr
+	}
+	for _, id := range ids {
+		if err := db.eng.Delete(s.Table, id); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(ids)), nil
+}
+
+func frameForTable(alias string, schema *reldb.Schema) *frame {
+	f := &frame{}
+	for _, c := range schema.Columns {
+		f.cols = append(f.cols, colBinding{table: alias, column: c.Name})
+	}
+	return f
+}
+
+// --- SELECT execution ---
+
+func (db *DB) execSelect(s *SelectStmt) (*Result, error) {
+	rows, f, err := db.buildInput(s)
+	if err != nil {
+		return nil, err
+	}
+	// WHERE.
+	if s.Where != nil {
+		kept := rows[:0]
+		for _, row := range rows {
+			v, err := eval(s.Where, f, row)
+			if err != nil {
+				return nil, err
+			}
+			if v.Kind() == reldb.KindBool && v.Truth() {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+
+	grouped := len(s.GroupBy) > 0
+	if !grouped {
+		for _, item := range s.Items {
+			if item.Expr != nil && hasAggregate(item.Expr) {
+				grouped = true // implicit single group
+				break
+			}
+		}
+	}
+	if grouped {
+		return db.execGrouped(s, rows, f)
+	}
+	return db.execPlain(s, rows, f)
+}
+
+// buildInput scans the FROM table and applies JOIN clauses, producing the
+// combined rows and the column frame.
+func (db *DB) buildInput(s *SelectStmt) ([]reldb.Row, *frame, error) {
+	baseTab, ok := db.eng.Table(s.From.Table)
+	if !ok {
+		return nil, nil, fmt.Errorf("sql: no table %q", s.From.Table)
+	}
+	f := frameForTable(s.From.name(), baseTab.Schema())
+	var rows []reldb.Row
+	// Single-table queries can use an access path derived from WHERE.
+	if len(s.Joins) == 0 && s.Where != nil {
+		if planned := db.plannedScan(baseTab, s.From.name(), s.Where); planned != nil {
+			rows = planned
+		}
+	}
+	if rows == nil {
+		baseTab.Scan(func(_ int64, row reldb.Row) bool {
+			rows = append(rows, row)
+			return true
+		})
+	}
+
+	for _, j := range s.Joins {
+		tab, ok := db.eng.Table(j.Table.Table)
+		if !ok {
+			return nil, nil, fmt.Errorf("sql: no table %q", j.Table.Table)
+		}
+		schema := tab.Schema()
+		rightName := j.Table.name()
+		rightFrame := frameForTable(rightName, schema)
+
+		combined := &frame{cols: append(append([]colBinding{}, f.cols...), rightFrame.cols...)}
+
+		var rightRows []reldb.Row
+		tab.Scan(func(_ int64, row reldb.Row) bool {
+			rightRows = append(rightRows, row)
+			return true
+		})
+
+		// Try a hash join on an equi-condition a = b splitting across sides.
+		leftKey, rightKey := splitEquiJoin(j.On, f, rightFrame)
+		var out []reldb.Row
+		if leftKey != nil && rightKey != nil {
+			hash := make(map[string][]reldb.Row, len(rightRows))
+			for _, rr := range rightRows {
+				kv, err := eval(rightKey, rightFrame, rr)
+				if err != nil {
+					return nil, nil, err
+				}
+				if kv.IsNull() {
+					continue
+				}
+				k := string(reldb.EncodeKey(nil, kv))
+				hash[k] = append(hash[k], rr)
+			}
+			for _, lr := range rows {
+				kv, err := eval(leftKey, f, lr)
+				if err != nil {
+					return nil, nil, err
+				}
+				matched := false
+				if !kv.IsNull() {
+					for _, rr := range hash[string(reldb.EncodeKey(nil, kv))] {
+						joined := append(append(reldb.Row{}, lr...), rr...)
+						ok, err := onMatches(j.On, combined, joined)
+						if err != nil {
+							return nil, nil, err
+						}
+						if ok {
+							out = append(out, joined)
+							matched = true
+						}
+					}
+				}
+				if j.Left && !matched {
+					out = append(out, padRight(lr, len(schema.Columns)))
+				}
+			}
+		} else {
+			// Nested loop.
+			for _, lr := range rows {
+				matched := false
+				for _, rr := range rightRows {
+					joined := append(append(reldb.Row{}, lr...), rr...)
+					ok, err := onMatches(j.On, combined, joined)
+					if err != nil {
+						return nil, nil, err
+					}
+					if ok {
+						out = append(out, joined)
+						matched = true
+					}
+				}
+				if j.Left && !matched {
+					out = append(out, padRight(lr, len(schema.Columns)))
+				}
+			}
+		}
+		rows = out
+		f = combined
+	}
+	return rows, f, nil
+}
+
+func padRight(left reldb.Row, n int) reldb.Row {
+	out := append(reldb.Row{}, left...)
+	for i := 0; i < n; i++ {
+		out = append(out, reldb.Null())
+	}
+	return out
+}
+
+func onMatches(on Expr, f *frame, row reldb.Row) (bool, error) {
+	v, err := eval(on, f, row)
+	if err != nil {
+		return false, err
+	}
+	return v.Kind() == reldb.KindBool && v.Truth(), nil
+}
+
+// splitEquiJoin recognizes ON conditions of the form L = R (possibly under
+// ANDs, in which case the first splittable equality is used) where L
+// resolves entirely in the left frame and R in the right (or vice versa).
+func splitEquiJoin(on Expr, left, right *frame) (Expr, Expr) {
+	be, ok := on.(*BinaryExpr)
+	if !ok {
+		return nil, nil
+	}
+	if be.Op == "AND" {
+		if l, r := splitEquiJoin(be.L, left, right); l != nil {
+			return l, r
+		}
+		return splitEquiJoin(be.R, left, right)
+	}
+	if be.Op != "=" {
+		return nil, nil
+	}
+	switch {
+	case resolvesIn(be.L, left) && resolvesIn(be.R, right):
+		return be.L, be.R
+	case resolvesIn(be.R, left) && resolvesIn(be.L, right):
+		return be.R, be.L
+	}
+	return nil, nil
+}
+
+// resolvesIn reports whether every column reference in e resolves in f.
+func resolvesIn(e Expr, f *frame) bool {
+	switch x := e.(type) {
+	case *Literal:
+		return true
+	case *ColumnRef:
+		_, err := f.resolve(x)
+		return err == nil
+	case *BinaryExpr:
+		return resolvesIn(x.L, f) && resolvesIn(x.R, f)
+	case *UnaryExpr:
+		return resolvesIn(x.X, f)
+	default:
+		return false
+	}
+}
+
+// plannedScan inspects WHERE for equality conjuncts over indexed columns
+// and returns pre-filtered rows using the best access path, or nil to fall
+// back to a full scan. The full WHERE is still applied afterward, so the
+// plan only needs to be a superset of the matching rows.
+func (db *DB) plannedScan(tab *reldb.Table, alias string, where Expr) []reldb.Row {
+	eqs := map[string]reldb.Value{}
+	collectEqualities(where, alias, eqs)
+	if len(eqs) == 0 {
+		return nil
+	}
+	schema := tab.Schema()
+	// Primary-key point lookup.
+	if len(schema.PrimaryKey) == 1 {
+		if v, ok := eqs[schema.PrimaryKey[0]]; ok {
+			row, _, found := tab.GetByPK(v)
+			if !found {
+				return []reldb.Row{}
+			}
+			return []reldb.Row{row}
+		}
+	}
+	// Longest matching index prefix.
+	bestName, bestLen := "", 0
+	var bestPrefix []reldb.Value
+	for col, v := range eqs {
+		if name := tab.IndexOnColumns(col); name != "" && 1 > bestLen {
+			bestName, bestLen = name, 1
+			bestPrefix = []reldb.Value{v}
+		}
+		// Try two-column prefixes.
+		for col2, v2 := range eqs {
+			if col2 == col {
+				continue
+			}
+			if name := tab.IndexOnColumns(col, col2); name != "" && 2 > bestLen {
+				bestName, bestLen = name, 2
+				bestPrefix = []reldb.Value{v, v2}
+			}
+		}
+	}
+	if bestName == "" {
+		return nil
+	}
+	var rows []reldb.Row
+	if err := tab.IndexScan(bestName, bestPrefix, func(_ int64, row reldb.Row) bool {
+		rows = append(rows, row)
+		return true
+	}); err != nil {
+		return nil
+	}
+	return rows
+}
+
+// collectEqualities gathers col = literal conjuncts (under ANDs only) whose
+// column references the given table alias or is unqualified.
+func collectEqualities(e Expr, alias string, out map[string]reldb.Value) {
+	be, ok := e.(*BinaryExpr)
+	if !ok {
+		return
+	}
+	switch be.Op {
+	case "AND":
+		collectEqualities(be.L, alias, out)
+		collectEqualities(be.R, alias, out)
+	case "=":
+		if col, lit, ok := colLitPair(be.L, be.R); ok {
+			if col.Table == "" || col.Table == alias {
+				out[col.Column] = lit
+			}
+		}
+	}
+}
+
+func colLitPair(a, b Expr) (*ColumnRef, reldb.Value, bool) {
+	if c, ok := a.(*ColumnRef); ok {
+		if l, ok := b.(*Literal); ok {
+			return c, l.Value, true
+		}
+	}
+	if c, ok := b.(*ColumnRef); ok {
+		if l, ok := a.(*Literal); ok {
+			return c, l.Value, true
+		}
+	}
+	return nil, reldb.Null(), false
+}
+
+// execPlain handles non-aggregated SELECT: projection, DISTINCT, ORDER BY,
+// LIMIT/OFFSET.
+func (db *DB) execPlain(s *SelectStmt, rows []reldb.Row, f *frame) (*Result, error) {
+	cols, project, err := makeProjection(s.Items, f)
+	if err != nil {
+		return nil, err
+	}
+	type sortable struct {
+		out  reldb.Row
+		keys reldb.Row
+	}
+	items := make([]sortable, 0, len(rows))
+	for _, row := range rows {
+		out, err := project(row)
+		if err != nil {
+			return nil, err
+		}
+		var keys reldb.Row
+		for _, oi := range s.OrderBy {
+			k, err := evalOrderKey(oi.Expr, f, row, s.Items, cols, out)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, k)
+		}
+		items = append(items, sortable{out: out, keys: keys})
+	}
+	if len(s.OrderBy) > 0 {
+		sort.SliceStable(items, func(i, j int) bool {
+			return orderLess(items[i].keys, items[j].keys, s.OrderBy)
+		})
+	}
+	outRows := make([]reldb.Row, len(items))
+	for i, it := range items {
+		outRows[i] = it.out
+	}
+	if s.Distinct {
+		outRows = distinctRows(outRows)
+	}
+	outRows = applyLimit(outRows, s.Limit, s.Offset)
+	return &Result{Columns: cols, Rows: outRows}, nil
+}
+
+func orderLess(a, b reldb.Row, order []OrderItem) bool {
+	for i := range order {
+		c := reldb.Compare(a[i], b[i])
+		if c == 0 {
+			continue
+		}
+		if order[i].Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
+// evalOrderKey evaluates an ORDER BY term. It first tries alias/output
+// column references and 1-based positions, then falls back to evaluating
+// the expression against the input row.
+func evalOrderKey(e Expr, f *frame, row reldb.Row, items []SelectItem, cols []string, out reldb.Row) (reldb.Value, error) {
+	if lit, ok := e.(*Literal); ok && lit.Value.Kind() == reldb.KindInt {
+		pos := int(lit.Value.Int64())
+		if pos < 1 || pos > len(out) {
+			return reldb.Null(), fmt.Errorf("sql: ORDER BY position %d out of range", pos)
+		}
+		return out[pos-1], nil
+	}
+	if cr, ok := e.(*ColumnRef); ok && cr.Table == "" {
+		for i, item := range items {
+			if item.Alias == cr.Column {
+				return out[i], nil
+			}
+		}
+		// Match output column names for grouped results where the input
+		// frame may not resolve the reference.
+		if _, err := f.resolve(cr); err != nil {
+			for i, c := range cols {
+				if c == cr.Column {
+					return out[i], nil
+				}
+			}
+		}
+	}
+	return eval(e, f, row)
+}
+
+func distinctRows(rows []reldb.Row) []reldb.Row {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		k := string(reldb.EncodeKey(nil, r...))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+func applyLimit(rows []reldb.Row, limit, offset int) []reldb.Row {
+	if offset > 0 {
+		if offset >= len(rows) {
+			return nil
+		}
+		rows = rows[offset:]
+	}
+	if limit >= 0 && limit < len(rows) {
+		rows = rows[:limit]
+	}
+	return rows
+}
+
+// makeProjection compiles the select list into output column names and a
+// per-row projection function.
+func makeProjection(items []SelectItem, f *frame) ([]string, func(reldb.Row) (reldb.Row, error), error) {
+	var cols []string
+	type step struct {
+		star      bool
+		starTable string
+		expr      Expr
+	}
+	var steps []step
+	for _, item := range items {
+		if item.Star {
+			n := 0
+			for _, b := range f.cols {
+				if item.Table == "" || b.table == item.Table {
+					cols = append(cols, b.column)
+					n++
+				}
+			}
+			if item.Table != "" && n == 0 {
+				return nil, nil, fmt.Errorf("sql: no table %q in select star", item.Table)
+			}
+			steps = append(steps, step{star: true, starTable: item.Table})
+			continue
+		}
+		name := item.Alias
+		if name == "" {
+			name = exprName(item.Expr)
+		}
+		cols = append(cols, name)
+		steps = append(steps, step{expr: item.Expr})
+	}
+	project := func(row reldb.Row) (reldb.Row, error) {
+		out := make(reldb.Row, 0, len(cols))
+		for _, st := range steps {
+			if st.star {
+				for i, b := range f.cols {
+					if st.starTable == "" || b.table == st.starTable {
+						out = append(out, row[i])
+					}
+				}
+				continue
+			}
+			v, err := eval(st.expr, f, row)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	return cols, project, nil
+}
+
+// --- grouped execution ---
+
+type aggState struct {
+	fn       string
+	star     bool
+	distinct bool
+
+	count   int64
+	sum     float64
+	sumInt  int64
+	allInt  bool
+	min     reldb.Value
+	max     reldb.Value
+	seen    map[string]bool
+	started bool
+}
+
+func newAggState(fe *FuncExpr) *aggState {
+	st := &aggState{fn: fe.Name, star: fe.Star, distinct: fe.Distinct, allInt: true}
+	if fe.Distinct {
+		st.seen = make(map[string]bool)
+	}
+	return st
+}
+
+func (st *aggState) add(v reldb.Value) {
+	if st.star {
+		st.count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	if st.distinct {
+		k := string(reldb.EncodeKey(nil, v))
+		if st.seen[k] {
+			return
+		}
+		st.seen[k] = true
+	}
+	st.count++
+	if v.Kind() == reldb.KindInt {
+		st.sumInt += v.Int64()
+		st.sum += float64(v.Int64())
+	} else if v.Kind() == reldb.KindFloat {
+		st.allInt = false
+		st.sum += v.Float64()
+	}
+	if !st.started || reldb.Compare(v, st.min) < 0 {
+		st.min = v
+	}
+	if !st.started || reldb.Compare(v, st.max) > 0 {
+		st.max = v
+	}
+	st.started = true
+}
+
+func (st *aggState) result() reldb.Value {
+	switch st.fn {
+	case "COUNT":
+		return reldb.Int(st.count)
+	case "SUM":
+		if st.count == 0 {
+			return reldb.Null()
+		}
+		if st.allInt {
+			return reldb.Int(st.sumInt)
+		}
+		return reldb.Float(st.sum)
+	case "AVG":
+		if st.count == 0 {
+			return reldb.Null()
+		}
+		return reldb.Float(st.sum / float64(st.count))
+	case "MIN":
+		if !st.started {
+			return reldb.Null()
+		}
+		return st.min
+	case "MAX":
+		if !st.started {
+			return reldb.Null()
+		}
+		return st.max
+	}
+	return reldb.Null()
+}
+
+// collectAggs gathers the aggregate call nodes in an expression tree.
+func collectAggs(e Expr, out *[]*FuncExpr) {
+	switch x := e.(type) {
+	case *FuncExpr:
+		*out = append(*out, x)
+	case *BinaryExpr:
+		collectAggs(x.L, out)
+		collectAggs(x.R, out)
+	case *UnaryExpr:
+		collectAggs(x.X, out)
+	case *InExpr:
+		collectAggs(x.X, out)
+		for _, i := range x.List {
+			collectAggs(i, out)
+		}
+	case *IsNullExpr:
+		collectAggs(x.X, out)
+	case *BetweenExpr:
+		collectAggs(x.X, out)
+		collectAggs(x.Lo, out)
+		collectAggs(x.Hi, out)
+	}
+}
+
+// evalWithAggs evaluates an expression where aggregate nodes take their
+// precomputed group values.
+func evalWithAggs(e Expr, f *frame, row reldb.Row, aggVals map[*FuncExpr]reldb.Value) (reldb.Value, error) {
+	switch x := e.(type) {
+	case *FuncExpr:
+		v, ok := aggVals[x]
+		if !ok {
+			return reldb.Null(), fmt.Errorf("sql: aggregate %s not computed", x.Name)
+		}
+		return v, nil
+	case *BinaryExpr:
+		if !hasAggregate(x) {
+			return eval(x, f, row)
+		}
+		l, err := evalWithAggs(x.L, f, row, aggVals)
+		if err != nil {
+			return reldb.Null(), err
+		}
+		r, err := evalWithAggs(x.R, f, row, aggVals)
+		if err != nil {
+			return reldb.Null(), err
+		}
+		return evalBinary(&BinaryExpr{Op: x.Op, L: &Literal{Value: l}, R: &Literal{Value: r}}, f, row)
+	case *UnaryExpr:
+		if !hasAggregate(x) {
+			return eval(x, f, row)
+		}
+		v, err := evalWithAggs(x.X, f, row, aggVals)
+		if err != nil {
+			return reldb.Null(), err
+		}
+		return eval(&UnaryExpr{Op: x.Op, X: &Literal{Value: v}}, f, row)
+	default:
+		return eval(e, f, row)
+	}
+}
+
+func (db *DB) execGrouped(s *SelectStmt, rows []reldb.Row, f *frame) (*Result, error) {
+	// Gather aggregate nodes from the select list and ORDER BY.
+	var aggs []*FuncExpr
+	for _, item := range s.Items {
+		if item.Star {
+			return nil, fmt.Errorf("sql: SELECT * is not valid with GROUP BY or aggregates")
+		}
+		collectAggs(item.Expr, &aggs)
+	}
+	for _, oi := range s.OrderBy {
+		collectAggs(oi.Expr, &aggs)
+	}
+	if s.Having != nil {
+		collectAggs(s.Having, &aggs)
+	}
+
+	type group struct {
+		repr   reldb.Row // representative input row for group-key columns
+		states []*aggState
+	}
+	groups := make(map[string]*group)
+	var order []string // first-seen order
+	for _, row := range rows {
+		var keyVals reldb.Row
+		for _, ge := range s.GroupBy {
+			v, err := eval(ge, f, row)
+			if err != nil {
+				return nil, err
+			}
+			keyVals = append(keyVals, v)
+		}
+		k := string(reldb.EncodeKey(nil, keyVals...))
+		g, ok := groups[k]
+		if !ok {
+			g = &group{repr: row}
+			for _, fe := range aggs {
+				g.states = append(g.states, newAggState(fe))
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, fe := range aggs {
+			if fe.Star {
+				g.states[i].add(reldb.Null())
+				continue
+			}
+			v, err := eval(fe.Arg, f, row)
+			if err != nil {
+				return nil, err
+			}
+			g.states[i].add(v)
+		}
+	}
+	// An aggregate query with no GROUP BY and no input rows still yields
+	// one row (e.g. COUNT(*) = 0).
+	if len(s.GroupBy) == 0 && len(groups) == 0 {
+		g := &group{repr: make(reldb.Row, len(f.cols))}
+		for i := range g.repr {
+			g.repr[i] = reldb.Null()
+		}
+		for _, fe := range aggs {
+			g.states = append(g.states, newAggState(fe))
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	var cols []string
+	for _, item := range s.Items {
+		name := item.Alias
+		if name == "" {
+			name = exprName(item.Expr)
+		}
+		cols = append(cols, name)
+	}
+
+	type sortable struct {
+		out  reldb.Row
+		keys reldb.Row
+	}
+	var outItems []sortable
+	for _, k := range order {
+		g := groups[k]
+		aggVals := make(map[*FuncExpr]reldb.Value, len(aggs))
+		for i, fe := range aggs {
+			aggVals[fe] = g.states[i].result()
+		}
+		if s.Having != nil {
+			hv, err := evalWithAggs(s.Having, f, g.repr, aggVals)
+			if err != nil {
+				return nil, err
+			}
+			if hv.Kind() != reldb.KindBool || !hv.Truth() {
+				continue
+			}
+		}
+		out := make(reldb.Row, 0, len(s.Items))
+		for _, item := range s.Items {
+			v, err := evalWithAggs(item.Expr, f, g.repr, aggVals)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		var keys reldb.Row
+		for _, oi := range s.OrderBy {
+			var kv reldb.Value
+			var err error
+			if hasAggregate(oi.Expr) {
+				kv, err = evalWithAggs(oi.Expr, f, g.repr, aggVals)
+			} else {
+				kv, err = evalOrderKey(oi.Expr, f, g.repr, s.Items, cols, out)
+			}
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, kv)
+		}
+		outItems = append(outItems, sortable{out: out, keys: keys})
+	}
+	if len(s.OrderBy) > 0 {
+		sort.SliceStable(outItems, func(i, j int) bool {
+			return orderLess(outItems[i].keys, outItems[j].keys, s.OrderBy)
+		})
+	}
+	outRows := make([]reldb.Row, len(outItems))
+	for i, it := range outItems {
+		outRows[i] = it.out
+	}
+	if s.Distinct {
+		outRows = distinctRows(outRows)
+	}
+	outRows = applyLimit(outRows, s.Limit, s.Offset)
+	return &Result{Columns: cols, Rows: outRows}, nil
+}
+
+// FormatTable renders a result set as an aligned text table for CLI output.
+func (r *Result) FormatTable() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i, c := range r.Columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range cells {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,547 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"perftrack/internal/reldb"
+)
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(reldb.NewMem())
+	mustExec(t, db, `CREATE TABLE emp (
+		id INTEGER PRIMARY KEY,
+		name TEXT NOT NULL,
+		dept TEXT,
+		salary REAL,
+		boss INTEGER
+	)`)
+	mustExec(t, db, "CREATE INDEX emp_dept ON emp (dept)")
+	mustExec(t, db, `INSERT INTO emp (id, name, dept, salary, boss) VALUES
+		(1, 'ada', 'eng', 120.0, NULL),
+		(2, 'bob', 'eng', 100.0, 1),
+		(3, 'carol', 'ops', 90.0, 1),
+		(4, 'dave', 'ops', 80.0, 3),
+		(5, 'eve', NULL, 70.0, 3)`)
+	return db
+}
+
+func mustExec(t *testing.T, db *DB, q string) int64 {
+	t.Helper()
+	n, err := db.Exec(q)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", q, err)
+	}
+	return n
+}
+
+func mustQuery(t *testing.T, db *DB, q string) *Result {
+	t.Helper()
+	r, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", q, err)
+	}
+	return r
+}
+
+func rowStrings(r *Result) []string {
+	out := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	return out
+}
+
+func TestSelectAll(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, "SELECT * FROM emp")
+	if len(r.Rows) != 5 || len(r.Columns) != 5 {
+		t.Fatalf("rows=%d cols=%v", len(r.Rows), r.Columns)
+	}
+	if r.Columns[1] != "name" {
+		t.Errorf("columns = %v", r.Columns)
+	}
+}
+
+func TestSelectWherePKUsesPointLookup(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, "SELECT name FROM emp WHERE id = 3")
+	if len(r.Rows) != 1 || r.Rows[0][0].Text() != "carol" {
+		t.Fatalf("got %v", rowStrings(r))
+	}
+	// Missing PK yields zero rows.
+	r = mustQuery(t, db, "SELECT name FROM emp WHERE id = 99")
+	if len(r.Rows) != 0 {
+		t.Errorf("got %v", rowStrings(r))
+	}
+}
+
+func TestSelectWhereIndexedColumn(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, "SELECT name FROM emp WHERE dept = 'eng' ORDER BY name")
+	got := rowStrings(r)
+	if len(got) != 2 || got[0] != "ada" || got[1] != "bob" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSelectComparisonsAndLogic(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, "SELECT name FROM emp WHERE salary >= 90 AND salary < 120 ORDER BY name")
+	got := rowStrings(r)
+	if strings.Join(got, ",") != "bob,carol" {
+		t.Errorf("got %v", got)
+	}
+	r = mustQuery(t, db, "SELECT name FROM emp WHERE dept = 'ops' OR salary > 110 ORDER BY id")
+	if strings.Join(rowStrings(r), ",") != "ada,carol,dave" {
+		t.Errorf("got %v", rowStrings(r))
+	}
+}
+
+func TestSelectNullSemantics(t *testing.T) {
+	db := testDB(t)
+	// dept = NULL never matches; IS NULL does.
+	r := mustQuery(t, db, "SELECT name FROM emp WHERE dept = NULL")
+	if len(r.Rows) != 0 {
+		t.Errorf("= NULL matched %v", rowStrings(r))
+	}
+	r = mustQuery(t, db, "SELECT name FROM emp WHERE dept IS NULL")
+	if len(r.Rows) != 1 || r.Rows[0][0].Text() != "eve" {
+		t.Errorf("IS NULL got %v", rowStrings(r))
+	}
+	r = mustQuery(t, db, "SELECT name FROM emp WHERE dept IS NOT NULL")
+	if len(r.Rows) != 4 {
+		t.Errorf("IS NOT NULL got %v", rowStrings(r))
+	}
+	// NOT (NULL comparison) is still unknown, not true.
+	r = mustQuery(t, db, "SELECT name FROM emp WHERE NOT (dept = 'eng')")
+	if len(r.Rows) != 2 { // carol, dave; eve's dept is NULL -> unknown
+		t.Errorf("NOT over NULL got %v", rowStrings(r))
+	}
+}
+
+func TestSelectInBetweenLike(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, "SELECT name FROM emp WHERE id IN (1, 3, 5) ORDER BY id")
+	if strings.Join(rowStrings(r), ",") != "ada,carol,eve" {
+		t.Errorf("IN got %v", rowStrings(r))
+	}
+	r = mustQuery(t, db, "SELECT name FROM emp WHERE salary BETWEEN 80 AND 100 ORDER BY id")
+	if strings.Join(rowStrings(r), ",") != "bob,carol,dave" {
+		t.Errorf("BETWEEN got %v", rowStrings(r))
+	}
+	r = mustQuery(t, db, "SELECT name FROM emp WHERE name LIKE '%a%' ORDER BY id")
+	if strings.Join(rowStrings(r), ",") != "ada,carol,dave" {
+		t.Errorf("LIKE got %v", rowStrings(r))
+	}
+	r = mustQuery(t, db, "SELECT name FROM emp WHERE id NOT IN (1, 2, 3, 4)")
+	if strings.Join(rowStrings(r), ",") != "eve" {
+		t.Errorf("NOT IN got %v", rowStrings(r))
+	}
+}
+
+func TestSelectArithmetic(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, "SELECT salary * 2 + 1 FROM emp WHERE id = 4")
+	if r.Rows[0][0].Float64() != 161 {
+		t.Errorf("got %v", r.Rows[0][0])
+	}
+	r = mustQuery(t, db, "SELECT salary / 0 FROM emp WHERE id = 1")
+	if !r.Rows[0][0].IsNull() {
+		t.Errorf("division by zero = %v, want NULL", r.Rows[0][0])
+	}
+	r = mustQuery(t, db, "SELECT 7 / 2 FROM emp WHERE id = 1")
+	if r.Rows[0][0].Float64() != 3.5 {
+		t.Errorf("7/2 = %v", r.Rows[0][0])
+	}
+}
+
+func TestSelectOrderByMulti(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, "SELECT dept, name FROM emp WHERE dept IS NOT NULL ORDER BY dept DESC, name ASC")
+	got := rowStrings(r)
+	want := []string{"ops|carol", "ops|dave", "eng|ada", "eng|bob"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestSelectOrderByPositionAndAlias(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, "SELECT name AS n, salary FROM emp ORDER BY 2 DESC LIMIT 1")
+	if r.Rows[0][0].Text() != "ada" {
+		t.Errorf("got %v", rowStrings(r))
+	}
+	r = mustQuery(t, db, "SELECT name AS n FROM emp ORDER BY n DESC LIMIT 1")
+	if r.Rows[0][0].Text() != "eve" {
+		t.Errorf("got %v", rowStrings(r))
+	}
+}
+
+func TestSelectLimitOffset(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, "SELECT id FROM emp ORDER BY id LIMIT 2 OFFSET 2")
+	if strings.Join(rowStrings(r), ",") != "3,4" {
+		t.Errorf("got %v", rowStrings(r))
+	}
+	r = mustQuery(t, db, "SELECT id FROM emp ORDER BY id OFFSET 10")
+	if len(r.Rows) != 0 {
+		t.Errorf("offset past end got %v", rowStrings(r))
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, "SELECT DISTINCT dept FROM emp WHERE dept IS NOT NULL ORDER BY dept")
+	if strings.Join(rowStrings(r), ",") != "eng,ops" {
+		t.Errorf("got %v", rowStrings(r))
+	}
+}
+
+func TestAggregatesWholeTable(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, "SELECT COUNT(*), COUNT(dept), SUM(salary), AVG(salary), MIN(salary), MAX(salary) FROM emp")
+	row := r.Rows[0]
+	if row[0].Int64() != 5 || row[1].Int64() != 4 {
+		t.Errorf("counts = %v, %v", row[0], row[1])
+	}
+	if row[2].Float64() != 460 || row[3].Float64() != 92 {
+		t.Errorf("sum/avg = %v, %v", row[2], row[3])
+	}
+	if row[4].Float64() != 70 || row[5].Float64() != 120 {
+		t.Errorf("min/max = %v, %v", row[4], row[5])
+	}
+}
+
+func TestAggregateEmptyTable(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, "DELETE FROM emp")
+	r := mustQuery(t, db, "SELECT COUNT(*), SUM(salary), MIN(salary) FROM emp")
+	row := r.Rows[0]
+	if row[0].Int64() != 0 {
+		t.Errorf("COUNT(*) on empty = %v", row[0])
+	}
+	if !row[1].IsNull() || !row[2].IsNull() {
+		t.Errorf("SUM/MIN on empty = %v, %v", row[1], row[2])
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, `SELECT dept, COUNT(*) AS n, AVG(salary) AS avg_sal
+		FROM emp WHERE dept IS NOT NULL
+		GROUP BY dept ORDER BY dept`)
+	got := rowStrings(r)
+	want := []string{"eng|2|110", "ops|2|85"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestGroupByOrderByAggregate(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, `SELECT dept, SUM(salary) FROM emp WHERE dept IS NOT NULL
+		GROUP BY dept ORDER BY SUM(salary) DESC`)
+	if r.Rows[0][0].Text() != "eng" {
+		t.Errorf("got %v", rowStrings(r))
+	}
+}
+
+func TestHaving(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, `SELECT dept, COUNT(*) FROM emp WHERE dept IS NOT NULL
+		GROUP BY dept HAVING AVG(salary) > 100 ORDER BY dept`)
+	if len(r.Rows) != 1 || r.Rows[0][0].Text() != "eng" {
+		t.Errorf("got %v", rowStrings(r))
+	}
+	// HAVING on a grouping column works too.
+	r = mustQuery(t, db, `SELECT dept, SUM(salary) FROM emp WHERE dept IS NOT NULL
+		GROUP BY dept HAVING dept = 'ops'`)
+	if len(r.Rows) != 1 || r.Rows[0][1].Float64() != 170 {
+		t.Errorf("got %v", rowStrings(r))
+	}
+	// HAVING excluding every group yields zero rows.
+	r = mustQuery(t, db, "SELECT dept FROM emp GROUP BY dept HAVING COUNT(*) > 10")
+	if len(r.Rows) != 0 {
+		t.Errorf("got %v", rowStrings(r))
+	}
+	// HAVING without GROUP BY is rejected.
+	if _, err := db.Query("SELECT COUNT(*) FROM emp HAVING COUNT(*) > 1"); err == nil {
+		t.Error("HAVING without GROUP BY accepted")
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, "SELECT COUNT(DISTINCT dept) FROM emp")
+	if r.Rows[0][0].Int64() != 2 {
+		t.Errorf("COUNT(DISTINCT dept) = %v", r.Rows[0][0])
+	}
+}
+
+func TestAggregateArithmetic(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, "SELECT MAX(salary) - MIN(salary) FROM emp")
+	if r.Rows[0][0].Float64() != 50 {
+		t.Errorf("range = %v", r.Rows[0][0])
+	}
+}
+
+func TestInnerJoin(t *testing.T) {
+	db := testDB(t)
+	// Self join: employee with boss name.
+	r := mustQuery(t, db, `SELECT e.name, b.name FROM emp e
+		JOIN emp b ON e.boss = b.id ORDER BY e.id`)
+	got := rowStrings(r)
+	want := []string{"bob|ada", "carol|ada", "dave|carol", "eve|carol"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, `SELECT e.name, b.name FROM emp e
+		LEFT JOIN emp b ON e.boss = b.id ORDER BY e.id`)
+	if len(r.Rows) != 5 {
+		t.Fatalf("left join rows = %d", len(r.Rows))
+	}
+	if !r.Rows[0][1].IsNull() {
+		t.Errorf("ada's boss should be NULL, got %v", r.Rows[0][1])
+	}
+}
+
+func TestJoinSecondTable(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, "CREATE TABLE dept (code TEXT PRIMARY KEY, title TEXT)")
+	mustExec(t, db, "INSERT INTO dept VALUES ('eng', 'Engineering'), ('ops', 'Operations')")
+	r := mustQuery(t, db, `SELECT e.name, d.title FROM emp e
+		JOIN dept d ON e.dept = d.code WHERE e.salary > 95 ORDER BY e.id`)
+	got := rowStrings(r)
+	want := []string{"ada|Engineering", "bob|Engineering"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, "CREATE TABLE dept (code TEXT PRIMARY KEY, title TEXT)")
+	mustExec(t, db, "INSERT INTO dept VALUES ('eng', 'Engineering'), ('ops', 'Operations')")
+	r := mustQuery(t, db, `SELECT e.name, b.name, d.title FROM emp e
+		JOIN emp b ON e.boss = b.id
+		JOIN dept d ON e.dept = d.code
+		ORDER BY e.id`)
+	if len(r.Rows) != 3 { // eve's dept is NULL, so she drops out
+		t.Fatalf("got %v", rowStrings(r))
+	}
+	if r.Rows[0][2].Text() != "Engineering" {
+		t.Errorf("got %v", rowStrings(r))
+	}
+}
+
+func TestJoinGroupBy(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, `SELECT b.name, COUNT(*) FROM emp e
+		JOIN emp b ON e.boss = b.id GROUP BY b.name ORDER BY b.name`)
+	got := rowStrings(r)
+	want := []string{"ada|2", "carol|2"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestUpdateRows(t *testing.T) {
+	db := testDB(t)
+	n := mustExec(t, db, "UPDATE emp SET salary = salary + 10 WHERE dept = 'ops'")
+	if n != 2 {
+		t.Fatalf("updated %d, want 2", n)
+	}
+	r := mustQuery(t, db, "SELECT salary FROM emp WHERE id = 3")
+	if r.Rows[0][0].Float64() != 100 {
+		t.Errorf("salary = %v", r.Rows[0][0])
+	}
+}
+
+func TestUpdateAllRows(t *testing.T) {
+	db := testDB(t)
+	n := mustExec(t, db, "UPDATE emp SET dept = 'all'")
+	if n != 5 {
+		t.Errorf("updated %d, want 5", n)
+	}
+}
+
+func TestDeleteRows(t *testing.T) {
+	db := testDB(t)
+	n := mustExec(t, db, "DELETE FROM emp WHERE salary < 90")
+	if n != 2 {
+		t.Fatalf("deleted %d, want 2", n)
+	}
+	r := mustQuery(t, db, "SELECT COUNT(*) FROM emp")
+	if r.Rows[0][0].Int64() != 3 {
+		t.Errorf("remaining = %v", r.Rows[0][0])
+	}
+}
+
+func TestInsertNamedColumnsDefaultsNull(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, "INSERT INTO emp (id, name) VALUES (10, 'zed')")
+	r := mustQuery(t, db, "SELECT dept, salary FROM emp WHERE id = 10")
+	if !r.Rows[0][0].IsNull() || !r.Rows[0][1].IsNull() {
+		t.Errorf("unnamed columns should be NULL: %v", rowStrings(r))
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	db := testDB(t)
+	bad := []string{
+		"INSERT INTO missing VALUES (1)",
+		"INSERT INTO emp VALUES (1, 'x')",              // arity
+		"INSERT INTO emp (id, nosuch) VALUES (1, 'x')", // bad column
+		"INSERT INTO emp (id, name) VALUES (1, 'dup')", // PK collision
+		"INSERT INTO emp (id) VALUES (100)",            // name NOT NULL
+	}
+	for _, q := range bad {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("Exec(%q) should fail", q)
+		}
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := testDB(t)
+	bad := []string{
+		"SELECT nosuch FROM emp",
+		"SELECT name FROM missing",
+		"SELECT x.name FROM emp",
+		"SELECT * FROM emp GROUP BY dept",
+		"SELECT name FROM emp WHERE name + 1 = 2", // arithmetic on string
+		"SELECT name FROM emp JOIN missing ON 1 = 1",
+	}
+	for _, q := range bad {
+		if _, err := db.Query(q); err == nil {
+			t.Errorf("Query(%q) should fail", q)
+		}
+	}
+	if _, err := db.Query("UPDATE emp SET dept = 'x'"); err == nil {
+		t.Error("Query on UPDATE should fail")
+	}
+	if _, err := db.Exec("SELECT * FROM emp"); err == nil {
+		t.Error("Exec on SELECT should fail")
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Query("SELECT name FROM emp e JOIN emp b ON e.boss = b.id"); err == nil {
+		t.Error("ambiguous column should fail")
+	}
+}
+
+func TestQueryScalar(t *testing.T) {
+	db := testDB(t)
+	v, err := db.QueryScalar("SELECT COUNT(*) FROM emp")
+	if err != nil || v.Int64() != 5 {
+		t.Errorf("scalar = %v, %v", v, err)
+	}
+	if _, err := db.QueryScalar("SELECT id FROM emp"); err == nil {
+		t.Error("multi-row scalar should fail")
+	}
+}
+
+func TestDropIndexStatement(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, "DROP INDEX emp_dept ON emp")
+	tab, _ := db.Engine().Table("emp")
+	if tab.HasIndex("emp_dept") {
+		t.Error("index survives DROP INDEX")
+	}
+	// Queries on the column still work via full scan.
+	r := mustQuery(t, db, "SELECT name FROM emp WHERE dept = 'eng' ORDER BY name")
+	if len(r.Rows) != 2 {
+		t.Errorf("got %v", rowStrings(r))
+	}
+	if _, err := db.Exec("DROP INDEX emp_dept ON emp"); err == nil {
+		t.Error("double DROP INDEX accepted")
+	}
+	if _, err := db.Exec("DROP INDEX x ON missing"); err == nil {
+		t.Error("DROP INDEX on missing table accepted")
+	}
+}
+
+func TestDropIfExists(t *testing.T) {
+	db := testDB(t)
+	mustExec(t, db, "DROP TABLE IF EXISTS nosuch")
+	if _, err := db.Exec("DROP TABLE nosuch"); err == nil {
+		t.Error("DROP of missing table should fail without IF EXISTS")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, "SELECT id, name FROM emp WHERE id <= 2 ORDER BY id")
+	out := r.FormatTable()
+	if !strings.Contains(out, "id") || !strings.Contains(out, "ada") || !strings.Contains(out, "---") {
+		t.Errorf("FormatTable output:\n%s", out)
+	}
+}
+
+func TestSQLOnFileEngine(t *testing.T) {
+	dir := t.TempDir()
+	fe, err := reldb.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := Open(fe)
+	mustExec(t, db, "CREATE TABLE kv (k TEXT PRIMARY KEY, v INTEGER)")
+	mustExec(t, db, "INSERT INTO kv VALUES ('a', 1), ('b', 2)")
+	fe.Close()
+
+	fe2, err := reldb.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe2.Close()
+	db2 := Open(fe2)
+	r := mustQuery(t, db2, "SELECT v FROM kv WHERE k = 'b'")
+	if r.Rows[0][0].Int64() != 2 {
+		t.Errorf("got %v", rowStrings(r))
+	}
+}
+
+func TestSelectTableStarInJoin(t *testing.T) {
+	db := testDB(t)
+	r := mustQuery(t, db, "SELECT e.* FROM emp e JOIN emp b ON e.boss = b.id WHERE e.id = 2")
+	if len(r.Columns) != 5 || r.Rows[0][1].Text() != "bob" {
+		t.Errorf("got cols=%v rows=%v", r.Columns, rowStrings(r))
+	}
+}
+
+func TestLargeScanAndAggregate(t *testing.T) {
+	db := Open(reldb.NewMem())
+	mustExec(t, db, "CREATE TABLE big (id INTEGER PRIMARY KEY, grp INTEGER, v REAL)")
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO big VALUES ")
+	for i := 0; i < 1000; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d, %d.5)", i, i%10, i)
+	}
+	mustExec(t, db, sb.String())
+	r := mustQuery(t, db, "SELECT grp, COUNT(*) FROM big GROUP BY grp ORDER BY grp")
+	if len(r.Rows) != 10 {
+		t.Fatalf("groups = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row[1].Int64() != 100 {
+			t.Errorf("group %v count %v", row[0], row[1])
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package sqldb
+
+import (
+	"testing"
+
+	"perftrack/internal/reldb"
+)
+
+// FuzzParse checks that arbitrary input never panics the SQL lexer or
+// parser.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM t",
+		"SELECT a, COUNT(*) FROM t JOIN u ON t.id = u.tid WHERE a > 5 GROUP BY a HAVING COUNT(*) > 1 ORDER BY 2 DESC LIMIT 3 OFFSET 1",
+		"INSERT INTO t (a, b) VALUES (1, 'x''y'), (NULL, TRUE)",
+		"CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR(10) NOT NULL, FOREIGN KEY (v) REFERENCES u (w))",
+		"CREATE UNIQUE INDEX i ON t (a, b)",
+		"UPDATE t SET a = a + 1 WHERE b BETWEEN 1 AND 2",
+		"DELETE FROM t WHERE a NOT IN (1, 2) OR b IS NOT NULL",
+		"DROP TABLE IF EXISTS t;",
+		"SELECT -1.5e3, \"quoted ident\" FROM t -- comment",
+		"SELECT a FROM t WHERE s LIKE '%x_'",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, query string) {
+		stmt, err := Parse(query)
+		if err != nil {
+			return
+		}
+		if stmt == nil {
+			t.Fatal("nil statement without error")
+		}
+	})
+}
+
+// FuzzQueryExecution runs fuzzed SELECTs against a small fixed database:
+// execution must never panic, only return errors.
+func FuzzQueryExecution(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM emp",
+		"SELECT dept, AVG(salary) FROM emp GROUP BY dept",
+		"SELECT e.name FROM emp e JOIN emp b ON e.boss = b.id",
+		"SELECT name FROM emp WHERE salary / 0 IS NULL",
+		"SELECT COUNT(DISTINCT dept) FROM emp ORDER BY 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	db := fuzzDB()
+	f.Fuzz(func(t *testing.T, query string) {
+		res, err := db.Query(query)
+		if err != nil {
+			return
+		}
+		if res == nil {
+			t.Fatal("nil result without error")
+		}
+	})
+}
+
+func fuzzDB() *DB {
+	db := Open(reldb.NewMem())
+	db.Exec(`CREATE TABLE emp (id INTEGER PRIMARY KEY, name TEXT NOT NULL,
+		dept TEXT, salary REAL, boss INTEGER)`)
+	db.Exec("CREATE INDEX emp_dept ON emp (dept)")
+	db.Exec(`INSERT INTO emp VALUES (1,'ada','eng',120.0,NULL),(2,'bob','eng',100.0,1),
+		(3,'carol','ops',90.0,1),(4,'dave',NULL,80.0,3)`)
+	return db
+}
