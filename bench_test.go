@@ -482,6 +482,77 @@ func BenchmarkQuerySQLVsDirect(b *testing.B) {
 	})
 }
 
+// prFilterEngineFamilies builds the four families the pr-filter engine
+// benchmarks combine: a machine subtree, the applications, a code
+// subtree, and the executions.
+func prFilterEngineFamilies(b *testing.B, s *datastore.Store) []core.Family {
+	b.Helper()
+	specs := []core.ResourceFilter{
+		{Name: "/MCRGrid/MCR", Include: core.IncludeDescendants},
+		{Type: "application"},
+		{Name: "/app-code/irs.c", Include: core.IncludeDescendants},
+		{Type: "execution"},
+	}
+	fams := make([]core.Family, 0, len(specs))
+	for _, rf := range specs {
+		fam, err := s.ApplyFilter(rf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fam.Size() == 0 {
+			b.Fatalf("empty family for %+v", rf)
+		}
+		fams = append(fams, fam)
+	}
+	return fams
+}
+
+// BenchmarkPRFilterEngine measures the pr-filter fast path on the
+// Figure 3/4 store: attribute filters answered from the resource_attribute
+// (name, value) index, cold pr-filter evaluation over 1–4 families (the
+// match cache is invalidated every iteration), and cached re-evaluation
+// (the GUI's repeated live counts between writes).
+func BenchmarkPRFilterEngine(b *testing.B) {
+	s := fig34Store(b)
+	fams := prFilterEngineFamilies(b, s)
+	attrFilter := core.ResourceFilter{Attrs: []core.AttrPredicate{
+		{Attr: "clock MHz", Cmp: core.CmpGt, Value: "1000"},
+	}}
+	b.Run("ApplyFilter/attr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fam, err := s.ApplyFilter(attrFilter)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if fam.Size() == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+	for n := 1; n <= len(fams); n++ {
+		prf := core.PRFilter{Families: fams[:n]}
+		b.Run(fmt.Sprintf("CountMatches/cold-%dfam", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.InvalidateQueryCache()
+				if _, err := s.CountMatches(prf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("CountMatches/cached-%dfam", n), func(b *testing.B) {
+			if _, err := s.CountMatches(prf); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.CountMatches(prf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPRFilterScaling measures pr-filter evaluation as the store
 // grows, the scalability concern Table 1 speaks to.
 func BenchmarkPRFilterScaling(b *testing.B) {

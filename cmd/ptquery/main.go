@@ -47,6 +47,7 @@ func main() {
 	var families stringList
 	flag.Var(&families, "family", "resource-filter spec (repeatable)")
 	countOnly := flag.Bool("count", false, "print match counts only (Figure 3 live counts)")
+	explain := flag.Bool("explain", false, "print query-engine statistics (generation, match-cache hits) to stderr")
 	report := flag.String("report", "", "report: executions, metrics, applications, tools, stats, free")
 	sqlQuery := flag.String("sql", "", "run a raw SQL query against the store")
 	detail := flag.String("detail", "", "print the detail report for one execution")
@@ -139,6 +140,11 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "pr-filter matches %d performance results\n", total)
+	if *explain {
+		st := store.QueryEngineStats()
+		fmt.Fprintf(os.Stderr, "query engine: generation %d, cache %d hits / %d misses, %d entries\n",
+			st.Generation, st.CacheHits, st.CacheMisses, st.CacheEntries)
+	}
 	if *countOnly {
 		return
 	}

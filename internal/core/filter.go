@@ -1,6 +1,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strconv"
@@ -187,6 +189,18 @@ func (f Family) Members() []ResourceName {
 	return out
 }
 
+// Signature returns a canonical identity for the family's member set:
+// two families have equal signatures iff they contain the same resources,
+// regardless of insertion order. Query layers use it as a cache key.
+func (f Family) Signature() string {
+	h := sha256.New()
+	for _, n := range f.Members() {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Apply evaluates a resource filter over a resource universe, including
 // relatives per the filter's Include flag, and returns the family.
 func (rf ResourceFilter) Apply(universe []*Resource) Family {
@@ -228,6 +242,24 @@ func (rf ResourceFilter) Apply(universe []*Resource) Family {
 // of interest (§2.2).
 type PRFilter struct {
 	Families []Family
+}
+
+// Signature returns a canonical identity for the pr-filter: family order
+// and duplicate families do not affect it, mirroring the match rule's
+// semantics (intersection is commutative and idempotent).
+func (prf PRFilter) Signature() string {
+	sigs := make([]string, 0, len(prf.Families))
+	for _, fam := range prf.Families {
+		sigs = append(sigs, fam.Signature())
+	}
+	sort.Strings(sigs)
+	out := sigs[:0]
+	for _, sig := range sigs {
+		if len(out) == 0 || sig != out[len(out)-1] {
+			out = append(out, sig)
+		}
+	}
+	return strings.Join(out, "+")
 }
 
 // MatchesResources implements the paper's match rule against the union of

@@ -359,3 +359,40 @@ func TestPrimaryContext(t *testing.T) {
 		t.Errorf("missing primary should be empty, got %v", got)
 	}
 }
+
+func TestFamilySignatureCanonical(t *testing.T) {
+	a := NewFamily("/x", "/y", "/z")
+	b := NewFamily("/z", "/x")
+	b.Add("/y")
+	if a.Signature() != b.Signature() {
+		t.Error("same member set, different signatures")
+	}
+	c := NewFamily("/x", "/y")
+	if a.Signature() == c.Signature() {
+		t.Error("different member sets, equal signatures")
+	}
+	if NewFamily().Signature() == c.Signature() {
+		t.Error("empty family collides with non-empty")
+	}
+}
+
+func TestPRFilterSignatureOrderAndDuplicates(t *testing.T) {
+	a := NewFamily("/x", "/y")
+	b := NewFamily("/z")
+	fwd := PRFilter{Families: []Family{a, b}}
+	rev := PRFilter{Families: []Family{b, a}}
+	dup := PRFilter{Families: []Family{a, b, a}}
+	if fwd.Signature() != rev.Signature() {
+		t.Error("family order changed the signature")
+	}
+	if fwd.Signature() != dup.Signature() {
+		t.Error("duplicate family changed the signature")
+	}
+	only := PRFilter{Families: []Family{a}}
+	if fwd.Signature() == only.Signature() {
+		t.Error("dropping a family kept the signature")
+	}
+	if (PRFilter{}).Signature() == only.Signature() {
+		t.Error("empty filter collides")
+	}
+}

@@ -1,0 +1,73 @@
+package datastore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// maxCacheEntries bounds the match cache. The GUI workload re-issues a
+// handful of signatures per click, so the bound exists only to keep a
+// pathological scripted workload from growing the map without limit;
+// overflow drops the whole map (entries are cheap to recompute).
+const maxCacheEntries = 1024
+
+// queryCache memoizes pr-filter evaluation keyed by canonical filter
+// signature and stamped with the store generation. Every store mutation
+// bumps the generation, so a stale entry can never be served: the first
+// lookup at a newer generation discards the previous generation's
+// entries wholesale.
+type queryCache struct {
+	mu      sync.Mutex
+	gen     uint64
+	entries map[string]idSet
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+func newQueryCache() *queryCache {
+	return &queryCache{entries: make(map[string]idSet)}
+}
+
+// get returns the cached set for key at generation gen. Cached sets are
+// shared: callers must treat them as immutable.
+func (c *queryCache) get(gen uint64, key string) (idSet, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		c.gen = gen
+		c.entries = make(map[string]idSet)
+	}
+	ids, ok := c.entries[key]
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return ids, ok
+}
+
+// put stores a set computed at generation gen unless the store has moved
+// on since the computation started.
+func (c *queryCache) put(gen uint64, key string, ids idSet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		if c.gen > gen {
+			return // computed against an older snapshot; do not poison
+		}
+		c.gen = gen
+		c.entries = make(map[string]idSet)
+	}
+	if len(c.entries) >= maxCacheEntries {
+		c.entries = make(map[string]idSet)
+	}
+	c.entries[key] = ids
+}
+
+// size reports the current number of cached entries.
+func (c *queryCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

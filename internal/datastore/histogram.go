@@ -15,6 +15,7 @@ import (
 // holding every bin. NaN marks bins with no data. It returns the
 // performance-result ID.
 func (s *Store) AddHistogramResult(pr *core.PerformanceResult, binWidth float64, values []float64) (int64, error) {
+	s.bumpGen()
 	if binWidth <= 0 {
 		return 0, fmt.Errorf("datastore: histogram bin width %g <= 0", binWidth)
 	}

@@ -1,0 +1,135 @@
+package datastore
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func refIntersect(a, b idSet) idSet {
+	in := make(map[int64]bool, len(a))
+	for _, v := range a {
+		in[v] = true
+	}
+	var out idSet
+	for _, v := range b {
+		if in[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalSets(a, b idSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSortDedup(t *testing.T) {
+	cases := []struct {
+		in, want []int64
+	}{
+		{nil, nil},
+		{[]int64{5}, []int64{5}},
+		{[]int64{3, 1, 2}, []int64{1, 2, 3}},
+		{[]int64{2, 2, 2}, []int64{2}},
+		{[]int64{9, 1, 9, 1, 5}, []int64{1, 5, 9}},
+	}
+	for _, c := range cases {
+		got := sortDedup(append([]int64(nil), c.in...))
+		if !equalSets(got, c.want) {
+			t.Errorf("sortDedup(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGallopSearch(t *testing.T) {
+	s := idSet{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+	for v := int64(0); v <= 22; v++ {
+		want := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+		if got := gallopSearch(s, v); got != want {
+			t.Errorf("gallopSearch(%v) = %d, want %d", v, got, want)
+		}
+	}
+	if got := gallopSearch(nil, 1); got != 0 {
+		t.Errorf("gallopSearch(empty) = %d", got)
+	}
+}
+
+func TestIntersectEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b idSet
+		want idSet
+	}{
+		{"both-empty", nil, nil, nil},
+		{"one-empty", idSet{1, 2}, nil, nil},
+		{"disjoint", idSet{1, 3, 5}, idSet{2, 4, 6}, nil},
+		{"identical", idSet{1, 2, 3}, idSet{1, 2, 3}, idSet{1, 2, 3}},
+		{"subset", idSet{2, 4}, idSet{1, 2, 3, 4, 5}, idSet{2, 4}},
+		{"tails", idSet{1, 100}, idSet{100, 200}, idSet{100}},
+	}
+	for _, c := range cases {
+		if got := c.a.intersect(c.b); !equalSets(got, c.want) {
+			t.Errorf("%s: %v ∩ %v = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+		if got := c.b.intersect(c.a); !equalSets(got, c.want) {
+			t.Errorf("%s (swapped): got %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestIntersectRandomized checks the merge and galloping paths against a
+// map-based reference, including heavily skewed sizes that force the
+// gallop path.
+func TestIntersectRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sizes := [][2]int{{10, 10}, {100, 100}, {5, 1000}, {1, 10000}, {0, 50}, {300, 3000}}
+	for _, sz := range sizes {
+		for trial := 0; trial < 20; trial++ {
+			mk := func(n int) idSet {
+				ids := make([]int64, n)
+				for i := range ids {
+					ids[i] = int64(rng.Intn(4 * (n + 10)))
+				}
+				return sortDedup(ids)
+			}
+			a, b := mk(sz[0]), mk(sz[1])
+			want := refIntersect(a, b)
+			if got := a.intersect(b); !equalSets(got, want) {
+				t.Fatalf("sizes %v trial %d: got %v want %v (a=%v b=%v)", sz, trial, got, want, a, b)
+			}
+		}
+	}
+}
+
+func TestIntersectAll(t *testing.T) {
+	if got := intersectAll(nil); got != nil {
+		t.Errorf("intersectAll(nil) = %v", got)
+	}
+	one := idSet{1, 2, 3}
+	if got := intersectAll([]idSet{one}); !equalSets(got, one) {
+		t.Errorf("single set = %v", got)
+	}
+	got := intersectAll([]idSet{
+		{1, 2, 3, 4, 5, 6},
+		{2, 4, 6, 8},
+		{4, 6, 10},
+	})
+	if !equalSets(got, idSet{4, 6}) {
+		t.Errorf("three-way = %v, want [4 6]", got)
+	}
+	// An empty set anywhere empties the result without touching the rest.
+	got = intersectAll([]idSet{{1, 2}, nil, {2, 3}})
+	if len(got) != 0 {
+		t.Errorf("with empty member = %v, want empty", got)
+	}
+}

@@ -2,7 +2,9 @@ package datastore
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"perftrack/internal/core"
 	"perftrack/internal/reldb"
@@ -214,12 +216,14 @@ func (s *Store) Descendants(name core.ResourceName) ([]core.ResourceName, error)
 		for len(queue) > 0 {
 			cur := queue[0]
 			queue = queue[1:]
-			_ = riTab.IndexScan("resource_item_parent", []reldb.Value{reldb.Int(cur)},
+			if err := riTab.IndexScan("resource_item_parent", []reldb.Value{reldb.Int(cur)},
 				func(cid int64, row reldb.Row) bool {
 					out = append(out, core.ResourceName(row[1].Text()))
 					queue = append(queue, cid)
 					return true
-				})
+				}); err != nil {
+				return nil, err
+			}
 		}
 	}
 	sortNames(out)
@@ -232,9 +236,13 @@ func sortNames(ns []core.ResourceName) {
 
 // ApplyFilter evaluates a resource filter over the store, returning the
 // resulting resource family (relatives included per the filter's flag).
+// Attribute predicates are answered from the resource_attribute
+// (name, value) index — one index scan per predicate, intersected
+// smallest-first — instead of materializing every candidate resource.
 func (s *Store) ApplyFilter(rf core.ResourceFilter) (core.Family, error) {
 	fam := core.NewFamily()
 	var matched []core.ResourceName
+	selected := true // a name/base/type selection mode is set
 	switch {
 	case rf.Name != "":
 		if s.HasResource(rf.Name) {
@@ -253,34 +261,42 @@ func (s *Store) ApplyFilter(rf core.ResourceFilter) (core.Family, error) {
 		}
 		matched = ms
 	default:
-		// Attribute-only filter: scan all resources.
+		selected = false
+	}
+	switch {
+	case len(rf.Attrs) > 0:
+		ids, err := s.attrFilterIDs(rf.Attrs)
+		if err != nil {
+			return fam, err
+		}
+		if selected {
+			// Narrow the selected names by the attribute ID-set.
+			s.mu.Lock()
+			sel := make([]int64, 0, len(matched))
+			for _, name := range matched {
+				if id, ok := s.resIDs[name]; ok {
+					sel = append(sel, id)
+				}
+			}
+			s.mu.Unlock()
+			ids = sortDedup(sel).intersect(ids)
+		}
+		matched = matched[:0]
+		s.mu.Lock()
+		for _, id := range ids {
+			if n, ok := s.resNames[id]; ok {
+				matched = append(matched, n)
+			}
+		}
+		s.mu.Unlock()
+		sortNames(matched)
+	case !selected:
+		// No selection criteria at all: every resource matches.
 		riTab, _ := s.eng.Table("resource_item")
 		riTab.Scan(func(_ int64, row reldb.Row) bool {
 			matched = append(matched, core.ResourceName(row[1].Text()))
 			return true
 		})
-	}
-	// Apply attribute predicates.
-	if len(rf.Attrs) > 0 {
-		var kept []core.ResourceName
-		for _, name := range matched {
-			res, err := s.ResourceByName(name)
-			if err != nil {
-				return fam, err
-			}
-			ok := true
-			for _, p := range rf.Attrs {
-				got, has := res.Attributes[p.Attr]
-				if !has || !p.Eval(got) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				kept = append(kept, name)
-			}
-		}
-		matched = kept
 	}
 	for _, m := range matched {
 		fam.Add(m)
@@ -310,12 +326,67 @@ func (s *Store) ApplyFilter(rf core.ResourceFilter) (core.Family, error) {
 	return fam, nil
 }
 
-// familyResultIDs returns the set of performance-result IDs whose contexts
-// touch any member of the family.
-func (s *Store) familyResultIDs(fam core.Family) (map[int64]bool, error) {
+// attrMatchIDs returns the sorted IDs of resources whose effective value
+// for the predicate's attribute satisfies it, from one scan of the
+// resource_attribute (name, value) index. When an attribute was set more
+// than once, the highest-rowid row wins — the same last-write-wins rule
+// resource materialization applies.
+func (s *Store) attrMatchIDs(p core.AttrPredicate) (idSet, error) {
+	raTab, ok := s.eng.Table("resource_attribute")
+	if !ok {
+		return nil, fmt.Errorf("datastore: no resource_attribute table")
+	}
+	type cur struct {
+		rowID int64
+		value string
+	}
+	latest := make(map[int64]cur)
+	if err := raTab.IndexScan("resource_attribute_name", []reldb.Value{reldb.Str(p.Attr)},
+		func(id int64, row reldb.Row) bool {
+			rid := row[1].Int64()
+			if c, ok := latest[rid]; !ok || id > c.rowID {
+				latest[rid] = cur{id, row[3].Text()}
+			}
+			return true
+		}); err != nil {
+		return nil, err
+	}
+	ids := make([]int64, 0, len(latest))
+	for rid, c := range latest {
+		if p.Eval(c.value) {
+			ids = append(ids, rid)
+		}
+	}
+	return sortDedup(ids), nil
+}
+
+// attrFilterIDs evaluates a conjunction of attribute predicates through
+// the attribute index, intersecting the per-predicate candidate sets
+// smallest-first.
+func (s *Store) attrFilterIDs(preds []core.AttrPredicate) (idSet, error) {
+	sets := make([]idSet, len(preds))
+	for i, p := range preds {
+		ids, err := s.attrMatchIDs(p)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = ids
+	}
+	return intersectAll(sets), nil
+}
+
+// familyResultIDs returns the sorted set of performance-result IDs whose
+// contexts touch any member of the family. Results are cached per store
+// generation under the family's canonical signature, so the GUI's
+// per-family live counts cost one map lookup between writes.
+func (s *Store) familyResultIDs(fam core.Family) (idSet, error) {
+	gen := s.gen.Load()
+	key := "fam:" + fam.Signature()
+	if ids, ok := s.cache.get(gen, key); ok {
+		return ids, nil
+	}
 	fhrTab, _ := s.eng.Table("focus_has_resource")
 	rhfTab, _ := s.eng.Table("result_has_focus")
-	focusSet := make(map[int64]bool)
 	s.mu.Lock()
 	memberIDs := make([]int64, 0, fam.Size())
 	for _, name := range fam.Members() {
@@ -324,71 +395,125 @@ func (s *Store) familyResultIDs(fam core.Family) (map[int64]bool, error) {
 		}
 	}
 	s.mu.Unlock()
+	var focusIDs []int64
 	for _, rid := range memberIDs {
 		if err := fhrTab.IndexScan("fhr_resource", []reldb.Value{reldb.Int(rid)},
 			func(_ int64, row reldb.Row) bool {
-				focusSet[row[0].Int64()] = true
+				focusIDs = append(focusIDs, row[0].Int64())
 				return true
 			}); err != nil {
 			return nil, err
 		}
 	}
-	results := make(map[int64]bool)
-	for fid := range focusSet {
+	var results []int64
+	for _, fid := range sortDedup(focusIDs) {
 		if err := rhfTab.IndexScan("rhf_focus", []reldb.Value{reldb.Int(fid)},
 			func(_ int64, row reldb.Row) bool {
-				results[row[0].Int64()] = true
+				results = append(results, row[0].Int64())
 				return true
 			}); err != nil {
 			return nil, err
 		}
 	}
-	return results, nil
+	ids := sortDedup(results)
+	s.cache.put(gen, key, ids)
+	return ids, nil
 }
 
-// MatchingResultIDs evaluates a pr-filter: the IDs of performance results
-// whose contexts contain at least one resource from every family.
-func (s *Store) MatchingResultIDs(prf core.PRFilter) ([]int64, error) {
-	prTab, _ := s.eng.Table("performance_result")
+// familySets evaluates every family's result-ID set, fanning out over a
+// bounded worker pool when more than one family (and CPU) is available.
+// The engine takes a reader lock per scan, so independent families read
+// concurrently without blocking each other.
+func (s *Store) familySets(fams []core.Family) ([]idSet, error) {
+	sets := make([]idSet, len(fams))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(fams) {
+		workers = len(fams)
+	}
+	if workers <= 1 {
+		for i, fam := range fams {
+			ids, err := s.familyResultIDs(fam)
+			if err != nil {
+				return nil, err
+			}
+			sets[i] = ids
+		}
+		return sets, nil
+	}
+	errs := make([]error, len(fams))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				sets[i], errs[i] = s.familyResultIDs(fams[i])
+			}
+		}()
+	}
+	for i := range fams {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sets, nil
+}
+
+// matchingIDs evaluates a pr-filter to its sorted result ID-set. The
+// returned set may be shared with the cache; callers must not modify it.
+func (s *Store) matchingIDs(prf core.PRFilter) (idSet, error) {
 	if len(prf.Families) == 0 {
+		prTab, _ := s.eng.Table("performance_result")
 		var all []int64
 		prTab.Scan(func(id int64, _ reldb.Row) bool {
 			all = append(all, id)
 			return true
 		})
-		return all, nil
+		return sortDedup(all), nil
 	}
-	// Intersect per-family result sets, smallest first.
-	sets := make([]map[int64]bool, 0, len(prf.Families))
-	for _, fam := range prf.Families {
-		set, err := s.familyResultIDs(fam)
-		if err != nil {
-			return nil, err
-		}
-		sets = append(sets, set)
+	gen := s.gen.Load()
+	key := "prf:" + prf.Signature()
+	if ids, ok := s.cache.get(gen, key); ok {
+		return ids, nil
 	}
-	sort.Slice(sets, func(i, j int) bool { return len(sets[i]) < len(sets[j]) })
-	var out []int64
-	for id := range sets[0] {
-		ok := true
-		for _, set := range sets[1:] {
-			if !set[id] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, id)
-		}
+	sets, err := s.familySets(prf.Families)
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	ids := intersectAll(sets)
+	s.cache.put(gen, key, ids)
+	return ids, nil
+}
+
+// MatchingResultIDs evaluates a pr-filter: the IDs of performance results
+// whose contexts contain at least one resource from every family, sorted
+// ascending. The returned slice is the caller's to modify.
+func (s *Store) MatchingResultIDs(prf core.PRFilter) ([]int64, error) {
+	ids, err := s.matchingIDs(prf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(ids))
+	copy(out, ids)
 	return out, nil
 }
 
 // CountMatches reports how many performance results a pr-filter selects —
-// the GUI's live match count.
+// the GUI's live match count. It counts through the set layer without
+// materializing or copying the ID slice; with a warm cache it is one map
+// lookup.
 func (s *Store) CountMatches(prf core.PRFilter) (int, error) {
-	ids, err := s.MatchingResultIDs(prf)
+	if len(prf.Families) == 0 {
+		prTab, _ := s.eng.Table("performance_result")
+		return prTab.Len(), nil
+	}
+	ids, err := s.matchingIDs(prf)
 	if err != nil {
 		return 0, err
 	}
@@ -398,11 +523,11 @@ func (s *Store) CountMatches(prf core.PRFilter) (int, error) {
 // CountFamilyMatches reports how many results one family alone selects —
 // the GUI's per-family count.
 func (s *Store) CountFamilyMatches(fam core.Family) (int, error) {
-	set, err := s.familyResultIDs(fam)
+	ids, err := s.familyResultIDs(fam)
 	if err != nil {
 		return 0, err
 	}
-	return len(set), nil
+	return len(ids), nil
 }
 
 // ResultByID materializes a performance result with its contexts.

@@ -204,35 +204,57 @@ func createSchema(sql *sqldb.DB) error {
 	return nil
 }
 
-// migrateSchema creates any tables (and their indexes) added to the
-// schema after an existing store was initialized, so stores survive
-// upgrades of this package.
+// migrateSchema creates any tables and indexes added to the schema after
+// an existing store was initialized, so stores survive upgrades of this
+// package. Indexes missing from an existing table (e.g. the
+// resource_attribute (name, value) index the pr-filter fast path scans)
+// are created through the engine, which backfills them from the table's
+// current rows.
 func migrateSchema(sql *sqldb.DB, eng reldb.Engine) error {
-	pendingTable := ""
 	for _, ddl := range schemaDDL {
 		trimmed := strings.TrimSpace(ddl)
 		switch {
 		case strings.HasPrefix(trimmed, "CREATE TABLE "):
 			name := strings.Fields(strings.TrimPrefix(trimmed, "CREATE TABLE "))[0]
 			if _, exists := eng.Table(name); exists {
-				pendingTable = ""
 				continue
 			}
 			if _, err := sql.Exec(ddl); err != nil {
 				return fmt.Errorf("datastore: migrate %s: %w", name, err)
 			}
-			pendingTable = name
 		case strings.Contains(trimmed, "INDEX"):
-			// Index statements follow their table; only run those for a
-			// table we just created.
-			if pendingTable != "" && strings.Contains(trimmed, " ON "+pendingTable+" ") {
-				if _, err := sql.Exec(ddl); err != nil {
-					return fmt.Errorf("datastore: migrate index: %w", err)
-				}
+			idxName, tblName, err := parseIndexDDL(trimmed)
+			if err != nil {
+				return err
+			}
+			tab, exists := eng.Table(tblName)
+			if !exists || tab.HasIndex(idxName) {
+				continue
+			}
+			if _, err := sql.Exec(ddl); err != nil {
+				return fmt.Errorf("datastore: migrate index %s: %w", idxName, err)
 			}
 		}
 	}
 	return nil
+}
+
+// parseIndexDDL extracts the index and table names from a
+// CREATE [UNIQUE] INDEX statement of the schema DDL.
+func parseIndexDDL(ddl string) (index, table string, err error) {
+	fields := strings.Fields(ddl)
+	for i, f := range fields {
+		if f == "INDEX" && i+1 < len(fields) {
+			index = fields[i+1]
+		}
+		if f == "ON" && i+1 < len(fields) {
+			table = fields[i+1]
+		}
+	}
+	if index == "" || table == "" {
+		return "", "", fmt.Errorf("datastore: malformed index DDL %q", ddl)
+	}
+	return index, table, nil
 }
 
 // schemaExists reports whether the schema is already present.

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"perftrack/internal/core"
 	"perftrack/internal/reldb"
@@ -24,6 +25,13 @@ type Store struct {
 	// design, default) or recompute by walking parent links (the ablation
 	// baseline). Loading always maintains the tables.
 	UseClosureTables bool
+
+	// gen is the store generation, bumped on every mutation; cache holds
+	// generation-stamped pr-filter results (see cache.go). Together they
+	// make the GUI's repeated CountMatches/CountFamilyMatches O(1) between
+	// writes without any risk of serving stale counts.
+	gen   atomic.Uint64
+	cache *queryCache
 
 	mu       sync.Mutex
 	types    *core.TypeSystem
@@ -44,6 +52,7 @@ func Open(eng reldb.Engine) (*Store, error) {
 	s := &Store{
 		eng:              eng,
 		sql:              sqldb.Open(eng),
+		cache:            newQueryCache(),
 		UseClosureTables: true,
 		types:            core.NewTypeSystem(),
 		typeIDs:          make(map[core.TypePath]int64),
@@ -82,6 +91,38 @@ func Open(eng reldb.Engine) (*Store, error) {
 
 // Engine returns the underlying storage engine.
 func (s *Store) Engine() reldb.Engine { return s.eng }
+
+// bumpGen advances the store generation, invalidating all cached
+// pr-filter results. Every mutating entry point calls it, including
+// no-op re-adds: over-invalidation is always safe.
+func (s *Store) bumpGen() { s.gen.Add(1) }
+
+// Generation returns the current store generation. It increases on every
+// mutation; cached query results are only served within one generation.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
+
+// InvalidateQueryCache discards all cached pr-filter results. Callers
+// that mutate the engine behind the store's back (raw SQL DML, direct
+// engine inserts) must call it before querying again.
+func (s *Store) InvalidateQueryCache() { s.bumpGen() }
+
+// QueryEngineStats reports the pr-filter fast path's cache behaviour.
+type QueryEngineStats struct {
+	Generation   uint64
+	CacheHits    uint64
+	CacheMisses  uint64
+	CacheEntries int
+}
+
+// QueryEngineStats snapshots the query engine counters.
+func (s *Store) QueryEngineStats() QueryEngineStats {
+	return QueryEngineStats{
+		Generation:   s.gen.Load(),
+		CacheHits:    s.cache.hits.Load(),
+		CacheMisses:  s.cache.misses.Load(),
+		CacheEntries: s.cache.size(),
+	}
+}
 
 // SQL returns the SQL interface over the same data, for ad-hoc queries.
 func (s *Store) SQL() *sqldb.DB { return s.sql }
@@ -143,6 +184,7 @@ func (s *Store) Types() *core.TypeSystem {
 // AddResourceType registers a resource type (the extensible type system of
 // §2.1). Parent levels must be registered first; re-adding is a no-op.
 func (s *Store) AddResourceType(t core.TypePath) error {
+	s.bumpGen()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.addResourceTypeLocked(t)
@@ -172,6 +214,7 @@ func (s *Store) addResourceTypeLocked(t core.TypePath) error {
 // AddApplication registers an application; re-adding returns the existing
 // ID.
 func (s *Store) AddApplication(name string) (int64, error) {
+	s.bumpGen()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.addApplicationLocked(name)
@@ -195,6 +238,7 @@ func (s *Store) addApplicationLocked(name string) (int64, error) {
 // AddExecution registers an execution of an application, creating the
 // application if needed.
 func (s *Store) AddExecution(name, app string) (int64, error) {
+	s.bumpGen()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.addExecutionLocked(name, app)
@@ -239,6 +283,7 @@ func (s *Store) lookupIn(table string, cache map[string]int64, name string) (int
 // created automatically with the corresponding type prefix. Re-adding an
 // existing resource returns its ID.
 func (s *Store) AddResource(name core.ResourceName, typ core.TypePath, exec string) (int64, error) {
+	s.bumpGen()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.addResourceLocked(name, typ, exec)
@@ -304,6 +349,7 @@ func (s *Store) addResourceLocked(name core.ResourceName, typ core.TypePath, exe
 
 // SetResourceAttribute attaches a string attribute to a resource.
 func (s *Store) SetResourceAttribute(name core.ResourceName, attr, value string) error {
+	s.bumpGen()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	id, ok := s.resIDs[name]
@@ -319,6 +365,7 @@ func (s *Store) SetResourceAttribute(name core.ResourceName, attr, value string)
 // AddResourceConstraint records a resource-valued attribute: r2 is an
 // attribute of r1 (e.g. the node a process ran on).
 func (s *Store) AddResourceConstraint(r1, r2 core.ResourceName) error {
+	s.bumpGen()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	id1, ok := s.resIDs[r1]
@@ -388,6 +435,7 @@ func (s *Store) internFocus(ctx core.Context) (int64, error) {
 // AddPerfResult stores a performance result with its contexts. The
 // execution and all context resources must already exist.
 func (s *Store) AddPerfResult(pr *core.PerformanceResult) (int64, error) {
+	s.bumpGen()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.addPerfResultLocked(pr)

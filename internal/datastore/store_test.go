@@ -615,3 +615,67 @@ func TestSQLInterfaceOverStore(t *testing.T) {
 		t.Errorf("metric groups = %d", len(r.Rows))
 	}
 }
+
+func TestSchemaMigrationBackfillsAttributeIndex(t *testing.T) {
+	// Simulate a store created by an older version that lacked the
+	// resource_attribute (name, value) index the pr-filter fast path
+	// scans: drop it, reopen, and expect Open to recreate it backfilled
+	// from the existing attribute rows.
+	dir := t.TempDir()
+	fe, err := reldb.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(fe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddResource("/GF/Frost", "grid/machine", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddResource("/GM/MCR", "grid/machine", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetResourceAttribute("/GF/Frost", "vendor", "IBM"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetResourceAttribute("/GM/MCR", "vendor", "LNXI"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fe.DropIndex("resource_attribute", "resource_attribute_name"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fe2, err := reldb.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe2.Close()
+	raTab, ok := fe2.Table("resource_attribute")
+	if !ok {
+		t.Fatal("resource_attribute table missing after reopen")
+	}
+	if raTab.HasIndex("resource_attribute_name") {
+		t.Fatal("index present before migration; DropIndex did not persist")
+	}
+	s2, err := Open(fe2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !raTab.HasIndex("resource_attribute_name") {
+		t.Fatal("migration did not recreate resource_attribute_name")
+	}
+	// The backfilled index answers attribute filters over pre-migration rows.
+	fam, err := s2.ApplyFilter(core.ResourceFilter{
+		Attrs: []core.AttrPredicate{{Attr: "vendor", Cmp: core.CmpEq, Value: "IBM"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Size() != 1 || !fam.Contains("/GF/Frost") {
+		t.Fatalf("attribute filter over migrated index = %v", fam.Members())
+	}
+}
