@@ -1,28 +1,40 @@
 // Command ptload loads PTdf files into a PerfTrack data store through the
-// PTdataStore interface (§3.3).
+// PTdataStore interface (§3.3), either directly against a store directory
+// or over the network against a running ptserved instance.
 //
 // Usage:
 //
 //	ptload -db DIR file.ptdf [file.ptdf ...]
+//	ptload -remote http://host:7075 file.ptdf [file.ptdf ...]
+//
+// Each file loads transactionally: a bad record rolls the whole file
+// back, so a failed load never leaves a partial experiment behind.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"perftrack/internal/client"
 	"perftrack/internal/datastore"
 	"perftrack/internal/reldb"
 )
 
 func main() {
-	dbDir := flag.String("db", "", "data store directory (required)")
-	checkpoint := flag.Bool("checkpoint", true, "checkpoint the store after loading")
+	dbDir := flag.String("db", "", "data store directory")
+	remote := flag.String("remote", "", "ptserved base URL (e.g. http://localhost:7075) instead of -db")
+	checkpoint := flag.Bool("checkpoint", true, "checkpoint the store after loading (direct -db mode only)")
 	flag.Parse()
-	if *dbDir == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "ptload: -db and at least one PTdf file are required")
+	if (*dbDir == "") == (*remote == "") || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "ptload: exactly one of -db or -remote, and at least one PTdf file, are required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *remote != "" {
+		loadRemote(*remote, flag.Args())
+		return
 	}
 	fe, err := reldb.OpenFile(*dbDir)
 	if err != nil {
@@ -39,8 +51,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%s: %d records (%d resources, %d attributes, %d results)\n",
-			path, stats.Records, stats.Resources, stats.Attributes, stats.Results)
+		printFileStats(path, stats)
 		total.Add(stats)
 	}
 	if *checkpoint {
@@ -55,6 +66,39 @@ func main() {
 	}
 	fmt.Printf("loaded %d records total; store now holds %d executions, %d results, %d resources (%.1f MB on disk)\n",
 		total.Records, st.Executions, st.Results, st.Resources, float64(size)/(1<<20))
+}
+
+// loadRemote streams each file to a ptserved instance. The client
+// retries shed (429) and transient failures with backoff; the server
+// rolls back any file that fails partway.
+func loadRemote(baseURL string, paths []string) {
+	c := client.New(baseURL)
+	ctx := context.Background()
+	var total datastore.LoadStats
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		resp, err := c.Load(ctx, f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		printFileStats(path, resp.Stats)
+		total.Add(resp.Stats)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %d records total; store now holds %d executions, %d results, %d resources\n",
+		total.Records, st.Store.Executions, st.Store.Results, st.Store.Resources)
+}
+
+func printFileStats(path string, stats datastore.LoadStats) {
+	fmt.Printf("%s: %d records (%d resources, %d attributes, %d results)\n",
+		path, stats.Records, stats.Resources, stats.Attributes, stats.Results)
 }
 
 func fatal(err error) {

@@ -19,19 +19,27 @@
 //	ptquery -db store -family 'type=application' -addattr execution.nprocs -sort value -csv out.csv
 //	ptquery -db store -report metrics
 //	ptquery -db store -sql 'SELECT name FROM metric ORDER BY name'
+//
+// With -remote http://host:7075 the same counts, result tables, and
+// reports are answered by a running ptserved instance instead of a local
+// store directory; -sql, -detail, -delete-exec, -chart, -csv, and
+// -report free need direct store access and remain local-only.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
 
+	"perftrack/internal/client"
 	"perftrack/internal/core"
 	"perftrack/internal/datastore"
 	"perftrack/internal/query"
 	"perftrack/internal/reldb"
+	"perftrack/internal/server"
 )
 
 type stringList []string
@@ -43,7 +51,8 @@ func (s *stringList) Set(v string) error {
 }
 
 func main() {
-	dbDir := flag.String("db", "", "data store directory (required)")
+	dbDir := flag.String("db", "", "data store directory")
+	remote := flag.String("remote", "", "ptserved base URL (e.g. http://localhost:7075) instead of -db")
 	var families stringList
 	flag.Var(&families, "family", "resource-filter spec (repeatable)")
 	countOnly := flag.Bool("count", false, "print match counts only (Figure 3 live counts)")
@@ -65,10 +74,26 @@ func main() {
 	limit := flag.Int("limit", 50, "maximum rows to print (0 = all)")
 	flag.Parse()
 
-	if *dbDir == "" {
-		fmt.Fprintln(os.Stderr, "ptquery: -db is required")
+	if (*dbDir == "") == (*remote == "") {
+		fmt.Fprintln(os.Stderr, "ptquery: exactly one of -db or -remote is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *remote != "" {
+		for flagName, set := range map[string]bool{
+			"-sql": *sqlQuery != "", "-detail": *detail != "", "-delete-exec": *deleteExec != "",
+			"-chart": *chartBy != "", "-csv": *csvOut != "", "-report free": *report == "free",
+		} {
+			if set {
+				fatal(fmt.Errorf("%s needs direct store access; use -db", flagName))
+			}
+		}
+		runRemote(*remote, remoteQuery{
+			families: families, countOnly: *countOnly, explain: *explain, report: *report,
+			metric: *metricFilter, addCols: addCols, addAttrs: addAttrs,
+			sortBy: *sortBy, desc: *desc, limit: *limit,
+		})
+		return
 	}
 	fe, err := reldb.OpenFile(*dbDir)
 	if err != nil {
@@ -211,6 +236,83 @@ func main() {
 	printTable(tbl, *limit)
 }
 
+// remoteQuery bundles the flags forwarded to a ptserved instance.
+type remoteQuery struct {
+	families  []string
+	countOnly bool
+	explain   bool
+	report    string
+	metric    string
+	addCols   []string
+	addAttrs  []string
+	sortBy    string
+	desc      bool
+	limit     int
+}
+
+// runRemote answers counts, result tables, and reports from a ptserved
+// instance over HTTP. The client retries shed and transient failures.
+func runRemote(baseURL string, q remoteQuery) {
+	c := client.New(baseURL)
+	ctx := context.Background()
+
+	if q.report == "stats" {
+		st, err := c.Stats(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		printStats(st.Store)
+		return
+	}
+	if q.report != "" {
+		rep, err := c.Report(ctx, q.report)
+		if err != nil {
+			fatal(err)
+		}
+		for _, item := range rep.Items {
+			fmt.Println(item)
+		}
+		return
+	}
+
+	qr, err := c.Query(ctx, q.families)
+	if err != nil {
+		fatal(err)
+	}
+	for _, fam := range qr.Families {
+		fmt.Fprintf(os.Stderr, "family %q: %d resources, matches %d results alone\n",
+			fam.Spec, fam.Resources, fam.Matches)
+	}
+	fmt.Fprintf(os.Stderr, "pr-filter matches %d performance results\n", qr.Matches)
+	if q.explain {
+		fmt.Fprintf(os.Stderr, "query engine: generation %d, cache %d hits / %d misses\n",
+			qr.Generation, qr.CacheHits, qr.CacheMisses)
+	}
+	if q.countOnly {
+		return
+	}
+
+	res, err := c.Results(ctx, server.ResultsRequest{
+		Families:      q.families,
+		Metric:        q.metric,
+		AddColumns:    q.addCols,
+		AddAttributes: q.addAttrs,
+		SortBy:        q.sortBy,
+		Descending:    q.desc,
+		Limit:         q.limit,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(strings.Join(res.Columns, "\t"))
+	for _, row := range res.Rows {
+		fmt.Println(strings.Join(row, "\t"))
+	}
+	if res.Total > len(res.Rows) {
+		fmt.Printf("... %d more rows\n", res.Total-len(res.Rows))
+	}
+}
+
 func runReport(store *datastore.Store, report string) {
 	switch report {
 	case "executions":
@@ -230,13 +332,16 @@ func runReport(store *datastore.Store, report string) {
 			fmt.Println(t)
 		}
 	case "stats":
-		st := store.Stats()
-		fmt.Printf("applications: %d\nexecutions:   %d\nresources:    %d\nattributes:   %d\nresults:      %d\nmetrics:      %d\nfoci:         %d\ndata bytes:   %d\n",
-			st.Applications, st.Executions, st.Resources, st.Attributes,
-			st.Results, st.Metrics, st.Foci, st.DataBytes)
+		printStats(store.Stats())
 	default:
 		fatal(fmt.Errorf("unknown report %q", report))
 	}
+}
+
+func printStats(st datastore.Stats) {
+	fmt.Printf("applications: %d\nexecutions:   %d\nresources:    %d\nattributes:   %d\nresults:      %d\nmetrics:      %d\nfoci:         %d\ndata bytes:   %d\n",
+		st.Applications, st.Executions, st.Resources, st.Attributes,
+		st.Results, st.Metrics, st.Foci, st.DataBytes)
 }
 
 func printTable(tbl *query.Table, limit int) {

@@ -1,0 +1,101 @@
+// Command ptserved serves one PerfTrack data store over HTTP, turning
+// the single-process tools into a shared experiment-management service:
+// many ptload/ptquery clients (via -remote) or curl scripts can ingest
+// PTdf data and run pr-filter queries concurrently against one store.
+//
+// Usage:
+//
+//	ptserved -db DIR [-addr :7075] [-readonly] [-max-inflight N]
+//	         [-timeout 30s] [-auto-checkpoint N] [-sync]
+//
+// On SIGINT/SIGTERM the server drains in-flight requests, checkpoints
+// the store (snapshot + truncated WAL), and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"perftrack/internal/datastore"
+	"perftrack/internal/reldb"
+	"perftrack/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7075", "listen address")
+	dbDir := flag.String("db", "", "data store directory (required)")
+	readOnly := flag.Bool("readonly", false, "reject PTdf ingest (/v1/load returns 403)")
+	maxInFlight := flag.Int("max-inflight", 64, "maximum concurrently served API requests; excess is shed with 429")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout for API endpoints")
+	autoCheckpoint := flag.Int64("auto-checkpoint", 50000, "snapshot after this many WAL records (0 disables)")
+	syncWAL := flag.Bool("sync", false, "fsync the WAL on every mutation")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	flag.Parse()
+
+	if *dbDir == "" {
+		fmt.Fprintln(os.Stderr, "ptserved: -db is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	logger := log.New(os.Stderr, "ptserved: ", log.LstdFlags|log.Lmsgprefix)
+
+	fe, err := reldb.OpenFile(*dbDir)
+	if err != nil {
+		fatal(err)
+	}
+	defer fe.Close()
+	fe.AutoCheckpoint = *autoCheckpoint
+	fe.SetSync(*syncWAL)
+	store, err := datastore.Open(fe)
+	if err != nil {
+		fatal(err)
+	}
+	st := store.Stats()
+	logger.Printf("opened %s: %d executions, %d results, %d resources",
+		*dbDir, st.Executions, st.Results, st.Resources)
+
+	srv, err := server.New(server.Config{
+		Store:          store,
+		Checkpointer:   fe,
+		ReadOnly:       *readOnly,
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *timeout,
+		Logger:         logger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	// Serve until a termination signal, then drain and checkpoint.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe(*addr) }()
+
+	select {
+	case sig := <-sigc:
+		logger.Printf("received %s", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+		if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	case err := <-serveErr:
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptserved:", err)
+	os.Exit(1)
+}

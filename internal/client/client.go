@@ -1,0 +1,239 @@
+// Package client is the Go client for ptserved's v1 HTTP/JSON API. It
+// shares its wire types with internal/server, supports contexts on every
+// call, and retries transient failures (connection errors, 429, 5xx)
+// with exponential backoff and jitter, honoring Retry-After.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"perftrack/internal/server"
+)
+
+// APIError is a non-2xx reply from the server, decoded from its JSON
+// error body when possible.
+type APIError struct {
+	StatusCode int
+	Message    string
+	RequestID  string
+}
+
+func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("client: server returned %d: %s (request %s)", e.StatusCode, e.Message, e.RequestID)
+	}
+	return fmt.Sprintf("client: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// retryable reports whether the failure class is worth another attempt:
+// the server shed the request (429) or failed transiently (5xx).
+func (e *APIError) retryable() bool {
+	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode >= 500
+}
+
+// Client talks to one ptserved instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://localhost:7075".
+	BaseURL string
+
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+
+	// MaxRetries bounds attempts beyond the first; negative disables
+	// retries. 0 means the default of 4.
+	MaxRetries int
+
+	// BaseBackoff seeds the exponential backoff (doubled per attempt, up
+	// to MaxBackoff, plus up to 50% jitter). Zero values mean 100ms / 2s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// New returns a client with default retry policy.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: baseURL}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) retries() int {
+	switch {
+	case c.MaxRetries < 0:
+		return 0
+	case c.MaxRetries == 0:
+		return 4
+	}
+	return c.MaxRetries
+}
+
+// backoff computes the sleep before retry attempt (1-based), honoring a
+// Retry-After hint when the server supplied one. Jitter keeps a fleet of
+// shed clients from re-arriving in lockstep; the result is never zero.
+func (c *Client) backoff(attempt int, retryAfter string) time.Duration {
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+			return time.Duration(secs)*time.Second + time.Duration(rand.Int63n(int64(100*time.Millisecond))+1)
+		}
+	}
+	base, max := c.BaseBackoff, c.MaxBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << (attempt - 1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1)) + 1
+}
+
+// do sends one request, retrying transient failures. body is the raw
+// request payload (replayed on each attempt); out, when non-nil, receives
+// the decoded 200 response.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			wait := c.backoff(attempt, retryAfterOf(lastErr))
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return fmt.Errorf("client: %w (last error: %v)", ctx.Err(), lastErr)
+			}
+		}
+		err := c.doOnce(ctx, method, path, contentType, body, out)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("client: %w (last error: %v)", ctx.Err(), err)
+		}
+		if apiErr, ok := err.(*retryAfterError); ok {
+			if !apiErr.APIError.retryable() || attempt >= c.retries() {
+				return apiErr.APIError
+			}
+		} else if attempt >= c.retries() {
+			return err
+		}
+		lastErr = err
+	}
+}
+
+// retryAfterError carries the Retry-After hint alongside the API error.
+type retryAfterError struct {
+	*APIError
+	retryAfter string
+}
+
+func retryAfterOf(err error) string {
+	if ra, ok := err.(*retryAfterError); ok {
+		return ra.retryAfter
+	}
+	return ""
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{StatusCode: resp.StatusCode, Message: string(bytes.TrimSpace(raw))}
+		var er server.ErrorResponse
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			apiErr.Message, apiErr.RequestID = er.Error, er.RequestID
+		}
+		return &retryAfterError{APIError: apiErr, retryAfter: resp.Header.Get("Retry-After")}
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("client: decode %s response: %w", path, err)
+		}
+	}
+	return nil
+}
+
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: encode request: %w", err)
+	}
+	return c.do(ctx, http.MethodPost, path, "application/json", body, out)
+}
+
+// Health checks liveness.
+func (c *Client) Health(ctx context.Context) (server.HealthResponse, error) {
+	var out server.HealthResponse
+	err := c.do(ctx, http.MethodGet, "/healthz", "", nil, &out)
+	return out, err
+}
+
+// Load streams a PTdf document to the server. The document is buffered
+// in memory so transient failures can be retried with an identical body;
+// the server applies it transactionally.
+func (c *Client) Load(ctx context.Context, r io.Reader) (server.LoadResponse, error) {
+	var out server.LoadResponse
+	doc, err := io.ReadAll(r)
+	if err != nil {
+		return out, fmt.Errorf("client: read PTdf document: %w", err)
+	}
+	err = c.do(ctx, http.MethodPost, "/v1/load", "text/plain", doc, &out)
+	return out, err
+}
+
+// Query evaluates a pr-filter (one spec per family) and returns the
+// match counts.
+func (c *Client) Query(ctx context.Context, families []string) (server.QueryResponse, error) {
+	var out server.QueryResponse
+	err := c.postJSON(ctx, "/v1/query", server.QueryRequest{Families: families}, &out)
+	return out, err
+}
+
+// Results runs the two-step retrieval and returns the refined table.
+func (c *Client) Results(ctx context.Context, req server.ResultsRequest) (server.ResultsResponse, error) {
+	var out server.ResultsResponse
+	err := c.postJSON(ctx, "/v1/results", req, &out)
+	return out, err
+}
+
+// Report fetches one name-list report: executions, metrics,
+// applications, or tools.
+func (c *Client) Report(ctx context.Context, name string) (server.ReportResponse, error) {
+	var out server.ReportResponse
+	err := c.do(ctx, http.MethodGet, "/v1/reports/"+name, "", nil, &out)
+	return out, err
+}
+
+// Stats fetches the store summary and query-engine counters.
+func (c *Client) Stats(ctx context.Context) (server.StatsResponse, error) {
+	var out server.StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/reports/stats", "", nil, &out)
+	return out, err
+}

@@ -1,0 +1,209 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"perftrack/internal/server"
+)
+
+// flakyHandler fails the first n requests with the given status, then
+// delegates to ok.
+func flakyHandler(n int, status int, header http.Header, ok http.HandlerFunc) (http.HandlerFunc, *atomic.Int64) {
+	var calls atomic.Int64
+	return func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			for k, vs := range header {
+				for _, v := range vs {
+					w.Header().Add(k, v)
+				}
+			}
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(server.ErrorResponse{Error: "transient", RequestID: "rid-1"})
+			return
+		}
+		ok(w, r)
+	}, &calls
+}
+
+func fastClient(url string) *Client {
+	return &Client{BaseURL: url, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+}
+
+func TestRetriesTransient5xxThenSucceeds(t *testing.T) {
+	h, calls := flakyHandler(2, http.StatusInternalServerError, nil, func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(server.HealthResponse{Status: "ok", Generation: 7})
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	hr, err := fastClient(ts.URL).Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.Generation != 7 {
+		t.Errorf("health = %+v", hr)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (2 failures + success)", got)
+	}
+}
+
+func TestRetries429AndReplaysLoadBody(t *testing.T) {
+	var gotBody atomic.Value
+	h, calls := flakyHandler(1, http.StatusTooManyRequests, nil, func(w http.ResponseWriter, r *http.Request) {
+		b := make([]byte, r.ContentLength)
+		r.Body.Read(b)
+		gotBody.Store(string(b))
+		json.NewEncoder(w).Encode(server.LoadResponse{Generation: 1})
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	doc := "Application retried\n"
+	if _, err := fastClient(ts.URL).Load(context.Background(), strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("calls = %d, want 2", calls.Load())
+	}
+	// The retried attempt carried the full, identical document.
+	if got, _ := gotBody.Load().(string); got != doc {
+		t.Errorf("retried body = %q, want %q", got, doc)
+	}
+}
+
+func TestHonorsRetryAfter(t *testing.T) {
+	hdr := http.Header{}
+	hdr.Set("Retry-After", "1")
+	h, _ := flakyHandler(1, http.StatusTooManyRequests, hdr, func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(server.QueryResponse{Matches: 3})
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	start := time.Now()
+	qr, err := fastClient(ts.URL).Query(context.Background(), []string{"type=application"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Matches != 3 {
+		t.Errorf("matches = %d", qr.Matches)
+	}
+	// Backoff would be ~ms; Retry-After forces >= 1s.
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Errorf("Retry-After ignored: retried after %s", elapsed)
+	}
+}
+
+func TestDoesNotRetryBadRequest(t *testing.T) {
+	h, calls := flakyHandler(100, http.StatusBadRequest, nil, nil)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	_, err := fastClient(ts.URL).Query(context.Background(), []string{"nonsense"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v", err)
+	}
+	if apiErr.Message != "transient" || apiErr.RequestID != "rid-1" {
+		t.Errorf("error body not decoded: %+v", apiErr)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("400 was retried: %d calls", calls.Load())
+	}
+}
+
+func TestGivesUpAfterMaxRetries(t *testing.T) {
+	h, calls := flakyHandler(100, http.StatusServiceUnavailable, nil, nil)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	c.MaxRetries = 2
+	_, err := c.Health(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 3 (1 + 2 retries)", calls.Load())
+	}
+}
+
+func TestRetriesConnectionErrors(t *testing.T) {
+	// A server that dies after its first (failed) response: the port is
+	// then closed, so the retry hits a connection error and must still be
+	// retried until MaxRetries runs out.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+	}))
+	url := ts.URL
+	ts.Close()
+
+	c := fastClient(url)
+	c.MaxRetries = 2
+	_, err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("expected error against closed port")
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		t.Errorf("connection error misreported as API error: %v", err)
+	}
+}
+
+func TestContextCancelsRetryLoop(t *testing.T) {
+	h, calls := flakyHandler(1000, http.StatusServiceUnavailable, nil, nil)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	c := fastClient(ts.URL)
+	c.BaseBackoff = 20 * time.Millisecond
+	c.MaxRetries = 1000
+	start := time.Now()
+	_, err := c.Health(ctx)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancellation did not stop the retry loop promptly")
+	}
+	if calls.Load() > 10 {
+		t.Errorf("calls = %d despite 30ms deadline", calls.Load())
+	}
+}
+
+func TestBackoffGrowsAndJitters(t *testing.T) {
+	c := &Client{BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second}
+	prevMax := time.Duration(0)
+	for attempt := 1; attempt <= 5; attempt++ {
+		d := c.backoff(attempt, "")
+		want := c.BaseBackoff << (attempt - 1)
+		if want > c.MaxBackoff {
+			want = c.MaxBackoff
+		}
+		if d <= 0 || d > want {
+			t.Errorf("attempt %d: backoff %s outside (0, %s]", attempt, d, want)
+		}
+		if d < want/2 {
+			t.Errorf("attempt %d: backoff %s below half the target %s", attempt, d, want)
+		}
+		if want > prevMax {
+			prevMax = want
+		}
+	}
+	// Retry-After dominates the computed backoff.
+	if d := c.backoff(1, "2"); d < 2*time.Second {
+		t.Errorf("Retry-After backoff = %s, want >= 2s", d)
+	}
+}

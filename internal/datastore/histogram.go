@@ -15,7 +15,15 @@ import (
 // holding every bin. NaN marks bins with no data. It returns the
 // performance-result ID.
 func (s *Store) AddHistogramResult(pr *core.PerformanceResult, binWidth float64, values []float64) (int64, error) {
-	s.bumpGen()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	defer s.bumpGen()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addHistogramResultLocked(pr, binWidth, values)
+}
+
+func (s *Store) addHistogramResultLocked(pr *core.PerformanceResult, binWidth float64, values []float64) (int64, error) {
 	if binWidth <= 0 {
 		return 0, fmt.Errorf("datastore: histogram bin width %g <= 0", binWidth)
 	}
@@ -38,13 +46,11 @@ func (s *Store) AddHistogramResult(pr *core.PerformanceResult, binWidth float64,
 	prCopy := *pr
 	prCopy.Value = summary
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	id, err := s.addPerfResultLocked(&prCopy)
 	if err != nil {
 		return 0, err
 	}
-	_, err = s.eng.Insert("result_histogram", reldb.Row{
+	_, err = s.insert("result_histogram", reldb.Row{
 		reldb.Int(id),
 		reldb.Float(binWidth),
 		reldb.Int(int64(len(values))),

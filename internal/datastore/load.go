@@ -1,12 +1,14 @@
 package datastore
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 
 	"perftrack/internal/core"
 	"perftrack/internal/ptdf"
+	"perftrack/internal/reldb"
 )
 
 // LoadStats summarizes one PTdf load, feeding the Table 1 statistics.
@@ -35,27 +37,38 @@ func (ls *LoadStats) Add(o LoadStats) {
 
 // LoadRecord applies one PTdf record to the store.
 func (s *Store) LoadRecord(rec ptdf.Record) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	defer s.bumpGen()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loadRecordLocked(rec)
+}
+
+// loadRecordLocked applies one PTdf record. Callers hold s.mu (and s.wmu
+// when the record is part of a multi-record load).
+func (s *Store) loadRecordLocked(rec ptdf.Record) error {
 	switch r := rec.(type) {
 	case ptdf.ApplicationRec:
-		_, err := s.AddApplication(r.Name)
+		_, err := s.addApplicationLocked(r.Name)
 		return err
 	case ptdf.ResourceTypeRec:
-		return s.AddResourceType(r.Type)
+		return s.addResourceTypeLocked(r.Type)
 	case ptdf.ExecutionRec:
-		_, err := s.AddExecution(r.Name, r.App)
+		_, err := s.addExecutionLocked(r.Name, r.App)
 		return err
 	case ptdf.ResourceRec:
-		_, err := s.AddResource(r.Name, r.Type, r.Exec)
+		_, err := s.addResourceLocked(r.Name, r.Type, r.Exec)
 		return err
 	case ptdf.ResourceAttributeRec:
 		if r.AttrType == "resource" {
 			// Adding a resource-typed attribute is equivalent to adding a
 			// resource constraint (Figure 6).
-			return s.AddResourceConstraint(r.Resource, core.ResourceName(r.Value))
+			return s.addResourceConstraintLocked(r.Resource, core.ResourceName(r.Value))
 		}
-		return s.SetResourceAttribute(r.Resource, r.Attr, r.Value)
+		return s.setResourceAttributeLocked(r.Resource, r.Attr, r.Value)
 	case ptdf.ResourceConstraintRec:
-		return s.AddResourceConstraint(r.R1, r.R2)
+		return s.addResourceConstraintLocked(r.R1, r.R2)
 	case ptdf.PerfResultRec:
 		pr := &core.PerformanceResult{
 			Execution: r.Exec,
@@ -65,7 +78,7 @@ func (s *Store) LoadRecord(rec ptdf.Record) error {
 			Tool:      r.Tool,
 			Contexts:  r.Contexts(),
 		}
-		_, err := s.AddPerfResult(pr)
+		_, err := s.addPerfResultLocked(pr)
 		return err
 	case ptdf.PerfHistogramRec:
 		pr := &core.PerformanceResult{
@@ -75,28 +88,54 @@ func (s *Store) LoadRecord(rec ptdf.Record) error {
 			Tool:      r.Tool,
 			Contexts:  r.Contexts(),
 		}
-		_, err := s.AddHistogramResult(pr, r.BinWidth, r.Values)
+		_, err := s.addHistogramResultLocked(pr, r.BinWidth, r.Values)
 		return err
 	default:
 		return fmt.Errorf("datastore: unknown PTdf record %T", rec)
 	}
 }
 
-// LoadPTdf streams a PTdf document into the store.
+// LoadPTdf streams a PTdf document into the store atomically: the whole
+// document loads inside one engine transaction, and any bad record rolls
+// the entire document back, leaving no partially-loaded data behind.
+// Concurrent writers are excluded for the duration (loads serialize on
+// the writer mutex); concurrent readers proceed record-by-record and see
+// the load's progress as it happens (read-uncommitted, matching the
+// embedded tool behaviour), with the match-cache generation bumped after
+// every record so cached counts are never stale.
 func (s *Store) LoadPTdf(r io.Reader) (LoadStats, error) {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	defer s.bumpGen()
+
+	tx := s.eng.Begin()
+	s.mu.Lock()
+	s.ins = tx
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.ins = nil
+		s.mu.Unlock()
+	}()
+
 	var stats LoadStats
 	pr := ptdf.NewReader(r)
 	for {
 		rec, err := pr.Next()
 		if err == io.EOF {
-			return stats, nil
+			return stats, tx.Commit()
 		}
 		if err != nil {
-			return stats, err
+			return LoadStats{}, s.rollbackLoad(tx, err)
 		}
-		if err := s.LoadRecord(rec); err != nil {
-			return stats, fmt.Errorf("datastore: record %d: %w", stats.Records+1, err)
+		s.mu.Lock()
+		lerr := s.loadRecordLocked(rec)
+		s.mu.Unlock()
+		if lerr != nil {
+			return LoadStats{}, s.rollbackLoad(tx,
+				fmt.Errorf("datastore: record %d: %w", stats.Records+1, lerr))
 		}
+		s.bumpGen()
 		stats.Records++
 		switch rec.(type) {
 		case ptdf.ResourceTypeRec:
@@ -117,7 +156,22 @@ func (s *Store) LoadPTdf(r io.Reader) (LoadStats, error) {
 	}
 }
 
-// LoadPTdfFile loads one PTdf file from disk.
+// rollbackLoad undoes a failed load's engine mutations and rebuilds the
+// in-memory caches, which may hold IDs for rows the rollback removed.
+func (s *Store) rollbackLoad(tx *reldb.Tx, cause error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := tx.Rollback(); err != nil {
+		return errors.Join(cause, fmt.Errorf("datastore: rollback: %w", err))
+	}
+	if err := s.resetCachesLocked(); err != nil {
+		return errors.Join(cause, fmt.Errorf("datastore: cache rebuild after rollback: %w", err))
+	}
+	return cause
+}
+
+// LoadPTdfFile loads one PTdf file from disk. A parse or load error rolls
+// back the whole file.
 func (s *Store) LoadPTdfFile(path string) (LoadStats, error) {
 	f, err := os.Open(path)
 	if err != nil {

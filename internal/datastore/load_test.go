@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"perftrack/internal/core"
+	"perftrack/internal/reldb"
 )
 
 const sampleDoc = `# PTdf for a small IRS run
@@ -93,6 +94,105 @@ func TestLoadPTdfIdempotentEntities(t *testing.T) {
 	st := s.Stats()
 	if st.Applications != 1 || st.Executions != 1 {
 		t.Errorf("duplicate entities stored: %+v", st)
+	}
+}
+
+// TestLoadPTdfRollsBackFailedFile is the regression test for partially
+// loaded files: a bad record mid-stream must roll back every record the
+// file already loaded, leaving the store exactly as it was.
+func TestLoadPTdfRollsBackFailedFile(t *testing.T) {
+	s := newStore(t)
+	if _, err := s.LoadPTdf(strings.NewReader(sampleDoc)); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+
+	// A document that loads several good records, then fails: the perf
+	// result references a resource that was never defined.
+	bad := `Application scorch
+Execution scorch-9 scorch
+Resource /scorch application
+Resource /scorch-9 execution scorch-9
+ResourceAttribute /scorch-9 nprocs 64 string
+PerfResult scorch-9 /ghost(primary) tool "wall time" 1.5 seconds
+`
+	if _, err := s.LoadPTdf(strings.NewReader(bad)); err == nil {
+		t.Fatal("bad document loaded without error")
+	}
+
+	after := s.Stats()
+	if before != after {
+		t.Errorf("failed load left data behind:\n before %+v\n after  %+v", before, after)
+	}
+	if s.HasResource("/scorch-9") || s.HasResource("/scorch") {
+		t.Error("rolled-back resources still visible")
+	}
+	if _, err := s.ExecutionDetail("scorch-9"); err == nil {
+		t.Error("rolled-back execution still visible")
+	}
+	for _, app := range s.Applications() {
+		if app == "scorch" {
+			t.Error("rolled-back application still listed")
+		}
+	}
+
+	// The store remains fully usable: the same document, corrected, loads,
+	// and the pre-existing data still answers queries.
+	good := strings.Replace(bad, "/ghost(primary)", "/scorch(primary)", 1)
+	stats, err := s.LoadPTdf(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 6 || stats.Results != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	fam, _ := s.ApplyFilter(core.ResourceFilter{Name: "/irs"})
+	if n, err := s.CountMatches(core.PRFilter{Families: []core.Family{fam}}); err != nil || n != 1 {
+		t.Errorf("pre-existing data lost after rollback: matches = %d, %v", n, err)
+	}
+}
+
+// TestLoadPTdfRollbackSurvivesReopen checks that a rollback is durable:
+// reopening the store from disk after a failed load shows none of the
+// rolled-back rows (the WAL carries compensation records).
+func TestLoadPTdfRollbackSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	fe, err := reldb.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(fe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.LoadPTdf(strings.NewReader(sampleDoc)); err != nil {
+		t.Fatal(err)
+	}
+	bad := "Application ghostapp\nPerfResult nope /ghost(primary) t m 1 u\n"
+	if _, err := s.LoadPTdf(strings.NewReader(bad)); err == nil {
+		t.Fatal("bad document loaded without error")
+	}
+	before := s.Stats()
+	if err := fe.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fe2, err := reldb.OpenFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe2.Close()
+	s2, err := Open(fe2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := s2.Stats(); before != after {
+		t.Errorf("reopened store diverges:\n before %+v\n after  %+v", before, after)
+	}
+	for _, app := range s2.Applications() {
+		if app == "ghostapp" {
+			t.Error("rolled-back application resurrected by WAL replay")
+		}
 	}
 }
 

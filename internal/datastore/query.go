@@ -41,17 +41,23 @@ func (s *Store) resourceByID(id int64) (*core.Resource, error) {
 		}); err != nil {
 		return nil, err
 	}
+	// Collect constraint partner IDs inside the scan and resolve names
+	// after it returns: taking s.mu inside an engine scan callback would
+	// invert the store → engine lock order and deadlock against writers.
 	rcTab, _ := s.eng.Table("resource_constraint")
+	var partnerIDs []int64
 	if err := rcTab.IndexScan("resource_constraint_r1", []reldb.Value{reldb.Int(id)},
 		func(_ int64, crow reldb.Row) bool {
-			s.mu.Lock()
-			other := s.resNames[crow[2].Int64()]
-			s.mu.Unlock()
-			res.AddConstraint(other)
+			partnerIDs = append(partnerIDs, crow[2].Int64())
 			return true
 		}); err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	for _, pid := range partnerIDs {
+		res.AddConstraint(s.resNames[pid])
+	}
+	s.mu.Unlock()
 	return res, nil
 }
 
@@ -160,15 +166,15 @@ func (s *Store) Ancestors(name core.ResourceName) ([]core.ResourceName, error) {
 	var out []core.ResourceName
 	if s.UseClosureTables {
 		rhaTab, _ := s.eng.Table("resource_has_ancestor")
+		var ancIDs []int64
 		if err := rhaTab.PKScan([]reldb.Value{reldb.Int(id)},
 			func(_ int64, row reldb.Row) bool {
-				s.mu.Lock()
-				out = append(out, s.resNames[row[1].Int64()])
-				s.mu.Unlock()
+				ancIDs = append(ancIDs, row[1].Int64())
 				return true
 			}); err != nil {
 			return nil, err
 		}
+		out = s.namesOfIDs(ancIDs)
 	} else {
 		riTab, _ := s.eng.Table("resource_item")
 		cur := id
@@ -200,15 +206,15 @@ func (s *Store) Descendants(name core.ResourceName) ([]core.ResourceName, error)
 	var out []core.ResourceName
 	if s.UseClosureTables {
 		rhdTab, _ := s.eng.Table("resource_has_descendant")
+		var descIDs []int64
 		if err := rhdTab.PKScan([]reldb.Value{reldb.Int(id)},
 			func(_ int64, row reldb.Row) bool {
-				s.mu.Lock()
-				out = append(out, s.resNames[row[1].Int64()])
-				s.mu.Unlock()
+				descIDs = append(descIDs, row[1].Int64())
 				return true
 			}); err != nil {
 			return nil, err
 		}
+		out = s.namesOfIDs(descIDs)
 	} else {
 		// Breadth-first walk over parent links.
 		riTab, _ := s.eng.Table("resource_item")
@@ -232,6 +238,21 @@ func (s *Store) Descendants(name core.ResourceName) ([]core.ResourceName, error)
 
 func sortNames(ns []core.ResourceName) {
 	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+}
+
+// namesOfIDs maps resource IDs to names under s.mu, outside any engine
+// lock (lock order is always store → engine, never the reverse).
+func (s *Store) namesOfIDs(ids []int64) []core.ResourceName {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]core.ResourceName, 0, len(ids))
+	s.mu.Lock()
+	for _, id := range ids {
+		out = append(out, s.resNames[id])
+	}
+	s.mu.Unlock()
+	return out
 }
 
 // ApplyFilter evaluates a resource filter over the store, returning the
@@ -552,41 +573,36 @@ func (s *Store) ResultByID(id int64) (*core.PerformanceResult, error) {
 		return nil, err
 	}
 	// Contexts: result -> foci -> resources, via PK-prefix scans on the
-	// composite-keyed link tables.
+	// composite-keyed link tables. Each scan only collects IDs: nesting an
+	// engine call (or s.mu) inside a scan callback would recursively RLock
+	// the engine, which deadlocks when a writer is waiting in between.
 	rhfTab, _ := s.eng.Table("result_has_focus")
 	fTab, _ := s.eng.Table("focus")
 	fhrTab, _ := s.eng.Table("focus_has_resource")
-	var ctxErr error
-	scanErr := rhfTab.PKScan([]reldb.Value{reldb.Int(id)}, func(_ int64, link reldb.Row) bool {
-		fid := link[1].Int64()
+	var focusIDs []int64
+	if err := rhfTab.PKScan([]reldb.Value{reldb.Int(id)}, func(_ int64, link reldb.Row) bool {
+		focusIDs = append(focusIDs, link[1].Int64())
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	for _, fid := range focusIDs {
 		frow, ok := fTab.Get(fid)
 		if !ok {
-			ctxErr = fmt.Errorf("datastore: missing focus %d", fid)
-			return false
+			return nil, fmt.Errorf("datastore: missing focus %d", fid)
 		}
 		ft, err := core.ParseFocusType(frow[1].Text())
 		if err != nil {
-			ctxErr = err
-			return false
+			return nil, err
 		}
-		ctx := core.Context{Type: ft}
+		var resIDs []int64
 		if err := fhrTab.PKScan([]reldb.Value{reldb.Int(fid)}, func(_ int64, fr reldb.Row) bool {
-			s.mu.Lock()
-			ctx.Resources = append(ctx.Resources, s.resNames[fr[1].Int64()])
-			s.mu.Unlock()
+			resIDs = append(resIDs, fr[1].Int64())
 			return true
 		}); err != nil {
-			ctxErr = err
-			return false
+			return nil, err
 		}
-		pr.Contexts = append(pr.Contexts, ctx)
-		return true
-	})
-	if scanErr != nil {
-		return nil, scanErr
-	}
-	if ctxErr != nil {
-		return nil, ctxErr
+		pr.Contexts = append(pr.Contexts, core.Context{Type: ft, Resources: s.namesOfIDs(resIDs)})
 	}
 	return pr, nil
 }

@@ -90,7 +90,9 @@ func (s *Store) ExecutionDetail(name string) (*ExecutionDetail, error) {
 // and focus links), and any foci left unreferenced. Shared resources
 // (machines, code, applications) are untouched.
 func (s *Store) DeleteExecution(name string) error {
-	s.bumpGen()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	defer s.bumpGen()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	execID, ok := s.execIDs[name]

@@ -14,8 +14,11 @@ import (
 )
 
 // Store is PTDataStore: PerfTrack's interface to the underlying DBMS. It
-// is safe for concurrent use; loads serialize on an internal mutex while
-// reads go through the engine's reader lock.
+// is safe for concurrent use: writers serialize on wmu (so a streamed
+// PTdf load is atomic with respect to other writers), per-record state is
+// guarded by mu, and reads go through the engine's reader lock. Lock
+// ordering is always wmu → mu → engine; read paths never acquire mu or
+// re-enter the engine from inside an engine scan callback.
 type Store struct {
 	eng reldb.Engine
 	sql *sqldb.DB
@@ -26,14 +29,21 @@ type Store struct {
 	// baseline). Loading always maintains the tables.
 	UseClosureTables bool
 
-	// gen is the store generation, bumped on every mutation; cache holds
-	// generation-stamped pr-filter results (see cache.go). Together they
-	// make the GUI's repeated CountMatches/CountFamilyMatches O(1) between
-	// writes without any risk of serving stale counts.
+	// gen is the store generation, bumped after every mutation completes;
+	// cache holds generation-stamped pr-filter results (see cache.go).
+	// Together they make the GUI's repeated CountMatches/CountFamilyMatches
+	// O(1) between writes without any risk of serving stale counts: a
+	// reader that overlaps a mutation caches under the pre-mutation
+	// generation, which the post-mutation bump discards.
 	gen   atomic.Uint64
 	cache *queryCache
 
+	// wmu serializes mutating entry points against each other and against
+	// whole-file transactional loads, without blocking readers.
+	wmu sync.Mutex
+
 	mu       sync.Mutex
+	ins      inserter // mutation sink: the active load transaction, or nil for the engine
 	types    *core.TypeSystem
 	typeIDs  map[core.TypePath]int64
 	resIDs   map[core.ResourceName]int64
@@ -44,6 +54,21 @@ type Store struct {
 	toolID   map[string]int64
 	unitsID  map[string]int64
 	focusIDs map[string]int64 // signature -> focus id
+}
+
+// inserter is the mutation surface shared by the engine and a transaction;
+// store inserts route through it so a PTdf load can run inside a Tx.
+type inserter interface {
+	Insert(table string, row reldb.Row) (int64, error)
+}
+
+// insert routes a row insert through the active load transaction when one
+// is open, and straight to the engine otherwise. Callers hold s.mu.
+func (s *Store) insert(table string, row reldb.Row) (int64, error) {
+	if s.ins != nil {
+		return s.ins.Insert(table, row)
+	}
+	return s.eng.Insert(table, row)
 }
 
 // Open attaches a store to a storage engine, creating and bootstrapping
@@ -93,8 +118,11 @@ func Open(eng reldb.Engine) (*Store, error) {
 func (s *Store) Engine() reldb.Engine { return s.eng }
 
 // bumpGen advances the store generation, invalidating all cached
-// pr-filter results. Every mutating entry point calls it, including
-// no-op re-adds: over-invalidation is always safe.
+// pr-filter results. Every mutating entry point calls it (deferred, so
+// the bump happens after the mutation is fully applied), including no-op
+// re-adds: over-invalidation is always safe, and bumping after completion
+// means a concurrent reader can never cache a partially-applied state
+// under the new generation.
 func (s *Store) bumpGen() { s.gen.Add(1) }
 
 // Generation returns the current store generation. It increases on every
@@ -126,6 +154,24 @@ func (s *Store) QueryEngineStats() QueryEngineStats {
 
 // SQL returns the SQL interface over the same data, for ad-hoc queries.
 func (s *Store) SQL() *sqldb.DB { return s.sql }
+
+// resetCachesLocked discards and rebuilds every in-memory name cache and
+// the type system from the engine. The rollback path of a transactional
+// load uses it: after the engine rows are undone, the caches must not
+// retain IDs for rows that no longer exist. Callers hold s.mu.
+func (s *Store) resetCachesLocked() error {
+	s.types = core.NewTypeSystem()
+	s.typeIDs = make(map[core.TypePath]int64)
+	s.resIDs = make(map[core.ResourceName]int64)
+	s.resNames = make(map[int64]core.ResourceName)
+	s.appIDs = make(map[string]int64)
+	s.execIDs = make(map[string]int64)
+	s.metricID = make(map[string]int64)
+	s.toolID = make(map[string]int64)
+	s.unitsID = make(map[string]int64)
+	s.focusIDs = make(map[string]int64)
+	return s.warmCaches()
+}
 
 // warmCaches rebuilds the in-memory name caches from an existing store.
 func (s *Store) warmCaches() error {
@@ -184,7 +230,9 @@ func (s *Store) Types() *core.TypeSystem {
 // AddResourceType registers a resource type (the extensible type system of
 // §2.1). Parent levels must be registered first; re-adding is a no-op.
 func (s *Store) AddResourceType(t core.TypePath) error {
-	s.bumpGen()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	defer s.bumpGen()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.addResourceTypeLocked(t)
@@ -201,7 +249,7 @@ func (s *Store) addResourceTypeLocked(t core.TypePath) error {
 	if p := t.Parent(); p != "" {
 		parentID = reldb.Int(s.typeIDs[p])
 	}
-	id, err := s.eng.Insert("focus_framework", reldb.Row{
+	id, err := s.insert("focus_framework", reldb.Row{
 		reldb.Null(), reldb.Str(string(t)), parentID,
 	})
 	if err != nil {
@@ -214,7 +262,9 @@ func (s *Store) addResourceTypeLocked(t core.TypePath) error {
 // AddApplication registers an application; re-adding returns the existing
 // ID.
 func (s *Store) AddApplication(name string) (int64, error) {
-	s.bumpGen()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	defer s.bumpGen()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.addApplicationLocked(name)
@@ -227,7 +277,7 @@ func (s *Store) addApplicationLocked(name string) (int64, error) {
 	if name == "" {
 		return 0, fmt.Errorf("datastore: empty application name")
 	}
-	id, err := s.eng.Insert("application", reldb.Row{reldb.Null(), reldb.Str(name)})
+	id, err := s.insert("application", reldb.Row{reldb.Null(), reldb.Str(name)})
 	if err != nil {
 		return 0, err
 	}
@@ -238,7 +288,9 @@ func (s *Store) addApplicationLocked(name string) (int64, error) {
 // AddExecution registers an execution of an application, creating the
 // application if needed.
 func (s *Store) AddExecution(name, app string) (int64, error) {
-	s.bumpGen()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	defer s.bumpGen()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.addExecutionLocked(name, app)
@@ -255,7 +307,7 @@ func (s *Store) addExecutionLocked(name, app string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	id, err := s.eng.Insert("execution", reldb.Row{
+	id, err := s.insert("execution", reldb.Row{
 		reldb.Null(), reldb.Str(name), reldb.Int(appID),
 	})
 	if err != nil {
@@ -270,7 +322,7 @@ func (s *Store) lookupIn(table string, cache map[string]int64, name string) (int
 	if id, ok := cache[name]; ok {
 		return id, nil
 	}
-	id, err := s.eng.Insert(table, reldb.Row{reldb.Null(), reldb.Str(name)})
+	id, err := s.insert(table, reldb.Row{reldb.Null(), reldb.Str(name)})
 	if err != nil {
 		return 0, err
 	}
@@ -283,7 +335,9 @@ func (s *Store) lookupIn(table string, cache map[string]int64, name string) (int
 // created automatically with the corresponding type prefix. Re-adding an
 // existing resource returns its ID.
 func (s *Store) AddResource(name core.ResourceName, typ core.TypePath, exec string) (int64, error) {
-	s.bumpGen()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	defer s.bumpGen()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.addResourceLocked(name, typ, exec)
@@ -317,7 +371,7 @@ func (s *Store) addResourceLocked(name core.ResourceName, typ core.TypePath, exe
 		}
 		parentID = reldb.Int(pid)
 	}
-	id, err := s.eng.Insert("resource_item", reldb.Row{
+	id, err := s.insert("resource_item", reldb.Row{
 		reldb.Null(),
 		reldb.Str(string(name)),
 		reldb.Str(name.BaseName()),
@@ -333,12 +387,12 @@ func (s *Store) addResourceLocked(name core.ResourceName, typ core.TypePath, exe
 	// Maintain the closure tables: link this resource to every ancestor.
 	for _, anc := range name.Ancestors() {
 		aid := s.resIDs[anc]
-		if _, err := s.eng.Insert("resource_has_ancestor", reldb.Row{
+		if _, err := s.insert("resource_has_ancestor", reldb.Row{
 			reldb.Int(id), reldb.Int(aid),
 		}); err != nil {
 			return 0, err
 		}
-		if _, err := s.eng.Insert("resource_has_descendant", reldb.Row{
+		if _, err := s.insert("resource_has_descendant", reldb.Row{
 			reldb.Int(aid), reldb.Int(id),
 		}); err != nil {
 			return 0, err
@@ -349,14 +403,20 @@ func (s *Store) addResourceLocked(name core.ResourceName, typ core.TypePath, exe
 
 // SetResourceAttribute attaches a string attribute to a resource.
 func (s *Store) SetResourceAttribute(name core.ResourceName, attr, value string) error {
-	s.bumpGen()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	defer s.bumpGen()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.setResourceAttributeLocked(name, attr, value)
+}
+
+func (s *Store) setResourceAttributeLocked(name core.ResourceName, attr, value string) error {
 	id, ok := s.resIDs[name]
 	if !ok {
 		return fmt.Errorf("datastore: no resource %q", name)
 	}
-	_, err := s.eng.Insert("resource_attribute", reldb.Row{
+	_, err := s.insert("resource_attribute", reldb.Row{
 		reldb.Null(), reldb.Int(id), reldb.Str(attr), reldb.Str(value), reldb.Str("string"),
 	})
 	return err
@@ -365,9 +425,15 @@ func (s *Store) SetResourceAttribute(name core.ResourceName, attr, value string)
 // AddResourceConstraint records a resource-valued attribute: r2 is an
 // attribute of r1 (e.g. the node a process ran on).
 func (s *Store) AddResourceConstraint(r1, r2 core.ResourceName) error {
-	s.bumpGen()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	defer s.bumpGen()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.addResourceConstraintLocked(r1, r2)
+}
+
+func (s *Store) addResourceConstraintLocked(r1, r2 core.ResourceName) error {
 	id1, ok := s.resIDs[r1]
 	if !ok {
 		return fmt.Errorf("datastore: no resource %q", r1)
@@ -376,7 +442,7 @@ func (s *Store) AddResourceConstraint(r1, r2 core.ResourceName) error {
 	if !ok {
 		return fmt.Errorf("datastore: no resource %q", r2)
 	}
-	_, err := s.eng.Insert("resource_constraint", reldb.Row{
+	_, err := s.insert("resource_constraint", reldb.Row{
 		reldb.Null(), reldb.Int(id1), reldb.Int(id2),
 	})
 	return err
@@ -410,7 +476,7 @@ func (s *Store) internFocus(ctx core.Context) (int64, error) {
 	if id, ok := s.focusIDs[sig]; ok {
 		return id, nil
 	}
-	fid, err := s.eng.Insert("focus", reldb.Row{
+	fid, err := s.insert("focus", reldb.Row{
 		reldb.Null(), reldb.Str(ctx.Type.String()), reldb.Str(sig),
 	})
 	if err != nil {
@@ -422,7 +488,7 @@ func (s *Store) internFocus(ctx core.Context) (int64, error) {
 			continue
 		}
 		seen[rid] = true
-		if _, err := s.eng.Insert("focus_has_resource", reldb.Row{
+		if _, err := s.insert("focus_has_resource", reldb.Row{
 			reldb.Int(fid), reldb.Int(rid),
 		}); err != nil {
 			return 0, err
@@ -435,7 +501,9 @@ func (s *Store) internFocus(ctx core.Context) (int64, error) {
 // AddPerfResult stores a performance result with its contexts. The
 // execution and all context resources must already exist.
 func (s *Store) AddPerfResult(pr *core.PerformanceResult) (int64, error) {
-	s.bumpGen()
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	defer s.bumpGen()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.addPerfResultLocked(pr)
@@ -469,7 +537,7 @@ func (s *Store) addPerfResultLocked(pr *core.PerformanceResult) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	rid, err := s.eng.Insert("performance_result", reldb.Row{
+	rid, err := s.insert("performance_result", reldb.Row{
 		reldb.Null(), reldb.Int(execID), reldb.Int(metricID),
 		reldb.Int(toolID), reldb.Int(unitsID), reldb.Float(pr.Value),
 	})
@@ -487,7 +555,7 @@ func (s *Store) addPerfResultLocked(pr *core.PerformanceResult) (int64, error) {
 			continue
 		}
 		seenFoci[fid] = true
-		if _, err := s.eng.Insert("result_has_focus", reldb.Row{
+		if _, err := s.insert("result_has_focus", reldb.Row{
 			reldb.Int(rid), reldb.Int(fid),
 		}); err != nil {
 			return 0, err

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"perftrack/internal/datastore"
+)
+
+// Wire types for the v1 HTTP/JSON API. internal/client reuses these, so
+// the request and response shapes are defined exactly once.
+
+// QueryRequest asks for pr-filter match counts (the Figure 3 live
+// counts). Each family is a resource-filter spec in the shared CLI
+// syntax, e.g. "type=application" or "name=/MCRGrid/MCR;rel=D".
+type QueryRequest struct {
+	Families []string `json:"families"`
+}
+
+// FamilyCount reports one family's size and how many performance results
+// it matches alone.
+type FamilyCount struct {
+	Spec      string `json:"spec"`
+	Resources int    `json:"resources"`
+	Matches   int    `json:"matches"`
+}
+
+// QueryResponse carries per-family and combined match counts plus the
+// query engine's cache state at evaluation time.
+type QueryResponse struct {
+	Families    []FamilyCount `json:"families"`
+	Matches     int           `json:"matches"`
+	Generation  uint64        `json:"generation"`
+	CacheHits   uint64        `json:"cache_hits"`
+	CacheMisses uint64        `json:"cache_misses"`
+}
+
+// ResultsRequest is the two-step retrieval (§3.2): evaluate a pr-filter,
+// then refine the table — metric filter, free-resource columns, attribute
+// columns, sort, and row limit.
+type ResultsRequest struct {
+	Families      []string `json:"families"`
+	Metric        string   `json:"metric,omitempty"`
+	AddColumns    []string `json:"add_columns,omitempty"`    // resource types
+	AddAttributes []string `json:"add_attributes,omitempty"` // type.attribute
+	SortBy        string   `json:"sort_by,omitempty"`
+	Descending    bool     `json:"descending,omitempty"`
+	Limit         int      `json:"limit,omitempty"` // 0 = all rows
+}
+
+// ResultsResponse is the retrieved table in wire form.
+type ResultsResponse struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Total   int        `json:"total"` // rows matched before the limit
+}
+
+// LoadResponse reports one PTdf ingest.
+type LoadResponse struct {
+	Stats      datastore.LoadStats `json:"stats"`
+	Generation uint64              `json:"generation"`
+}
+
+// ReportResponse carries a name-list report (executions, metrics,
+// applications, tools).
+type ReportResponse struct {
+	Report string   `json:"report"`
+	Items  []string `json:"items"`
+}
+
+// StatsResponse is the Table 1 style store summary plus query-engine
+// counters.
+type StatsResponse struct {
+	Store  datastore.Stats            `json:"store"`
+	Engine datastore.QueryEngineStats `json:"engine"`
+}
+
+// HealthResponse is the liveness reply.
+type HealthResponse struct {
+	Status     string `json:"status"`
+	ReadOnly   bool   `json:"read_only"`
+	Generation uint64 `json:"generation"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx reply.
+type ErrorResponse struct {
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
+}

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"perftrack/internal/core"
+	"perftrack/internal/query"
+)
+
+// maxRequestBody bounds JSON request bodies. PTdf uploads on /v1/load
+// are streamed and exempt.
+const maxRequestBody = 1 << 20
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, r *http.Request, code int, err error) {
+	writeErrorString(w, r, code, err.Error())
+}
+
+func writeErrorString(w http.ResponseWriter, r *http.Request, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg, RequestID: RequestIDFromContext(r.Context())})
+}
+
+// decodeJSON reads a bounded JSON body into v.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return fmt.Errorf("empty request body")
+		}
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:     "ok",
+		ReadOnly:   s.cfg.ReadOnly,
+		Generation: s.store.Generation(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	es := s.store.QueryEngineStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, []gauge{
+		{"ptserved_store_generation", float64(es.Generation)},
+		{"ptserved_query_cache_hits", float64(es.CacheHits)},
+		{"ptserved_query_cache_misses", float64(es.CacheMisses)},
+		{"ptserved_query_cache_entries", float64(es.CacheEntries)},
+	})
+}
+
+// handleLoad streams a PTdf document from the request body into the
+// store. The load is transactional: on a bad record nothing of the
+// document remains (datastore.LoadPTdf rolls back), and the 400 reply
+// names the failing record.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.ReadOnly {
+		writeErrorString(w, r, http.StatusForbidden, "store is read-only")
+		return
+	}
+	stats, err := s.store.LoadPTdf(r.Body)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	s.logf("load: %d records (%d results, %d resources) rid=%s",
+		stats.Records, stats.Results, stats.Resources, RequestIDFromContext(r.Context()))
+	writeJSON(w, http.StatusOK, LoadResponse{Stats: stats, Generation: s.store.Generation()})
+}
+
+// buildPRFilter parses each family spec, applies it against the store,
+// and reports the per-family live counts alongside the assembled
+// pr-filter.
+func (s *Server) buildPRFilter(specs []string) (core.PRFilter, []FamilyCount, error) {
+	prf := core.PRFilter{}
+	counts := make([]FamilyCount, 0, len(specs))
+	for _, spec := range specs {
+		rf, err := query.ParseFilterSpec(spec)
+		if err != nil {
+			return prf, nil, err
+		}
+		fam, err := s.store.ApplyFilter(rf)
+		if err != nil {
+			return prf, nil, fmt.Errorf("family %q: %w", spec, err)
+		}
+		n, err := s.store.CountFamilyMatches(fam)
+		if err != nil {
+			return prf, nil, fmt.Errorf("family %q: %w", spec, err)
+		}
+		counts = append(counts, FamilyCount{Spec: spec, Resources: fam.Size(), Matches: n})
+		prf.Families = append(prf.Families, fam)
+	}
+	return prf, counts, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	prf, counts, err := s.buildPRFilter(req.Families)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	total, err := s.store.CountMatches(prf)
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	es := s.store.QueryEngineStats()
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Families:    counts,
+		Matches:     total,
+		Generation:  es.Generation,
+		CacheHits:   es.CacheHits,
+		CacheMisses: es.CacheMisses,
+	})
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	var req ResultsRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if req.Limit < 0 {
+		writeErrorString(w, r, http.StatusBadRequest, "limit must be >= 0")
+		return
+	}
+	prf, _, err := s.buildPRFilter(req.Families)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	tbl, err := query.Retrieve(s.store, prf)
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	if req.Metric != "" {
+		tbl.FilterMetric(req.Metric)
+	}
+	for _, col := range req.AddColumns {
+		if err := tbl.AddColumn(core.TypePath(col), false); err != nil {
+			writeError(w, r, http.StatusBadRequest, err)
+			return
+		}
+	}
+	for _, spec := range req.AddAttributes {
+		i := strings.LastIndexByte(spec, '.')
+		if i <= 0 {
+			writeErrorString(w, r, http.StatusBadRequest,
+				fmt.Sprintf("bad attribute column %q, want type.attribute", spec))
+			return
+		}
+		if err := tbl.AddAttributeColumn(core.TypePath(spec[:i]), spec[i+1:]); err != nil {
+			writeError(w, r, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if req.SortBy != "" {
+		tbl.SortBy(req.SortBy, req.Descending)
+	}
+
+	cols := tbl.Columns()
+	total := len(tbl.Rows)
+	rows := tbl.Rows
+	if req.Limit > 0 && len(rows) > req.Limit {
+		rows = rows[:req.Limit]
+	}
+	out := make([][]string, 0, len(rows))
+	for _, row := range rows {
+		cells := make([]string, len(cols))
+		for j, c := range cols {
+			cells[j] = tbl.Cell(row, c)
+		}
+		out = append(out, cells)
+	}
+	writeJSON(w, http.StatusOK, ResultsResponse{Columns: cols, Rows: out, Total: total})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var items []string
+	switch name {
+	case "executions":
+		items = s.store.Executions()
+	case "metrics":
+		items = s.store.Metrics()
+	case "applications":
+		items = s.store.Applications()
+	case "tools":
+		items = s.store.Tools()
+	case "stats":
+		writeJSON(w, http.StatusOK, StatsResponse{
+			Store:  s.store.Stats(),
+			Engine: s.store.QueryEngineStats(),
+		})
+		return
+	default:
+		writeErrorString(w, r, http.StatusNotFound,
+			fmt.Sprintf("unknown report %q (want executions, metrics, applications, tools, or stats)", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, ReportResponse{Report: name, Items: items})
+}

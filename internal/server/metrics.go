@@ -1,0 +1,108 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, chosen to
+// resolve both cached count lookups (sub-millisecond) and large streamed
+// loads (seconds).
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// routeStats accumulates one route's request counts and latencies.
+type routeStats struct {
+	codes   map[int]uint64
+	buckets []uint64 // cumulative counts per latencyBuckets entry
+	count   uint64
+	sum     float64 // total seconds
+}
+
+// serverMetrics is the process-local instrumentation behind GET /metrics:
+// per-route request counters by status code, per-route latency
+// histograms, an in-flight gauge, and a shed-request counter. The query
+// engine's generation and cache counters are appended at scrape time.
+type serverMetrics struct {
+	inFlight atomic.Int64
+	shed     atomic.Uint64
+
+	mu     sync.Mutex
+	routes map[string]*routeStats
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{routes: make(map[string]*routeStats)}
+}
+
+// observe records one finished request.
+func (m *serverMetrics) observe(route string, code int, d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.routes[route]
+	if !ok {
+		rs = &routeStats{codes: make(map[int]uint64), buckets: make([]uint64, len(latencyBuckets))}
+		m.routes[route] = rs
+	}
+	rs.codes[code]++
+	rs.count++
+	rs.sum += secs
+	for i, ub := range latencyBuckets {
+		if secs <= ub {
+			rs.buckets[i]++
+		}
+	}
+}
+
+// gauge is one extra name/value pair appended to the exposition.
+type gauge struct {
+	name  string
+	value float64
+}
+
+// write renders the Prometheus text exposition format.
+func (m *serverMetrics) write(w io.Writer, extra []gauge) {
+	m.mu.Lock()
+	routes := make([]string, 0, len(m.routes))
+	for r := range m.routes {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+
+	fmt.Fprintf(w, "# TYPE ptserved_requests_total counter\n")
+	for _, route := range routes {
+		rs := m.routes[route]
+		codes := make([]int, 0, len(rs.codes))
+		for c := range rs.codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(w, "ptserved_requests_total{route=%q,code=\"%d\"} %d\n", route, c, rs.codes[c])
+		}
+	}
+	fmt.Fprintf(w, "# TYPE ptserved_request_duration_seconds histogram\n")
+	for _, route := range routes {
+		rs := m.routes[route]
+		for i, ub := range latencyBuckets {
+			fmt.Fprintf(w, "ptserved_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", route, ub, rs.buckets[i])
+		}
+		fmt.Fprintf(w, "ptserved_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, rs.count)
+		fmt.Fprintf(w, "ptserved_request_duration_seconds_sum{route=%q} %g\n", route, rs.sum)
+		fmt.Fprintf(w, "ptserved_request_duration_seconds_count{route=%q} %d\n", route, rs.count)
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# TYPE ptserved_in_flight_requests gauge\n")
+	fmt.Fprintf(w, "ptserved_in_flight_requests %d\n", m.inFlight.Load())
+	fmt.Fprintf(w, "# TYPE ptserved_requests_shed_total counter\n")
+	fmt.Fprintf(w, "ptserved_requests_shed_total %d\n", m.shed.Load())
+	for _, g := range extra {
+		fmt.Fprintf(w, "# TYPE %s gauge\n", g.name)
+		fmt.Fprintf(w, "%s %g\n", g.name, g.value)
+	}
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// ctxKey is the private context-key type for request-scoped values.
+type ctxKey int
+
+const ctxKeyRequestID ctxKey = iota
+
+// RequestIDFromContext returns the request's ID tag, or "".
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+// statusRecorder captures the status code and body size written by a
+// handler so the logging and metrics layers can report them.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.code == 0 {
+		sr.code = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.code == 0 {
+		sr.code = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// newRequestID returns a 16-hex-char random tag.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// withRequestID tags every request with an ID (honoring one supplied by
+// the caller) and echoes it in the X-Request-Id response header.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID, id)))
+	})
+}
+
+// logRequests writes one structured line per request.
+func (s *Server) logRequests(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sr := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sr, r)
+		if sr.code == 0 {
+			sr.code = http.StatusOK
+		}
+		s.logf("method=%s route=%q path=%s status=%d bytes=%d dur=%s rid=%s remote=%s",
+			r.Method, route, r.URL.Path, sr.code, sr.bytes,
+			time.Since(start).Round(time.Microsecond), RequestIDFromContext(r.Context()), r.RemoteAddr)
+	})
+}
+
+// recoverPanics converts a handler panic into a 500 instead of killing
+// the connection (and, under Go's default ServeMux behaviour, keeps one
+// bad request from taking down unrelated in-flight work).
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				s.logf("panic=%v rid=%s\n%s", v, RequestIDFromContext(r.Context()), debug.Stack())
+				writeErrorString(w, r, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// instrument maintains the in-flight gauge and per-route counters.
+func (s *Server) instrument(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+		sr := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sr, r)
+		if sr.code == 0 {
+			sr.code = http.StatusOK
+		}
+		s.metrics.observe(route, sr.code, time.Since(start))
+	})
+}
+
+// limit sheds load beyond the configured in-flight ceiling with 429 +
+// Retry-After instead of queueing unboundedly: under overload the server
+// answers fast and cheap, and well-behaved clients (internal/client)
+// back off and retry.
+func (s *Server) limit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+			next.ServeHTTP(w, r)
+		default:
+			s.metrics.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeErrorString(w, r, http.StatusTooManyRequests, "server at capacity")
+		}
+	})
+}

@@ -1,0 +1,157 @@
+// Package server implements ptserved's HTTP/JSON service layer: a
+// concurrent network front end over one PerfTrack data store. It exposes
+// PTdf ingest, pr-filter match counting, two-step result retrieval, and
+// the name-list reports, with an operational envelope of request
+// tagging, structured logs, load shedding, per-request timeouts, panic
+// recovery, Prometheus-style metrics, and graceful drain + checkpoint
+// shutdown. Only the standard library is used.
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"perftrack/internal/datastore"
+)
+
+// Checkpointer is the subset of reldb.FileEngine the server needs at
+// shutdown; a nil Checkpointer (e.g. a pure in-memory store under test)
+// skips the checkpoint step.
+type Checkpointer interface {
+	Checkpoint() error
+}
+
+// Config carries the server's dependencies and operational limits.
+type Config struct {
+	Store        *datastore.Store
+	Checkpointer Checkpointer // optional; invoked after drain on Shutdown
+
+	// ReadOnly rejects POST /v1/load with 403.
+	ReadOnly bool
+
+	// MaxInFlight bounds concurrently served API requests; excess
+	// requests are shed with 429. 0 means the default of 64.
+	MaxInFlight int
+
+	// RequestTimeout bounds each API request end to end; 0 means the
+	// default of 30s. /healthz and /metrics are exempt.
+	RequestTimeout time.Duration
+
+	// Logger receives one line per request plus lifecycle events; nil
+	// disables logging.
+	Logger *log.Logger
+}
+
+// Server is the ptserved HTTP service.
+type Server struct {
+	cfg     Config
+	store   *datastore.Store
+	metrics *serverMetrics
+	sem     chan struct{}
+	httpSrv *http.Server
+}
+
+// New validates the config and builds a Server. The caller serves it via
+// Serve/ListenAndServe or mounts Handler() under its own http.Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("server: Config.Store is required")
+	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.MaxInFlight < 0 {
+		return nil, fmt.Errorf("server: MaxInFlight must be positive, got %d", cfg.MaxInFlight)
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	s := &Server{
+		cfg:     cfg,
+		store:   cfg.Store,
+		metrics: newServerMetrics(),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.httpSrv = &http.Server{
+		Handler:     s.Handler(),
+		ReadTimeout: 0, // streamed loads may upload for a long time
+		IdleTimeout: 2 * time.Minute,
+		ErrorLog:    cfg.Logger,
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// route wires one endpoint with the full middleware stack. Outermost to
+// innermost: request-ID tagging, structured logging, panic recovery,
+// metrics instrumentation, load shedding, per-request timeout. The
+// limiter sits inside instrumentation so shed requests still appear in
+// the 429 counters.
+func (s *Server) route(mux *http.ServeMux, pattern, routeName string, limited bool, h http.Handler) {
+	if limited {
+		h = http.TimeoutHandler(h, s.cfg.RequestTimeout, "request timed out")
+		h = s.limit(h)
+	}
+	h = s.instrument(routeName, h)
+	h = s.recoverPanics(h)
+	h = s.logRequests(routeName, h)
+	h = withRequestID(h)
+	mux.Handle(pattern, h)
+}
+
+// Handler returns the fully wired HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	// /healthz and /metrics bypass the limiter and timeout so probes and
+	// scrapes keep answering while the API sheds load.
+	s.route(mux, "GET /healthz", "/healthz", false, http.HandlerFunc(s.handleHealth))
+	s.route(mux, "GET /metrics", "/metrics", false, http.HandlerFunc(s.handleMetrics))
+	s.route(mux, "POST /v1/load", "/v1/load", true, http.HandlerFunc(s.handleLoad))
+	s.route(mux, "POST /v1/query", "/v1/query", true, http.HandlerFunc(s.handleQuery))
+	s.route(mux, "POST /v1/results", "/v1/results", true, http.HandlerFunc(s.handleResults))
+	s.route(mux, "GET /v1/reports/{name}", "/v1/reports", true, http.HandlerFunc(s.handleReport))
+	return mux
+}
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean shutdown, mirroring net/http.
+func (s *Server) Serve(l net.Listener) error {
+	s.logf("ptserved: serving on %s (read-only=%v max-in-flight=%d timeout=%s)",
+		l.Addr(), s.cfg.ReadOnly, s.cfg.MaxInFlight, s.cfg.RequestTimeout)
+	return s.httpSrv.Serve(l)
+}
+
+// ListenAndServe binds addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains in-flight requests (bounded by ctx), then checkpoints
+// the store so the on-disk snapshot reflects everything ingested over
+// the network and the write-ahead log is truncated.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.logf("ptserved: shutting down, draining in-flight requests")
+	if err := s.httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("server: drain: %w", err)
+	}
+	if s.cfg.Checkpointer != nil {
+		if err := s.cfg.Checkpointer.Checkpoint(); err != nil {
+			return fmt.Errorf("server: checkpoint: %w", err)
+		}
+		s.logf("ptserved: checkpoint complete")
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+#!/bin/sh
+# Smoke test for the networked quickstart: build every command, start
+# ptserved over a fresh store, then drive the full workflow remotely —
+# generate data, ingest it over HTTP with ptload -remote, and query it
+# back with ptquery -remote. Exercises startup, ingest, query, reports,
+# health, metrics, and graceful SIGTERM shutdown (drain + checkpoint).
+set -eu
+
+workdir=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build all commands"
+go build -o "$workdir/bin/" ./cmd/...
+
+cd "$workdir"
+addr=127.0.0.1:7075
+base="http://$addr"
+
+echo "== generate a small dataset"
+bin/ptinit -db store -machines
+bin/ptgen -kind smg-bgl -out raw -execs 2 -np 64
+bin/ptdfgen -index raw/index.txt -out ptdf
+
+echo "== start ptserved"
+bin/ptserved -db store -addr "$addr" &
+pid=$!
+for i in $(seq 1 50); do
+    if bin/ptquery -remote "$base" -report stats >/dev/null 2>&1; then
+        break
+    fi
+    [ "$i" -eq 50 ] && { echo "ptserved did not become ready" >&2; exit 1; }
+    sleep 0.2
+done
+
+echo "== remote load"
+bin/ptload -remote "$base" ptdf/*.ptdf
+
+echo "== remote queries"
+bin/ptquery -remote "$base" -family 'type=application' -count
+count=$(bin/ptquery -remote "$base" -family 'type=application' -count 2>&1 |
+    sed -n 's/^pr-filter matches \([0-9]*\) performance results$/\1/p')
+[ "$count" -gt 0 ] || { echo "remote query matched nothing" >&2; exit 1; }
+bin/ptquery -remote "$base" -family 'type=application' -sort value -limit 5
+bin/ptquery -remote "$base" -report executions | grep -q smg-bgl-000
+bin/ptquery -remote "$base" -report stats
+
+echo "== health and metrics"
+if command -v curl >/dev/null; then
+    curl -fsS "$base/healthz" > health.json
+    grep -q '"status": "ok"' health.json
+    curl -fsS "$base/metrics" > metrics.txt
+    grep -q ptserved_requests_total metrics.txt
+fi
+
+echo "== graceful shutdown checkpoints the store"
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+[ -s store/perftrack.snap ] || { echo "no snapshot after shutdown" >&2; exit 1; }
+[ ! -s store/perftrack.wal ] || { echo "WAL not truncated after shutdown" >&2; exit 1; }
+
+echo "== local ptquery sees the served store"
+final=$(bin/ptquery -db store -family 'type=application' -count 2>&1 |
+    sed -n 's/^pr-filter matches \([0-9]*\) performance results$/\1/p')
+[ "$final" = "$count" ] || { echo "post-shutdown count $final != served count $count" >&2; exit 1; }
+
+echo "smoke test passed ($count results served)"
