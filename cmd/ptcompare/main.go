@@ -7,21 +7,30 @@
 //
 //	ptcompare -db DIR -a execA -b execB [-metric NAME] [-threshold 0.10]
 //	          [-diagnose] [-top N]
+//	ptcompare -remote http://host:7075 -a execA -b execB [...]
+//
+// With -remote the comparison runs server-side (GET /v1/compare on a
+// ptserved instance) and prints the same sections.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"perftrack/internal/client"
 	"perftrack/internal/compare"
+	"perftrack/internal/core"
 	"perftrack/internal/datastore"
 	"perftrack/internal/reldb"
+	"perftrack/internal/server"
 )
 
 func main() {
-	dbDir := flag.String("db", "", "data store directory (required)")
+	dbDir := flag.String("db", "", "data store directory")
+	remote := flag.String("remote", "", "ptserved base URL (e.g. http://localhost:7075) instead of -db")
 	execA := flag.String("a", "", "baseline execution (required)")
 	execB := flag.String("b", "", "comparison execution (required)")
 	metric := flag.String("metric", "", "restrict to one metric")
@@ -29,10 +38,14 @@ func main() {
 	diagnose := flag.Bool("diagnose", false, "rank bottlenecks by contribution to total slowdown")
 	top := flag.Int("top", 10, "rows to print per section")
 	flag.Parse()
-	if *dbDir == "" || *execA == "" || *execB == "" {
-		fmt.Fprintln(os.Stderr, "ptcompare: -db, -a, and -b are required")
+	if (*dbDir == "") == (*remote == "") || *execA == "" || *execB == "" {
+		fmt.Fprintln(os.Stderr, "ptcompare: exactly one of -db or -remote, plus -a and -b, are required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *remote != "" {
+		compareRemote(*remote, *execA, *execB, *metric, *threshold, *diagnose, *top)
+		return
 	}
 	fe, err := reldb.OpenFile(*dbDir)
 	if err != nil {
@@ -94,16 +107,81 @@ func main() {
 	}
 }
 
+// compareRemote prints the same sections from a server-side comparison.
+// The server applies the metric filter and computes regressions,
+// improvements, and bottlenecks with the given threshold and top.
+func compareRemote(baseURL, execA, execB, metric string, threshold float64, diagnose bool, top int) {
+	c := client.New(baseURL)
+	resp, err := c.Compare(context.Background(), execA, execB, client.CompareOptions{
+		Metric: metric, Threshold: threshold, Top: top,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	sum := resp.Summary
+	fmt.Printf("comparing %s (A) vs %s (B)\n", execA, execB)
+	fmt.Printf("aligned pairs: %d   only in A: %d   only in B: %d\n",
+		sum.Paired, sum.OnlyA, sum.OnlyB)
+	fmt.Printf("geometric-mean ratio B/A: %.4f   mean difference: %+.4f\n\n",
+		sum.GeoMeanRatio, sum.MeanDiff)
+
+	if diagnose {
+		if len(resp.Bottlenecks) == 0 {
+			fmt.Println("no bottlenecks: B is not slower than A anywhere")
+			return
+		}
+		fmt.Printf("bottlenecks (B slower than A), worst first:\n")
+		fmt.Printf("%-40s %-24s %10s %8s\n", "context", "metric", "delta", "share")
+		for _, f := range resp.Bottlenecks {
+			fmt.Printf("%-40s %-24s %+10.4f %7.1f%%\n",
+				wireContextLabel(f.Pair), f.Pair.Metric, f.Delta, f.Contribution*100)
+		}
+		return
+	}
+
+	fmt.Printf("regressions beyond %.0f%%: %d\n", threshold*100, len(resp.Regressions))
+	for i, r := range resp.Regressions {
+		if i >= top {
+			fmt.Printf("  ... %d more\n", len(resp.Regressions)-top)
+			break
+		}
+		fmt.Printf("  %-40s %-24s %8.3f -> %8.3f  (+%.1f%%)\n",
+			wireContextLabel(r.Pair), r.Pair.Metric, r.Pair.A, r.Pair.B, r.Percent)
+	}
+	fmt.Printf("improvements beyond %.0f%%: %d\n", threshold*100, len(resp.Improvements))
+	for i, r := range resp.Improvements {
+		if i >= top {
+			fmt.Printf("  ... %d more\n", len(resp.Improvements)-top)
+			break
+		}
+		fmt.Printf("  %-40s %-24s %8.3f -> %8.3f  (-%.1f%%)\n",
+			wireContextLabel(r.Pair), r.Pair.Metric, r.Pair.A, r.Pair.B, r.Percent)
+	}
+}
+
 // contextLabel renders the portable context of a pair compactly.
 func contextLabel(p compare.Pair) string {
+	return resourceLabel(p.Context)
+}
+
+// wireContextLabel is contextLabel for the wire form of a pair.
+func wireContextLabel(p server.ComparePair) string {
+	rs := make([]core.ResourceName, len(p.Context))
+	for i, s := range p.Context {
+		rs[i] = core.ResourceName(s)
+	}
+	return resourceLabel(rs)
+}
+
+func resourceLabel(ctx []core.ResourceName) string {
 	var parts []string
-	for _, r := range p.Context {
+	for _, r := range ctx {
 		if r.Depth() > 1 { // skip bare applications; keep code/time paths
 			parts = append(parts, r.BaseName())
 		}
 	}
 	if len(parts) == 0 {
-		for _, r := range p.Context {
+		for _, r := range ctx {
 			parts = append(parts, r.BaseName())
 		}
 	}

@@ -1,0 +1,137 @@
+package client
+
+// End-to-end tests of the v1 client surface against a real server over
+// an in-memory store: bulk loads, server-side compare, and the typed
+// error contract (APIError unwraps to the datastore sentinels).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"perftrack/internal/datastore"
+	"perftrack/internal/reldb"
+	"perftrack/internal/server"
+)
+
+func newAPIServer(t *testing.T) *Client {
+	t.Helper()
+	store, err := datastore.Open(reldb.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	c := New(ts.URL)
+	c.MaxRetries = -1
+	return c
+}
+
+func execDoc(tag string, value float64) string {
+	return fmt.Sprintf(`Application app
+Execution %s app
+Resource /app application
+Resource /%s execution %s
+PerfResult %s /app,/%s(primary) t "wall time" %g seconds
+`, tag, tag, tag, tag, tag, value)
+}
+
+func TestLoadBatchEndToEnd(t *testing.T) {
+	c := newAPIServer(t)
+	ctx := context.Background()
+	docs := []BatchDoc{
+		{Name: "a.ptdf", R: strings.NewReader(execDoc("ea", 100))},
+		{Name: "bad.ptdf", R: strings.NewReader("Garbage\n")},
+		{Name: "b.ptdf", R: strings.NewReader(execDoc("eb", 150))},
+	}
+	var seen []server.LoadDocStatus
+	summary, err := c.LoadBatch(ctx, docs, 2, func(st server.LoadDocStatus) { seen = append(seen, st) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("saw %d per-doc lines, want 3: %+v", len(seen), seen)
+	}
+	for i, want := range []string{"a.ptdf", "bad.ptdf", "b.ptdf"} {
+		if seen[i].Doc != want {
+			t.Errorf("doc %d = %q, want %q", i, seen[i].Doc, want)
+		}
+	}
+	if seen[1].Error == "" {
+		t.Error("bad document reported no error")
+	}
+	if !summary.Done || summary.Docs != 3 || summary.Failed != 1 {
+		t.Errorf("summary = %+v", summary)
+	}
+	if summary.Stats.Results != 2 {
+		t.Errorf("summary stats = %+v", summary.Stats)
+	}
+
+	// Both good executions are now comparable server-side.
+	cr, err := c.Compare(ctx, "ea", "eb", CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Summary.Paired != 1 || len(cr.Regressions) != 1 {
+		t.Errorf("compare = %+v", cr)
+	}
+	if cr.Regressions[0].Percent != 50 {
+		t.Errorf("regression percent = %v", cr.Regressions[0].Percent)
+	}
+}
+
+func TestClientTypedErrors(t *testing.T) {
+	c := newAPIServer(t)
+	ctx := context.Background()
+	if _, err := c.Load(ctx, strings.NewReader(execDoc("ea", 100))); err != nil {
+		t.Fatal(err)
+	}
+
+	// Missing entity → ErrNotFound.
+	_, err := c.Compare(ctx, "ghost", "ea", CompareOptions{})
+	if !errors.Is(err, datastore.ErrNotFound) {
+		t.Errorf("compare unknown exec: err = %v, want ErrNotFound", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Errorf("err = %v, want *APIError with 404", err)
+	}
+
+	// Identity conflict → ErrExists.
+	_, err = c.Load(ctx, strings.NewReader("Application other\nExecution ea other\n"))
+	if !errors.Is(err, datastore.ErrExists) {
+		t.Errorf("conflicting load: err = %v, want ErrExists", err)
+	}
+
+	// Malformed input → ErrBadSpec.
+	_, err = c.Load(ctx, strings.NewReader("Garbage\n"))
+	if !errors.Is(err, datastore.ErrBadSpec) {
+		t.Errorf("bad document: err = %v, want ErrBadSpec", err)
+	}
+	_, err = c.Query(ctx, []string{"%%%not-a-spec"})
+	if !errors.Is(err, datastore.ErrBadSpec) {
+		t.Errorf("bad filter spec: err = %v, want ErrBadSpec", err)
+	}
+}
+
+func TestClientStats(t *testing.T) {
+	c := newAPIServer(t)
+	ctx := context.Background()
+	if _, err := c.Load(ctx, strings.NewReader(execDoc("ea", 100))); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.APIVersion != server.APIVersion || sr.Store.Executions != 1 || sr.Store.Results != 1 {
+		t.Errorf("stats = %+v", sr)
+	}
+}

@@ -5,16 +5,20 @@
 package client
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
+	"mime/multipart"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
+	"perftrack/internal/datastore"
 	"perftrack/internal/server"
 )
 
@@ -31,6 +35,22 @@ func (e *APIError) Error() string {
 		return fmt.Sprintf("client: server returned %d: %s (request %s)", e.StatusCode, e.Message, e.RequestID)
 	}
 	return fmt.Sprintf("client: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// Unwrap maps the HTTP status class back onto the datastore's sentinel
+// errors, so callers can errors.Is(err, datastore.ErrNotFound) (and
+// ErrExists, ErrBadSpec) on a remote call exactly as they would on a
+// local store.
+func (e *APIError) Unwrap() error {
+	switch e.StatusCode {
+	case http.StatusNotFound:
+		return datastore.ErrNotFound
+	case http.StatusConflict:
+		return datastore.ErrExists
+	case http.StatusBadRequest:
+		return datastore.ErrBadSpec
+	}
+	return nil
 }
 
 // retryable reports whether the failure class is worth another attempt:
@@ -234,6 +254,126 @@ func (c *Client) Report(ctx context.Context, name string) (server.ReportResponse
 // Stats fetches the store summary and query-engine counters.
 func (c *Client) Stats(ctx context.Context) (server.StatsResponse, error) {
 	var out server.StatsResponse
-	err := c.do(ctx, http.MethodGet, "/v1/reports/stats", "", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/stats", "", nil, &out)
 	return out, err
+}
+
+// CompareOptions refine a Compare call. Zero values mean the server
+// defaults: all metrics, 10% threshold, top 10 bottlenecks.
+type CompareOptions struct {
+	Metric    string
+	Threshold float64
+	Top       int
+}
+
+// Compare fetches the server-side comparison of two executions
+// (GET /v1/compare). An unknown execution surfaces as an *APIError that
+// unwraps to datastore.ErrNotFound.
+func (c *Client) Compare(ctx context.Context, execA, execB string, opts CompareOptions) (server.CompareResponse, error) {
+	q := url.Values{}
+	q.Set("a", execA)
+	q.Set("b", execB)
+	if opts.Metric != "" {
+		q.Set("metric", opts.Metric)
+	}
+	if opts.Threshold > 0 {
+		q.Set("threshold", strconv.FormatFloat(opts.Threshold, 'g', -1, 64))
+	}
+	if opts.Top > 0 {
+		q.Set("top", strconv.Itoa(opts.Top))
+	}
+	var out server.CompareResponse
+	err := c.do(ctx, http.MethodGet, "/v1/compare?"+q.Encode(), "", nil, &out)
+	return out, err
+}
+
+// BatchDoc names one PTdf document for LoadBatch.
+type BatchDoc struct {
+	Name string
+	R    io.Reader
+}
+
+// LoadBatch streams several PTdf documents to the server in one
+// multipart POST /v1/load. The server decodes them in parallel (workers
+// hints the parallelism; 0 lets the server pick) and commits each
+// document transactionally in order, streaming back one NDJSON status
+// line per document. onDoc, when non-nil, observes each per-document
+// line as it arrives; the returned LoadDocStatus is the final summary
+// line (Done=true, with totals and the failed-document count).
+//
+// LoadBatch never retries: by the time a failure is visible some
+// documents may already have committed, and replaying the stream would
+// double-apply them. Callers retry per document using the statuses.
+func (c *Client) LoadBatch(ctx context.Context, docs []BatchDoc, workers int, onDoc func(server.LoadDocStatus)) (server.LoadDocStatus, error) {
+	var summary server.LoadDocStatus
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	for i, d := range docs {
+		name := d.Name
+		if name == "" {
+			name = fmt.Sprintf("doc-%d", i+1)
+		}
+		part, err := mw.CreateFormFile("ptdf", name)
+		if err != nil {
+			return summary, fmt.Errorf("client: build multipart body: %w", err)
+		}
+		if _, err := io.Copy(part, d.R); err != nil {
+			return summary, fmt.Errorf("client: read document %q: %w", name, err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		return summary, fmt.Errorf("client: build multipart body: %w", err)
+	}
+
+	path := "/v1/load"
+	if workers > 0 {
+		path += "?j=" + strconv.Itoa(workers)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, &body)
+	if err != nil {
+		return summary, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", mw.FormDataContentType())
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return summary, fmt.Errorf("client: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		apiErr := &APIError{StatusCode: resp.StatusCode, Message: string(bytes.TrimSpace(raw))}
+		var er server.ErrorResponse
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			apiErr.Message, apiErr.RequestID = er.Error, er.RequestID
+		}
+		return summary, apiErr
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sawSummary := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var st server.LoadDocStatus
+		if err := json.Unmarshal(line, &st); err != nil {
+			return summary, fmt.Errorf("client: decode load status line: %w", err)
+		}
+		if st.Done {
+			summary, sawSummary = st, true
+			continue
+		}
+		if onDoc != nil {
+			onDoc(st)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return summary, fmt.Errorf("client: read load status stream: %w", err)
+	}
+	if !sawSummary {
+		return summary, fmt.Errorf("client: load status stream ended without a summary line")
+	}
+	return summary, nil
 }

@@ -1,0 +1,23 @@
+package datastore
+
+import "errors"
+
+// Sentinel errors classifying every failure the store can report. Callers
+// branch on them with errors.Is; the service layer maps them onto HTTP
+// status codes (404, 409, 400) so clients never parse error strings.
+var (
+	// ErrNotFound reports a lookup of an entity — execution, resource,
+	// type, result — that does not exist in the store.
+	ErrNotFound = errors.New("not found")
+
+	// ErrExists reports an attempt to redefine an existing entity with
+	// conflicting identity, e.g. re-declaring an execution under a
+	// different application. Idempotent re-adds (same identity) are not
+	// errors.
+	ErrExists = errors.New("conflicts with existing entity")
+
+	// ErrBadSpec reports malformed input: an unparsable PTdf record, an
+	// empty name, an invalid filter spec, or a structurally invalid
+	// performance result.
+	ErrBadSpec = errors.New("bad specification")
+)

@@ -35,14 +35,12 @@ func (ls *LoadStats) Add(o LoadStats) {
 	ls.Results += o.Results
 }
 
-// LoadRecord applies one PTdf record to the store.
+// LoadRecord applies one PTdf record to the store: a one-record batch.
 func (s *Store) LoadRecord(rec ptdf.Record) error {
-	s.wmu.Lock()
-	defer s.wmu.Unlock()
-	defer s.bumpGen()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.loadRecordLocked(rec)
+	b := s.NewBatch()
+	b.Stage(rec)
+	_, err := b.Commit()
+	return err
 }
 
 // loadRecordLocked applies one PTdf record. Callers hold s.mu (and s.wmu
@@ -91,68 +89,30 @@ func (s *Store) loadRecordLocked(rec ptdf.Record) error {
 		_, err := s.addHistogramResultLocked(pr, r.BinWidth, r.Values)
 		return err
 	default:
-		return fmt.Errorf("datastore: unknown PTdf record %T", rec)
+		return fmt.Errorf("datastore: unknown PTdf record %T: %w", rec, ErrBadSpec)
 	}
 }
 
-// LoadPTdf streams a PTdf document into the store atomically: the whole
-// document loads inside one engine transaction, and any bad record rolls
-// the entire document back, leaving no partially-loaded data behind.
-// Concurrent writers are excluded for the duration (loads serialize on
-// the writer mutex); concurrent readers proceed record-by-record and see
-// the load's progress as it happens (read-uncommitted, matching the
-// embedded tool behaviour), with the match-cache generation bumped after
-// every record so cached counts are never stale.
+// LoadPTdf streams a PTdf document into the store atomically. The
+// document decodes into a staged Batch outside every lock — a slow or
+// partially-bad document costs nothing under the writer mutex — then
+// commits in one critical section: one engine transaction, one
+// generation bump, one WAL flush. A bad record (decode or apply) leaves
+// no trace of the document behind; the error names the failing record.
+// Concurrent loads decode in parallel and serialize only at commit.
 func (s *Store) LoadPTdf(r io.Reader) (LoadStats, error) {
-	s.wmu.Lock()
-	defer s.wmu.Unlock()
-	defer s.bumpGen()
-
-	tx := s.eng.Begin()
-	s.mu.Lock()
-	s.ins = tx
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		s.ins = nil
-		s.mu.Unlock()
-	}()
-
-	var stats LoadStats
+	b := s.NewBatch()
 	pr := ptdf.NewReader(r)
 	for {
 		rec, err := pr.Next()
 		if err == io.EOF {
-			return stats, tx.Commit()
+			return b.Commit()
 		}
 		if err != nil {
-			return LoadStats{}, s.rollbackLoad(tx, err)
+			b.Rollback()
+			return LoadStats{}, fmt.Errorf("%w: %w", err, ErrBadSpec)
 		}
-		s.mu.Lock()
-		lerr := s.loadRecordLocked(rec)
-		s.mu.Unlock()
-		if lerr != nil {
-			return LoadStats{}, s.rollbackLoad(tx,
-				fmt.Errorf("datastore: record %d: %w", stats.Records+1, lerr))
-		}
-		s.bumpGen()
-		stats.Records++
-		switch rec.(type) {
-		case ptdf.ResourceTypeRec:
-			stats.Types++
-		case ptdf.ApplicationRec:
-			stats.Apps++
-		case ptdf.ExecutionRec:
-			stats.Executions++
-		case ptdf.ResourceRec:
-			stats.Resources++
-		case ptdf.ResourceAttributeRec:
-			stats.Attributes++
-		case ptdf.ResourceConstraintRec:
-			stats.Constraints++
-		case ptdf.PerfResultRec, ptdf.PerfHistogramRec:
-			stats.Results++
-		}
+		b.Stage(rec)
 	}
 }
 

@@ -16,7 +16,7 @@ func (s *Store) ResourceByName(name core.ResourceName) (*core.Resource, error) {
 	id, ok := s.resIDs[name]
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("datastore: no resource %q", name)
+		return nil, fmt.Errorf("datastore: no resource %q: %w", name, ErrNotFound)
 	}
 	return s.resourceByID(id)
 }
@@ -25,7 +25,7 @@ func (s *Store) resourceByID(id int64) (*core.Resource, error) {
 	riTab, _ := s.eng.Table("resource_item")
 	row, ok := riTab.Get(id)
 	if !ok {
-		return nil, fmt.Errorf("datastore: no resource id %d", id)
+		return nil, fmt.Errorf("datastore: no resource id %d: %w", id, ErrNotFound)
 	}
 	name := core.ResourceName(row[1].Text())
 	typ, err := s.typeOfID(row[4].Int64())
@@ -77,12 +77,12 @@ func (s *Store) TypeOfResource(name core.ResourceName) (core.TypePath, error) {
 	id, ok := s.resIDs[name]
 	s.mu.Unlock()
 	if !ok {
-		return "", fmt.Errorf("datastore: no resource %q", name)
+		return "", fmt.Errorf("datastore: no resource %q: %w", name, ErrNotFound)
 	}
 	riTab, _ := s.eng.Table("resource_item")
 	row, ok := riTab.Get(id)
 	if !ok {
-		return "", fmt.Errorf("datastore: no resource id %d", id)
+		return "", fmt.Errorf("datastore: no resource id %d: %w", id, ErrNotFound)
 	}
 	return s.typeOfID(row[4].Int64())
 }
@@ -101,7 +101,7 @@ func (s *Store) ResourcesOfType(t core.TypePath) ([]core.ResourceName, error) {
 	ffid, ok := s.typeIDs[t]
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("datastore: unknown type %q", t)
+		return nil, fmt.Errorf("datastore: unknown type %q: %w", t, ErrNotFound)
 	}
 	riTab, _ := s.eng.Table("resource_item")
 	var out []core.ResourceName
@@ -138,7 +138,7 @@ func (s *Store) Children(name core.ResourceName) ([]core.ResourceName, error) {
 	id, ok := s.resIDs[name]
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("datastore: no resource %q", name)
+		return nil, fmt.Errorf("datastore: no resource %q: %w", name, ErrNotFound)
 	}
 	riTab, _ := s.eng.Table("resource_item")
 	var out []core.ResourceName
@@ -161,7 +161,7 @@ func (s *Store) Ancestors(name core.ResourceName) ([]core.ResourceName, error) {
 	id, ok := s.resIDs[name]
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("datastore: no resource %q", name)
+		return nil, fmt.Errorf("datastore: no resource %q: %w", name, ErrNotFound)
 	}
 	var out []core.ResourceName
 	if s.UseClosureTables {
@@ -201,7 +201,7 @@ func (s *Store) Descendants(name core.ResourceName) ([]core.ResourceName, error)
 	id, ok := s.resIDs[name]
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("datastore: no resource %q", name)
+		return nil, fmt.Errorf("datastore: no resource %q: %w", name, ErrNotFound)
 	}
 	var out []core.ResourceName
 	if s.UseClosureTables {
@@ -556,7 +556,7 @@ func (s *Store) ResultByID(id int64) (*core.PerformanceResult, error) {
 	prTab, _ := s.eng.Table("performance_result")
 	row, ok := prTab.Get(id)
 	if !ok {
-		return nil, fmt.Errorf("datastore: no performance result %d", id)
+		return nil, fmt.Errorf("datastore: no performance result %d: %w", id, ErrNotFound)
 	}
 	pr := &core.PerformanceResult{Value: row[5].Float64()}
 	var err error
@@ -623,7 +623,7 @@ func (s *Store) ResultsOfExecution(exec string) ([]*core.PerformanceResult, erro
 	execID, ok := s.execIDs[exec]
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("datastore: unknown execution %q", exec)
+		return nil, fmt.Errorf("datastore: unknown execution %q: %w", exec, ErrNotFound)
 	}
 	prTab, _ := s.eng.Table("performance_result")
 	var ids []int64

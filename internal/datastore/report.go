@@ -25,7 +25,7 @@ func (s *Store) ExecutionDetail(name string) (*ExecutionDetail, error) {
 	execID, ok := s.execIDs[name]
 	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("datastore: unknown execution %q", name)
+		return nil, fmt.Errorf("datastore: unknown execution %q: %w", name, ErrNotFound)
 	}
 	d := &ExecutionDetail{Name: name, Attributes: map[string]string{}}
 
@@ -97,7 +97,7 @@ func (s *Store) DeleteExecution(name string) error {
 	defer s.mu.Unlock()
 	execID, ok := s.execIDs[name]
 	if !ok {
-		return fmt.Errorf("datastore: unknown execution %q", name)
+		return fmt.Errorf("datastore: unknown execution %q: %w", name, ErrNotFound)
 	}
 
 	// 1. Results of the execution, plus their focus links and histograms.

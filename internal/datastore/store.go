@@ -48,8 +48,10 @@ type Store struct {
 	typeIDs  map[core.TypePath]int64
 	resIDs   map[core.ResourceName]int64
 	resNames map[int64]core.ResourceName
+	resTypes map[int64]int64 // resource id -> focus_framework (type) id
 	appIDs   map[string]int64
 	execIDs  map[string]int64
+	execApp  map[string]int64 // execution name -> application id
 	metricID map[string]int64
 	toolID   map[string]int64
 	unitsID  map[string]int64
@@ -83,8 +85,10 @@ func Open(eng reldb.Engine) (*Store, error) {
 		typeIDs:          make(map[core.TypePath]int64),
 		resIDs:           make(map[core.ResourceName]int64),
 		resNames:         make(map[int64]core.ResourceName),
+		resTypes:         make(map[int64]int64),
 		appIDs:           make(map[string]int64),
 		execIDs:          make(map[string]int64),
+		execApp:          make(map[string]int64),
 		metricID:         make(map[string]int64),
 		toolID:           make(map[string]int64),
 		unitsID:          make(map[string]int64),
@@ -164,8 +168,10 @@ func (s *Store) resetCachesLocked() error {
 	s.typeIDs = make(map[core.TypePath]int64)
 	s.resIDs = make(map[core.ResourceName]int64)
 	s.resNames = make(map[int64]core.ResourceName)
+	s.resTypes = make(map[int64]int64)
 	s.appIDs = make(map[string]int64)
 	s.execIDs = make(map[string]int64)
+	s.execApp = make(map[string]int64)
 	s.metricID = make(map[string]int64)
 	s.toolID = make(map[string]int64)
 	s.unitsID = make(map[string]int64)
@@ -198,6 +204,7 @@ func (s *Store) warmCaches() error {
 		name := core.ResourceName(row[1].Text())
 		s.resIDs[name] = id
 		s.resNames[id] = name
+		s.resTypes[id] = row[4].Int64()
 		return true
 	})
 	warm := func(table string, cache map[string]int64) {
@@ -209,6 +216,11 @@ func (s *Store) warmCaches() error {
 	}
 	warm("application", s.appIDs)
 	warm("execution", s.execIDs)
+	exTab, _ := s.eng.Table("execution")
+	exTab.Scan(func(_ int64, row reldb.Row) bool {
+		s.execApp[row[1].Text()] = row[2].Int64()
+		return true
+	})
 	warm("metric", s.metricID)
 	warm("performance_tool", s.toolID)
 	warm("units", s.unitsID)
@@ -275,7 +287,7 @@ func (s *Store) addApplicationLocked(name string) (int64, error) {
 		return id, nil
 	}
 	if name == "" {
-		return 0, fmt.Errorf("datastore: empty application name")
+		return 0, fmt.Errorf("datastore: empty application name: %w", ErrBadSpec)
 	}
 	id, err := s.insert("application", reldb.Row{reldb.Null(), reldb.Str(name)})
 	if err != nil {
@@ -298,10 +310,18 @@ func (s *Store) AddExecution(name, app string) (int64, error) {
 
 func (s *Store) addExecutionLocked(name, app string) (int64, error) {
 	if id, ok := s.execIDs[name]; ok {
+		// Idempotent re-add; redefining under a different application is a
+		// conflict, not a silent aliasing.
+		if owner, ok := s.execApp[name]; ok {
+			if curID, ok := s.appIDs[app]; !ok || curID != owner {
+				return 0, fmt.Errorf("datastore: execution %q already registered under a different application: %w",
+					name, ErrExists)
+			}
+		}
 		return id, nil
 	}
 	if name == "" {
-		return 0, fmt.Errorf("datastore: empty execution name")
+		return 0, fmt.Errorf("datastore: empty execution name: %w", ErrBadSpec)
 	}
 	appID, err := s.addApplicationLocked(app)
 	if err != nil {
@@ -314,6 +334,7 @@ func (s *Store) addExecutionLocked(name, app string) (int64, error) {
 		return 0, err
 	}
 	s.execIDs[name] = id
+	s.execApp[name] = appID
 	return id, nil
 }
 
@@ -345,16 +366,24 @@ func (s *Store) AddResource(name core.ResourceName, typ core.TypePath, exec stri
 
 func (s *Store) addResourceLocked(name core.ResourceName, typ core.TypePath, exec string) (int64, error) {
 	if id, ok := s.resIDs[name]; ok {
+		// Idempotent re-add; redefining with a different (known) type is a
+		// conflict.
+		if wantID, known := s.typeIDs[typ]; known {
+			if tid, ok := s.resTypes[id]; ok && tid != wantID {
+				return 0, fmt.Errorf("datastore: resource %q already registered with a different type: %w",
+					name, ErrExists)
+			}
+		}
 		return id, nil
 	}
 	if err := s.types.CheckResource(name, typ); err != nil {
-		return 0, err
+		return 0, fmt.Errorf("%w: %w", err, ErrBadSpec)
 	}
 	var execID reldb.Value = reldb.Null()
 	if exec != "" {
 		id, ok := s.execIDs[exec]
 		if !ok {
-			return 0, fmt.Errorf("datastore: resource %q references unknown execution %q", name, exec)
+			return 0, fmt.Errorf("datastore: resource %q references unknown execution %q: %w", name, exec, ErrNotFound)
 		}
 		execID = reldb.Int(id)
 	}
@@ -384,6 +413,7 @@ func (s *Store) addResourceLocked(name core.ResourceName, typ core.TypePath, exe
 	}
 	s.resIDs[name] = id
 	s.resNames[id] = name
+	s.resTypes[id] = s.typeIDs[typ]
 	// Maintain the closure tables: link this resource to every ancestor.
 	for _, anc := range name.Ancestors() {
 		aid := s.resIDs[anc]
@@ -414,7 +444,7 @@ func (s *Store) SetResourceAttribute(name core.ResourceName, attr, value string)
 func (s *Store) setResourceAttributeLocked(name core.ResourceName, attr, value string) error {
 	id, ok := s.resIDs[name]
 	if !ok {
-		return fmt.Errorf("datastore: no resource %q", name)
+		return fmt.Errorf("datastore: no resource %q: %w", name, ErrNotFound)
 	}
 	_, err := s.insert("resource_attribute", reldb.Row{
 		reldb.Null(), reldb.Int(id), reldb.Str(attr), reldb.Str(value), reldb.Str("string"),
@@ -436,11 +466,11 @@ func (s *Store) AddResourceConstraint(r1, r2 core.ResourceName) error {
 func (s *Store) addResourceConstraintLocked(r1, r2 core.ResourceName) error {
 	id1, ok := s.resIDs[r1]
 	if !ok {
-		return fmt.Errorf("datastore: no resource %q", r1)
+		return fmt.Errorf("datastore: no resource %q: %w", r1, ErrNotFound)
 	}
 	id2, ok := s.resIDs[r2]
 	if !ok {
-		return fmt.Errorf("datastore: no resource %q", r2)
+		return fmt.Errorf("datastore: no resource %q: %w", r2, ErrNotFound)
 	}
 	_, err := s.insert("resource_constraint", reldb.Row{
 		reldb.Null(), reldb.Int(id1), reldb.Int(id2),
@@ -468,7 +498,7 @@ func (s *Store) internFocus(ctx core.Context) (int64, error) {
 	for _, r := range ctx.Resources {
 		id, ok := s.resIDs[r]
 		if !ok {
-			return 0, fmt.Errorf("datastore: context references unknown resource %q", r)
+			return 0, fmt.Errorf("datastore: context references unknown resource %q: %w", r, ErrNotFound)
 		}
 		ids = append(ids, id)
 	}
@@ -511,11 +541,11 @@ func (s *Store) AddPerfResult(pr *core.PerformanceResult) (int64, error) {
 
 func (s *Store) addPerfResultLocked(pr *core.PerformanceResult) (int64, error) {
 	if err := pr.Validate(); err != nil {
-		return 0, err
+		return 0, fmt.Errorf("%w: %w", err, ErrBadSpec)
 	}
 	execID, ok := s.execIDs[pr.Execution]
 	if !ok {
-		return 0, fmt.Errorf("datastore: unknown execution %q", pr.Execution)
+		return 0, fmt.Errorf("datastore: unknown execution %q: %w", pr.Execution, ErrNotFound)
 	}
 	metricID, err := s.lookupIn("metric", s.metricID, pr.Metric)
 	if err != nil {

@@ -1,0 +1,64 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseFamilySpec exercises the family filter-spec syntax the CLI
+// tools and the /v1/query endpoint share. The parser must never panic,
+// and accepted specs must obey the grammar's invariants: a successfully
+// parsed spec round-trips clause by clause, and rejected input returns a
+// non-nil error rather than a half-filled filter being treated as valid.
+func FuzzParseFamilySpec(f *testing.F) {
+	for _, seed := range []string{
+		"type=grid/machine",
+		"name=/MCRGrid/MCR;rel=D",
+		"base=batch;rel=A",
+		"attr=clock MHz>1000",
+		"type=execution;attr=nprocs>=64;rel=N",
+		"attr=node~n1",
+		"attr=a!=b;attr=c<=d",
+		"rel=B",
+		"",
+		";;;",
+		"= ;=",
+		"type=",
+		"bogus=1",
+		"attr=noop",
+		"rel=Z",
+		"type=a;type=b",
+		"name==x",
+		"attr=x==y",
+		"\x00=\xff",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		rf, err := ParseFilterSpec(spec)
+		if err != nil {
+			return
+		}
+		// Every accepted attribute predicate has a comparator and a
+		// non-empty attribute name (the grammar requires name<op>value
+		// with the operator not in first position).
+		for _, p := range rf.Attrs {
+			if p.Attr == "" {
+				t.Errorf("spec %q: accepted predicate with empty attribute: %+v", spec, p)
+			}
+			if p.Cmp == "" {
+				t.Errorf("spec %q: accepted predicate without comparator: %+v", spec, p)
+			}
+		}
+		// An accepted spec must contain only well-formed clauses: every
+		// non-blank clause carries an "=".
+		for _, part := range strings.Split(spec, ";") {
+			if strings.TrimSpace(part) == "" {
+				continue
+			}
+			if !strings.Contains(part, "=") {
+				t.Errorf("spec %q: accepted clause %q without key=value shape", spec, part)
+			}
+		}
+	})
+}

@@ -15,11 +15,12 @@ import (
 // backends (Oracle, PostgreSQL) of the original PerfTrack prototype.
 type FileEngine struct {
 	*DB
-	dir      string
-	wal      *os.File
-	walW     *recordWriter
-	walCount int64 // records since last checkpoint
-	syncWAL  bool  // fsync the WAL after every flush
+	dir        string
+	wal        *os.File
+	walW       *recordWriter
+	walCount   int64 // records since last checkpoint
+	syncWAL    bool  // fsync the WAL after every flush
+	batchDepth int   // >0: defer flush/sync to EndWALBatch
 
 	// AutoCheckpoint, when > 0, triggers a snapshot after that many WAL
 	// records. Zero disables automatic checkpoints.
@@ -77,7 +78,7 @@ func (fe *FileEngine) logMutation(m *mutation) error {
 	if err := fe.walW.writeRecord(encodeMutationPayload(m)); err != nil {
 		return err
 	}
-	if fe.syncWAL {
+	if fe.syncWAL && fe.batchDepth == 0 {
 		if err := fe.walW.flush(); err != nil {
 			return err
 		}
@@ -86,6 +87,38 @@ func (fe *FileEngine) logMutation(m *mutation) error {
 		}
 	}
 	fe.walCount++
+	return nil
+}
+
+// BeginWALBatch suspends per-mutation WAL flushing until the matching
+// EndWALBatch, which flushes (and, in synchronous mode, fsyncs) exactly
+// once. The datastore's batch commit wraps each multi-record commit in a
+// BeginWALBatch/EndWALBatch pair so a thousand-record document costs one
+// flush instead of a thousand — the DBMS group-commit discipline. Calls
+// nest; only the outermost EndWALBatch performs the flush.
+func (fe *FileEngine) BeginWALBatch() {
+	fe.mu.Lock()
+	fe.batchDepth++
+	fe.mu.Unlock()
+}
+
+// EndWALBatch closes a BeginWALBatch window, performing the single
+// deferred WAL flush for everything logged inside it.
+func (fe *FileEngine) EndWALBatch() error {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	if fe.batchDepth > 0 {
+		fe.batchDepth--
+	}
+	if fe.batchDepth > 0 {
+		return nil
+	}
+	if err := fe.walW.flush(); err != nil {
+		return err
+	}
+	if fe.syncWAL {
+		return fe.wal.Sync()
+	}
 	return nil
 }
 

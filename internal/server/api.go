@@ -6,6 +6,16 @@ import (
 
 // Wire types for the v1 HTTP/JSON API. internal/client reuses these, so
 // the request and response shapes are defined exactly once.
+//
+// Versioning: every v1 response carries `"api_version": "v1"`. Within v1
+// the wire contract is append-only — fields are added, never renamed,
+// retyped, or removed, and existing endpoints keep their semantics.
+// Request decoding is strict: unknown fields are rejected with 400 so a
+// client built against a newer minor revision fails loudly instead of
+// being silently misread. See DESIGN.md §7 for the full guarantees.
+
+// APIVersion is stamped on every v1 response body.
+const APIVersion = "v1"
 
 // QueryRequest asks for pr-filter match counts (the Figure 3 live
 // counts). Each family is a resource-filter spec in the shared CLI
@@ -25,6 +35,7 @@ type FamilyCount struct {
 // QueryResponse carries per-family and combined match counts plus the
 // query engine's cache state at evaluation time.
 type QueryResponse struct {
+	APIVersion  string        `json:"api_version"`
 	Families    []FamilyCount `json:"families"`
 	Matches     int           `json:"matches"`
 	Generation  uint64        `json:"generation"`
@@ -47,33 +58,108 @@ type ResultsRequest struct {
 
 // ResultsResponse is the retrieved table in wire form.
 type ResultsResponse struct {
-	Columns []string   `json:"columns"`
-	Rows    [][]string `json:"rows"`
-	Total   int        `json:"total"` // rows matched before the limit
+	APIVersion string     `json:"api_version"`
+	Columns    []string   `json:"columns"`
+	Rows       [][]string `json:"rows"`
+	Total      int        `json:"total"` // rows matched before the limit
 }
 
-// LoadResponse reports one PTdf ingest.
+// LoadResponse reports one single-document PTdf ingest.
 type LoadResponse struct {
+	APIVersion string              `json:"api_version"`
 	Stats      datastore.LoadStats `json:"stats"`
 	Generation uint64              `json:"generation"`
+}
+
+// LoadDocStatus is one line of the NDJSON response to a multi-document
+// (multipart) POST /v1/load. Per-document lines carry Doc plus either
+// Stats+Generation (committed) or Error (that document rolled back); the
+// final line has Done=true and totals for the whole stream.
+type LoadDocStatus struct {
+	APIVersion string              `json:"api_version"`
+	Doc        string              `json:"doc,omitempty"`
+	Stats      datastore.LoadStats `json:"stats"`
+	Error      string              `json:"error,omitempty"`
+	Generation uint64              `json:"generation,omitempty"`
+
+	// Summary-line fields (Done == true).
+	Done   bool `json:"done,omitempty"`
+	Docs   int  `json:"docs,omitempty"`
+	Failed int  `json:"failed,omitempty"`
 }
 
 // ReportResponse carries a name-list report (executions, metrics,
 // applications, tools).
 type ReportResponse struct {
-	Report string   `json:"report"`
-	Items  []string `json:"items"`
+	APIVersion string   `json:"api_version"`
+	Report     string   `json:"report"`
+	Items      []string `json:"items"`
 }
 
 // StatsResponse is the Table 1 style store summary plus query-engine
-// counters.
+// counters (GET /v1/stats).
 type StatsResponse struct {
-	Store  datastore.Stats            `json:"store"`
-	Engine datastore.QueryEngineStats `json:"engine"`
+	APIVersion string                     `json:"api_version"`
+	Store      datastore.Stats            `json:"store"`
+	Engine     datastore.QueryEngineStats `json:"engine"`
 }
 
-// HealthResponse is the liveness reply.
+// ComparePair is one aligned pair of performance results from the two
+// executions of a /v1/compare. Ratio and Speedup are 0 when undefined
+// (division by zero); Context holds the portable context resource names.
+type ComparePair struct {
+	Metric     string   `json:"metric"`
+	Context    []string `json:"context,omitempty"`
+	A          float64  `json:"a"`
+	B          float64  `json:"b"`
+	Units      string   `json:"units,omitempty"`
+	Difference float64  `json:"difference"`
+	Ratio      float64  `json:"ratio"`
+	Speedup    float64  `json:"speedup"`
+}
+
+// CompareDelta is one regression or improvement: a pair plus how far B
+// moved from A, in percent.
+type CompareDelta struct {
+	Pair    ComparePair `json:"pair"`
+	Percent float64     `json:"percent"`
+}
+
+// CompareFinding is one diagnosed bottleneck (§6): a pair ranked by its
+// contribution to the total slowdown.
+type CompareFinding struct {
+	Pair         ComparePair `json:"pair"`
+	Delta        float64     `json:"delta"`
+	Contribution float64     `json:"contribution"`
+}
+
+// CompareSummary aggregates a comparison. GeoMeanRatio is 0 when no pair
+// has two positive values.
+type CompareSummary struct {
+	Paired       int     `json:"paired"`
+	OnlyA        int     `json:"only_a"`
+	OnlyB        int     `json:"only_b"`
+	GeoMeanRatio float64 `json:"geo_mean_ratio"`
+	MeanDiff     float64 `json:"mean_diff"`
+}
+
+// CompareResponse is the §6 comparison of two executions
+// (GET /v1/compare?a=&b=).
+type CompareResponse struct {
+	APIVersion   string           `json:"api_version"`
+	ExecA        string           `json:"exec_a"`
+	ExecB        string           `json:"exec_b"`
+	Summary      CompareSummary   `json:"summary"`
+	Pairs        []ComparePair    `json:"pairs"`
+	Regressions  []CompareDelta   `json:"regressions"`
+	Improvements []CompareDelta   `json:"improvements"`
+	Bottlenecks  []CompareFinding `json:"bottlenecks,omitempty"`
+}
+
+// HealthResponse is the liveness reply (/healthz sits outside the v1
+// surface but is stamped for uniformity).
 type HealthResponse struct {
+	APIVersion string `json:"api_version"`
 	Status     string `json:"status"`
 	ReadOnly   bool   `json:"read_only"`
 	Generation uint64 `json:"generation"`
@@ -81,6 +167,7 @@ type HealthResponse struct {
 
 // ErrorResponse is the JSON body of every non-2xx reply.
 type ErrorResponse struct {
-	Error     string `json:"error"`
-	RequestID string `json:"request_id,omitempty"`
+	APIVersion string `json:"api_version"`
+	Error      string `json:"error"`
+	RequestID  string `json:"request_id,omitempty"`
 }

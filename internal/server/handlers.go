@@ -1,20 +1,32 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"mime"
+	"mime/multipart"
 	"net/http"
+	"net/url"
+	"runtime"
+	"strconv"
 	"strings"
 
+	"perftrack/internal/compare"
 	"perftrack/internal/core"
+	"perftrack/internal/datastore"
 	"perftrack/internal/query"
 )
 
 // maxRequestBody bounds JSON request bodies. PTdf uploads on /v1/load
 // are streamed and exempt.
 const maxRequestBody = 1 << 20
+
+// maxBulkWorkers caps the per-request decode parallelism a client may ask
+// for on a multi-document load.
+const maxBulkWorkers = 32
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -24,18 +36,36 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
+// statusOf maps a store error class onto an HTTP status: missing
+// entities are 404, identity conflicts 409, malformed input 400, and
+// anything unclassified keeps the handler's fallback.
+func statusOf(err error, fallback int) int {
+	switch {
+	case errors.Is(err, datastore.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, datastore.ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, datastore.ErrBadSpec):
+		return http.StatusBadRequest
+	}
+	return fallback
+}
+
 func writeError(w http.ResponseWriter, r *http.Request, code int, err error) {
-	writeErrorString(w, r, code, err.Error())
+	writeErrorString(w, r, statusOf(err, code), err.Error())
 }
 
 func writeErrorString(w http.ResponseWriter, r *http.Request, code int, msg string) {
-	writeJSON(w, code, ErrorResponse{Error: msg, RequestID: RequestIDFromContext(r.Context())})
+	writeJSON(w, code, ErrorResponse{APIVersion: APIVersion, Error: msg, RequestID: RequestIDFromContext(r.Context())})
 }
 
-// decodeJSON reads a bounded JSON body into v.
+// decodeJSON reads a bounded JSON body into v. Decoding is strict:
+// unknown fields are a 400, part of the v1 wire contract.
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	body := http.MaxBytesReader(w, r.Body, maxRequestBody)
-	if err := json.NewDecoder(body).Decode(v); err != nil {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
 		if errors.Is(err, io.EOF) {
 			return fmt.Errorf("empty request body")
 		}
@@ -46,6 +76,7 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{
+		APIVersion: APIVersion,
 		Status:     "ok",
 		ReadOnly:   s.cfg.ReadOnly,
 		Generation: s.store.Generation(),
@@ -63,23 +94,125 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleLoad streams a PTdf document from the request body into the
-// store. The load is transactional: on a bad record nothing of the
-// document remains (datastore.LoadPTdf rolls back), and the 400 reply
-// names the failing record.
+// handleLoad ingests PTdf. A plain body is one document, applied
+// transactionally (one batch commit) with a JSON LoadResponse. A
+// multipart body is a stream of documents: parts decode in parallel
+// (bounded by the j query parameter, capped at maxBulkWorkers) and
+// commit one batch each in part order, and the response streams one
+// NDJSON status line per document plus a Done summary line. Failure is
+// per document — a bad part rolls back alone and the remaining parts
+// still commit.
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.ReadOnly {
 		writeErrorString(w, r, http.StatusForbidden, "store is read-only")
 		return
 	}
+	ct, params, ctErr := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if ctErr == nil && strings.HasPrefix(ct, "multipart/") {
+		s.handleBulkLoad(w, r, params["boundary"])
+		return
+	}
 	stats, err := s.store.LoadPTdf(r.Body)
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, err)
+		// Within an uploaded document, dangling references are the
+		// document's fault, not a missing URI: report 400, not 404.
+		code := http.StatusBadRequest
+		if errors.Is(err, datastore.ErrExists) {
+			code = http.StatusConflict
+		}
+		writeErrorString(w, r, code, err.Error())
 		return
 	}
 	s.logf("load: %d records (%d results, %d resources) rid=%s",
 		stats.Records, stats.Results, stats.Resources, RequestIDFromContext(r.Context()))
-	writeJSON(w, http.StatusOK, LoadResponse{Stats: stats, Generation: s.store.Generation()})
+	writeJSON(w, http.StatusOK, LoadResponse{APIVersion: APIVersion, Stats: stats, Generation: s.store.Generation()})
+}
+
+// bulkWorkers parses the j query parameter.
+func bulkWorkers(q url.Values) (int, error) {
+	raw := q.Get("j")
+	if raw == "" {
+		return min(runtime.GOMAXPROCS(0), maxBulkWorkers), nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("bad j parameter %q, want a positive integer", raw)
+	}
+	return min(n, maxBulkWorkers), nil
+}
+
+func (s *Server) handleBulkLoad(w http.ResponseWriter, r *http.Request, boundary string) {
+	if boundary == "" {
+		writeErrorString(w, r, http.StatusBadRequest, "multipart load without boundary")
+		return
+	}
+	workers, err := bulkWorkers(r.URL.Query())
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+
+	mr := multipart.NewReader(r.Body, boundary)
+	parts := 0
+	// Parts must be read sequentially off the request body, so each is
+	// buffered before being handed to a parallel decode worker; the
+	// pipeline's bounded window (2×workers documents) is the memory bound.
+	next := func() (string, io.ReadCloser, error) {
+		part, err := mr.NextPart()
+		if err != nil {
+			return "", nil, err // io.EOF ends the stream; anything else aborts it
+		}
+		parts++
+		name := part.FileName()
+		if name == "" {
+			name = part.FormName()
+		}
+		if name == "" {
+			name = fmt.Sprintf("doc-%d", parts)
+		}
+		buf, err := io.ReadAll(part)
+		if err != nil {
+			return "", nil, fmt.Errorf("reading part %q: %w", name, err)
+		}
+		return name, io.NopCloser(bytes.NewReader(buf)), nil
+	}
+
+	var total datastore.LoadStats
+	docs, failed := 0, 0
+	srcErr := s.store.BulkLoadStream(next, workers, func(dr datastore.DocResult) {
+		docs++
+		line := LoadDocStatus{APIVersion: APIVersion, Doc: dr.Name}
+		if dr.Err != nil {
+			failed++
+			line.Error = dr.Err.Error()
+		} else {
+			total.Add(dr.Stats)
+			line.Stats = dr.Stats
+			line.Generation = s.store.Generation()
+		}
+		enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	summary := LoadDocStatus{
+		APIVersion: APIVersion,
+		Done:       true,
+		Docs:       docs,
+		Failed:     failed,
+		Stats:      total,
+		Generation: s.store.Generation(),
+	}
+	if srcErr != nil && srcErr != io.EOF {
+		summary.Error = srcErr.Error()
+	}
+	enc.Encode(summary)
+	s.logf("bulk load: %d docs (%d failed) %d records j=%d rid=%s",
+		docs, failed, total.Records, workers, RequestIDFromContext(r.Context()))
 }
 
 // buildPRFilter parses each family spec, applies it against the store,
@@ -91,7 +224,7 @@ func (s *Server) buildPRFilter(specs []string) (core.PRFilter, []FamilyCount, er
 	for _, spec := range specs {
 		rf, err := query.ParseFilterSpec(spec)
 		if err != nil {
-			return prf, nil, err
+			return prf, nil, fmt.Errorf("%w: %w", err, datastore.ErrBadSpec)
 		}
 		fam, err := s.store.ApplyFilter(rf)
 		if err != nil {
@@ -125,6 +258,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	es := s.store.QueryEngineStats()
 	writeJSON(w, http.StatusOK, QueryResponse{
+		APIVersion:  APIVersion,
 		Families:    counts,
 		Matches:     total,
 		Generation:  es.Generation,
@@ -192,7 +326,115 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, cells)
 	}
-	writeJSON(w, http.StatusOK, ResultsResponse{Columns: cols, Rows: out, Total: total})
+	writeJSON(w, http.StatusOK, ResultsResponse{APIVersion: APIVersion, Columns: cols, Rows: out, Total: total})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		APIVersion: APIVersion,
+		Store:      s.store.Stats(),
+		Engine:     s.store.QueryEngineStats(),
+	})
+}
+
+// finite maps NaN and ±Inf — which JSON cannot carry — to 0.
+func finite(f float64) float64 {
+	if f != f || f > 1e308 || f < -1e308 {
+		return 0
+	}
+	return f
+}
+
+func wirePair(p compare.Pair) ComparePair {
+	wp := ComparePair{
+		Metric:     p.Metric,
+		A:          finite(p.A),
+		B:          finite(p.B),
+		Units:      p.Units,
+		Difference: finite(p.Difference()),
+		Ratio:      finite(p.Ratio()),
+		Speedup:    finite(p.Speedup()),
+	}
+	for _, r := range p.Context {
+		wp.Context = append(wp.Context, string(r))
+	}
+	return wp
+}
+
+// handleCompare wraps compare.Executions: GET /v1/compare?a=&b= with
+// optional metric, threshold (default 0.10), and top (default 10)
+// parameters. An unknown execution is a 404.
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	for key := range q {
+		switch key {
+		case "a", "b", "metric", "threshold", "top":
+		default:
+			writeErrorString(w, r, http.StatusBadRequest, fmt.Sprintf("unknown query parameter %q", key))
+			return
+		}
+	}
+	a, b := q.Get("a"), q.Get("b")
+	if a == "" || b == "" {
+		writeErrorString(w, r, http.StatusBadRequest, "a and b query parameters are required")
+		return
+	}
+	threshold := 0.10
+	if raw := q.Get("threshold"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || v < 0 {
+			writeErrorString(w, r, http.StatusBadRequest, fmt.Sprintf("bad threshold %q", raw))
+			return
+		}
+		threshold = v
+	}
+	top := 10
+	if raw := q.Get("top"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeErrorString(w, r, http.StatusBadRequest, fmt.Sprintf("bad top %q", raw))
+			return
+		}
+		top = v
+	}
+
+	cmp, err := compare.Executions(s.store, a, b)
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	metric := q.Get("metric")
+	if metric != "" {
+		cmp = cmp.FilterMetric(metric)
+	}
+	sum := cmp.Summarize()
+	resp := CompareResponse{
+		APIVersion: APIVersion,
+		ExecA:      a,
+		ExecB:      b,
+		Summary: CompareSummary{
+			Paired:       sum.Paired,
+			OnlyA:        sum.OnlyA,
+			OnlyB:        sum.OnlyB,
+			GeoMeanRatio: finite(sum.GeoMeanRatio),
+			MeanDiff:     finite(sum.MeanDiff),
+		},
+	}
+	for _, p := range cmp.Pairs {
+		resp.Pairs = append(resp.Pairs, wirePair(p))
+	}
+	for _, reg := range cmp.Regressions(threshold) {
+		resp.Regressions = append(resp.Regressions, CompareDelta{Pair: wirePair(reg.Pair), Percent: finite(reg.Percent)})
+	}
+	for _, imp := range cmp.Improvements(threshold) {
+		resp.Improvements = append(resp.Improvements, CompareDelta{Pair: wirePair(imp.Pair), Percent: finite(imp.Percent)})
+	}
+	for _, f := range cmp.DiagnoseBottlenecks(metric, top) {
+		resp.Bottlenecks = append(resp.Bottlenecks, CompareFinding{
+			Pair: wirePair(f.Pair), Delta: finite(f.Delta), Contribution: finite(f.Contribution),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -208,15 +450,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	case "tools":
 		items = s.store.Tools()
 	case "stats":
-		writeJSON(w, http.StatusOK, StatsResponse{
-			Store:  s.store.Stats(),
-			Engine: s.store.QueryEngineStats(),
-		})
+		// Kept for wire compatibility; GET /v1/stats is the primary form.
+		s.handleStats(w, r)
 		return
 	default:
 		writeErrorString(w, r, http.StatusNotFound,
 			fmt.Sprintf("unknown report %q (want executions, metrics, applications, tools, or stats)", name))
 		return
 	}
-	writeJSON(w, http.StatusOK, ReportResponse{Report: name, Items: items})
+	writeJSON(w, http.StatusOK, ReportResponse{APIVersion: APIVersion, Report: name, Items: items})
 }

@@ -44,6 +44,14 @@ func (sr *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer so streaming handlers
+// (the NDJSON bulk load) work through the middleware stack.
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // newRequestID returns a 16-hex-char random tag.
 func newRequestID() string {
 	var b [8]byte

@@ -95,10 +95,15 @@ func (s *Server) logf(format string, args ...any) {
 // innermost: request-ID tagging, structured logging, panic recovery,
 // metrics instrumentation, load shedding, per-request timeout. The
 // limiter sits inside instrumentation so shed requests still appear in
-// the 429 counters.
-func (s *Server) route(mux *http.ServeMux, pattern, routeName string, limited bool, h http.Handler) {
-	if limited {
+// the 429 counters. `timed` is separate from `limited` because
+// http.TimeoutHandler buffers the whole response (and hides
+// http.Flusher), which would break streaming endpoints: /v1/load counts
+// against the in-flight ceiling but streams NDJSON unbuffered.
+func (s *Server) route(mux *http.ServeMux, pattern, routeName string, limited, timed bool, h http.Handler) {
+	if timed {
 		h = http.TimeoutHandler(h, s.cfg.RequestTimeout, "request timed out")
+	}
+	if limited {
 		h = s.limit(h)
 	}
 	h = s.instrument(routeName, h)
@@ -113,12 +118,17 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	// /healthz and /metrics bypass the limiter and timeout so probes and
 	// scrapes keep answering while the API sheds load.
-	s.route(mux, "GET /healthz", "/healthz", false, http.HandlerFunc(s.handleHealth))
-	s.route(mux, "GET /metrics", "/metrics", false, http.HandlerFunc(s.handleMetrics))
-	s.route(mux, "POST /v1/load", "/v1/load", true, http.HandlerFunc(s.handleLoad))
-	s.route(mux, "POST /v1/query", "/v1/query", true, http.HandlerFunc(s.handleQuery))
-	s.route(mux, "POST /v1/results", "/v1/results", true, http.HandlerFunc(s.handleResults))
-	s.route(mux, "GET /v1/reports/{name}", "/v1/reports", true, http.HandlerFunc(s.handleReport))
+	s.route(mux, "GET /healthz", "/healthz", false, false, http.HandlerFunc(s.handleHealth))
+	s.route(mux, "GET /metrics", "/metrics", false, false, http.HandlerFunc(s.handleMetrics))
+	// /v1/load is limited but not timed: bulk ingest streams per-document
+	// status lines, which the buffering TimeoutHandler would swallow, and
+	// a large upload may legitimately outlast the request timeout.
+	s.route(mux, "POST /v1/load", "/v1/load", true, false, http.HandlerFunc(s.handleLoad))
+	s.route(mux, "POST /v1/query", "/v1/query", true, true, http.HandlerFunc(s.handleQuery))
+	s.route(mux, "POST /v1/results", "/v1/results", true, true, http.HandlerFunc(s.handleResults))
+	s.route(mux, "GET /v1/stats", "/v1/stats", true, true, http.HandlerFunc(s.handleStats))
+	s.route(mux, "GET /v1/compare", "/v1/compare", true, true, http.HandlerFunc(s.handleCompare))
+	s.route(mux, "GET /v1/reports/{name}", "/v1/reports", true, true, http.HandlerFunc(s.handleReport))
 	return mux
 }
 
