@@ -26,6 +26,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -606,6 +607,135 @@ func TestBenchmarkHelpersSmoke(t *testing.T) {
 	if !strings.Contains(out, "IRS") {
 		t.Error("FormatTable1 broken")
 	}
+}
+
+// materializeBenchStore loads one SMG-UV execution at 64 processes
+// (~10k performance results, the Table 1 heavyweight) and returns the
+// store, the full matched ID set, and the pr-filter that selects it.
+func materializeBenchStore(b *testing.B) (*datastore.Store, []int64, core.PRFilter) {
+	b.Helper()
+	s := newBenchStore(b, "UV")
+	recs := prepareExecutionRecords(b, gen.KindSMGUV, "UV", 64)
+	loadRecords(b, s, recs)
+	fam, err := s.ApplyFilter(core.ResourceFilter{Type: "application"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prf := core.PRFilter{Families: []core.Family{fam}}
+	ids, err := s.MatchingResultIDs(prf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(ids) < 10000 {
+		b.Fatalf("only %d results; the materialization benchmark wants >= 10k", len(ids))
+	}
+	return s, ids, prf
+}
+
+// BenchmarkMaterialize measures bulk result materialization on a
+// >= 10k-result retrieval — the §3.2/§3.3 read hot path behind
+// /v1/results, ptcompare, and reports:
+//
+//	per-id      the N+1 baseline: one ResultByID per matched ID (4
+//	            dictionary Gets plus 2+ PK scans per result, each its
+//	            own engine lock round trip)
+//	batch-w1    the batch engine, single worker: dictionary prefetch,
+//	            grouped link scans, and a shared focus cache — the
+//	            algorithmic win without parallelism
+//	batch-wN    the batch engine fanned over GOMAXPROCS workers
+//	stream      MaterializeStream in default-size chunks (the bounded-
+//	            memory variant behind /v1/results?stream=1)
+//	query-cold  QueryResults end to end with the match cache invalidated
+//	            (pr-filter evaluation + batch materialization)
+//	query-warm  QueryResults with a warm match cache — the interactive
+//	            "get data" click after the live counts already ran
+func BenchmarkMaterialize(b *testing.B) {
+	s, ids, prf := materializeBenchStore(b)
+	n := len(ids)
+	report := func(b *testing.B) {
+		b.ReportMetric(float64(n), "results")
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "results/s")
+	}
+	b.Run("per-id", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, id := range ids {
+				if _, err := s.ResultByID(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		report(b)
+	})
+	b.Run("batch-w1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := s.MaterializeResultsOpts(ids, datastore.MaterializeOptions{Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) != n {
+				b.Fatalf("materialized %d of %d", len(out), n)
+			}
+		}
+		report(b)
+	})
+	b.Run(fmt.Sprintf("batch-wn%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := s.MaterializeResults(ids)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) != n {
+				b.Fatalf("materialized %d of %d", len(out), n)
+			}
+		}
+		report(b)
+	})
+	b.Run("stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			got := 0
+			err := s.MaterializeStream(ids, datastore.MaterializeOptions{},
+				func(batch []*core.PerformanceResult) error {
+					got += len(batch)
+					return nil
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got != n {
+				b.Fatalf("streamed %d of %d", got, n)
+			}
+		}
+		report(b)
+	})
+	b.Run("query-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.InvalidateQueryCache()
+			out, err := s.QueryResults(prf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) != n {
+				b.Fatalf("materialized %d of %d", len(out), n)
+			}
+		}
+		report(b)
+	})
+	b.Run("query-warm", func(b *testing.B) {
+		if _, err := s.QueryResults(prf); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := s.QueryResults(prf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) != n {
+				b.Fatalf("materialized %d of %d", len(out), n)
+			}
+		}
+		report(b)
+	})
 }
 
 // prepareBulkFiles writes n generated IRS execution PTdf files to disk,

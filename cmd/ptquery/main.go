@@ -72,6 +72,7 @@ func main() {
 	chartBy := flag.String("chart", "", "render an ASCII bar chart grouped by this column")
 	reduce := flag.String("reduce", "avg", "chart reducer: min, max, avg, sum, count")
 	limit := flag.Int("limit", 50, "maximum rows to print (0 = all)")
+	stream := flag.Bool("stream", false, "with -remote: stream rows as NDJSON arrives (/v1/results?stream=1) instead of fetching the whole table")
 	flag.Parse()
 
 	if (*dbDir == "") == (*remote == "") {
@@ -91,9 +92,12 @@ func main() {
 		runRemote(*remote, remoteQuery{
 			families: families, countOnly: *countOnly, explain: *explain, report: *report,
 			metric: *metricFilter, addCols: addCols, addAttrs: addAttrs,
-			sortBy: *sortBy, desc: *desc, limit: *limit,
+			sortBy: *sortBy, desc: *desc, limit: *limit, stream: *stream,
 		})
 		return
+	}
+	if *stream {
+		fatal(fmt.Errorf("-stream needs -remote; local retrieval is already in-process"))
 	}
 	fe, err := reldb.OpenFile(*dbDir)
 	if err != nil {
@@ -248,6 +252,7 @@ type remoteQuery struct {
 	sortBy    string
 	desc      bool
 	limit     int
+	stream    bool
 }
 
 // runRemote answers counts, result tables, and reports from a ptserved
@@ -292,6 +297,28 @@ func runRemote(baseURL string, q remoteQuery) {
 		return
 	}
 
+	if q.stream {
+		if len(q.addCols) > 0 || len(q.addAttrs) > 0 || q.sortBy != "" {
+			fatal(fmt.Errorf("-stream supports -family, -metric, and -limit only (sorting and added columns need the full result set)"))
+		}
+		rows := 0
+		summary, err := c.ResultsStream(ctx, server.ResultsRequest{
+			Families: q.families, Metric: q.metric, Limit: q.limit,
+		}, func(row server.ResultRow) {
+			if rows == 0 {
+				fmt.Println("execution\tmetric\tvalue\tunits\ttool\tresources")
+			}
+			rows++
+			fmt.Printf("%s\t%s\t%g\t%s\t%s\t%s\n",
+				row.Execution, row.Metric, row.Value, row.Units, row.Tool,
+				strings.Join(row.Resources, ","))
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "streamed %d rows\n", summary.Rows)
+		return
+	}
 	res, err := c.Results(ctx, server.ResultsRequest{
 		Families:      q.families,
 		Metric:        q.metric,
@@ -314,23 +341,23 @@ func runRemote(baseURL string, q remoteQuery) {
 }
 
 func runReport(store *datastore.Store, report string) {
+	list := func(items []string, err error) {
+		if err != nil {
+			fatal(err)
+		}
+		for _, it := range items {
+			fmt.Println(it)
+		}
+	}
 	switch report {
 	case "executions":
-		for _, e := range store.Executions() {
-			fmt.Println(e)
-		}
+		list(store.Executions())
 	case "metrics":
-		for _, m := range store.Metrics() {
-			fmt.Println(m)
-		}
+		list(store.Metrics())
 	case "applications":
-		for _, a := range store.Applications() {
-			fmt.Println(a)
-		}
+		list(store.Applications())
 	case "tools":
-		for _, t := range store.Tools() {
-			fmt.Println(t)
-		}
+		list(store.Tools())
 	case "stats":
 		printStats(store.Stats())
 	default:

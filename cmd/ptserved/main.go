@@ -6,7 +6,7 @@
 // Usage:
 //
 //	ptserved -db DIR [-addr :7075] [-readonly] [-max-inflight N]
-//	         [-timeout 30s] [-auto-checkpoint N] [-sync]
+//	         [-timeout 30s] [-auto-checkpoint N] [-sync] [-pprof addr]
 //
 // On SIGINT/SIGTERM the server drains in-flight requests, checkpoints
 // the store (snapshot + truncated WAL), and exits.
@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +38,7 @@ func main() {
 	autoCheckpoint := flag.Int64("auto-checkpoint", 50000, "snapshot after this many WAL records (0 disables)")
 	syncWAL := flag.Bool("sync", false, "fsync the WAL on every mutation")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	if *dbDir == "" {
@@ -71,6 +73,18 @@ func main() {
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	// The profiler listens separately from the API so it bypasses the
+	// limiter and stays reachable while the service sheds load; bind it
+	// to localhost in production.
+	if *pprofAddr != "" {
+		go func() {
+			logger.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logger.Printf("pprof listener failed: %v", err)
+			}
+		}()
 	}
 
 	// Serve until a termination signal, then drain and checkpoint.

@@ -75,7 +75,9 @@ func main() {
 		st.Executions, st.Results, st.Metrics, st.Resources)
 
 	// All three data kinds land in one queryable store.
-	fmt.Printf("tools represented: %v\n", store.Tools())
+	tools, err := store.Tools()
+	check(err)
+	fmt.Printf("tools represented: %v\n", tools)
 
 	// The mpiP caller/callee breakdown: filter by one MPI function (a
 	// "child" resource set) and see which application functions call it.

@@ -121,6 +121,39 @@ func TestClientTypedErrors(t *testing.T) {
 	}
 }
 
+func TestResultsStreamEndToEnd(t *testing.T) {
+	c := newAPIServer(t)
+	ctx := context.Background()
+	for _, doc := range []string{execDoc("ea", 100), execDoc("eb", 150)} {
+		if _, err := c.Load(ctx, strings.NewReader(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var rows []server.ResultRow
+	summary, err := c.ResultsStream(ctx, server.ResultsRequest{Families: []string{"type=application"}},
+		func(row server.ResultRow) { rows = append(rows, row) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !summary.Done || summary.Rows != 2 || len(rows) != 2 {
+		t.Fatalf("summary = %+v, rows = %d", summary, len(rows))
+	}
+	for _, row := range rows {
+		if row.Metric != "wall time" || row.Tool != "t" || len(row.Resources) != 2 {
+			t.Errorf("row = %+v", row)
+		}
+	}
+	if rows[0].Execution != "ea" || rows[1].Execution != "eb" {
+		t.Errorf("executions = %q, %q", rows[0].Execution, rows[1].Execution)
+	}
+
+	// Refinements needing the full result set are rejected up front.
+	_, err = c.ResultsStream(ctx, server.ResultsRequest{SortBy: "value"}, nil)
+	if !errors.Is(err, datastore.ErrBadSpec) {
+		t.Errorf("sorted stream: err = %v, want ErrBadSpec", err)
+	}
+}
+
 func TestClientStats(t *testing.T) {
 	c := newAPIServer(t)
 	ctx := context.Background()

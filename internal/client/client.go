@@ -243,6 +243,76 @@ func (c *Client) Results(ctx context.Context, req server.ResultsRequest) (server
 	return out, err
 }
 
+// ResultsStream runs a streamed retrieval (POST /v1/results?stream=1):
+// the server evaluates the pr-filter once, then materializes matching
+// results in bounded chunks and emits one NDJSON row line each, so
+// neither side holds a full-corpus retrieval in memory. onRow, when
+// non-nil, observes each row as it arrives; the returned line is the
+// final summary (Done=true with the emitted row count). Only Families,
+// Metric, and Limit apply — the server rejects refinements that need
+// the whole result set (sorting, added columns).
+//
+// ResultsStream never retries: rows already handed to onRow cannot be
+// taken back, and replaying the stream would duplicate them.
+func (c *Client) ResultsStream(ctx context.Context, req server.ResultsRequest, onRow func(server.ResultRow)) (server.ResultStreamLine, error) {
+	var summary server.ResultStreamLine
+	body, err := json.Marshal(req)
+	if err != nil {
+		return summary, fmt.Errorf("client: encode request: %w", err)
+	}
+	path := "/v1/results?stream=1"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return summary, fmt.Errorf("client: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return summary, fmt.Errorf("client: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		apiErr := &APIError{StatusCode: resp.StatusCode, Message: string(bytes.TrimSpace(raw))}
+		var er server.ErrorResponse
+		if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+			apiErr.Message, apiErr.RequestID = er.Error, er.RequestID
+		}
+		return summary, apiErr
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sawSummary := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var st server.ResultStreamLine
+		if err := json.Unmarshal(line, &st); err != nil {
+			return summary, fmt.Errorf("client: decode result stream line: %w", err)
+		}
+		switch {
+		case st.Error != "":
+			return summary, fmt.Errorf("client: result stream failed mid-stream: %s", st.Error)
+		case st.Done:
+			summary, sawSummary = st, true
+		case st.Row != nil:
+			if onRow != nil {
+				onRow(*st.Row)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return summary, fmt.Errorf("client: read result stream: %w", err)
+	}
+	if !sawSummary {
+		return summary, fmt.Errorf("client: result stream ended without a summary line")
+	}
+	return summary, nil
+}
+
 // Report fetches one name-list report: executions, metrics,
 // applications, or tools.
 func (c *Client) Report(ctx context.Context, name string) (server.ReportResponse, error) {

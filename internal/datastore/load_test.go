@@ -130,7 +130,11 @@ PerfResult scorch-9 /ghost(primary) tool "wall time" 1.5 seconds
 	if _, err := s.ExecutionDetail("scorch-9"); err == nil {
 		t.Error("rolled-back execution still visible")
 	}
-	for _, app := range s.Applications() {
+	apps, err := s.Applications()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range apps {
 		if app == "scorch" {
 			t.Error("rolled-back application still listed")
 		}
@@ -189,7 +193,11 @@ func TestLoadPTdfRollbackSurvivesReopen(t *testing.T) {
 	if after := s2.Stats(); before != after {
 		t.Errorf("reopened store diverges:\n before %+v\n after  %+v", before, after)
 	}
-	for _, app := range s2.Applications() {
+	apps2, err := s2.Applications()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range apps2 {
 		if app == "ghostapp" {
 			t.Error("rolled-back application resurrected by WAL replay")
 		}

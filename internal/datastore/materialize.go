@@ -1,0 +1,613 @@
+package datastore
+
+// Batched, parallel result materialization — the read hot path behind
+// QueryResults, ResultsOfExecution, query.Retrieve, the compare engine,
+// and /v1/results.
+//
+// The per-ID path (ResultByID) pays four dictionary Gets plus two or
+// more PK-prefix scans per result, each taking the engine read lock
+// once. At SMG-UV scale (~10k results per execution) a single retrieval
+// is millions of lock acquisitions. The batch path amortizes all of it
+// per query instead of per result:
+//
+//   1. Prefetch the four metadata dictionaries (execution, metric,
+//      performance_tool, units) into plain maps — one scan each.
+//   2. Fetch the matched performance_result rows either with per-ID
+//      Gets sharded over workers (sparse) or one full table scan
+//      filtered by the ID set (dense).
+//   3. Resolve result_has_focus the same way, grouping focus IDs per
+//      result in PK order (ascending focus ID — identical to the
+//      per-ID path's context ordering).
+//   4. Decode each distinct focus exactly once into a shared
+//      focus → Context cache (foci are heavily shared across results):
+//      one focus Get plus one focus_has_resource scan per focus, then a
+//      single s.mu critical section to map every resource ID to its
+//      name.
+//   5. Assemble PerformanceResults over N worker goroutines sharding
+//      the ID slice, preserving input order.
+//
+// Consistency matches the per-ID path: neither holds a lock across
+// results, so a query racing a writer can observe a mix of generations
+// either way. Materialized Contexts may share Resources slices between
+// results that reference the same focus; callers must treat returned
+// results as read-only (every current consumer does).
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"perftrack/internal/core"
+	"perftrack/internal/reldb"
+)
+
+// MaterializeOptions tunes the batch materializer. The zero value picks
+// sensible defaults.
+type MaterializeOptions struct {
+	// Workers bounds the materialization fan-out. <=0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// ChunkSize bounds how many results MaterializeStream assembles
+	// per emitted batch. <=0 means defaultMaterializeChunk. Ignored by
+	// MaterializeResults, which produces one batch.
+	ChunkSize int
+}
+
+const (
+	defaultMaterializeChunk = 4096
+
+	// denseScanDivisor selects between per-ID Gets and one full table
+	// scan: when the wanted set is at least 1/denseScanDivisor of the
+	// table, a single scan beats len(ids) locked point lookups.
+	denseScanDivisor = 4
+)
+
+// dictNames loads an ID → name dictionary table (name at row[1]) into a
+// map in one scan.
+func (s *Store) dictNames(table string) (map[int64]string, error) {
+	t, ok := s.eng.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("datastore: no %s table: %w", table, ErrNotFound)
+	}
+	out := make(map[int64]string, t.Len())
+	t.Scan(func(id int64, row reldb.Row) bool {
+		out[id] = row[1].Text()
+		return true
+	})
+	return out, nil
+}
+
+// dict is an ID → name lookup over one prefetched dictionary table.
+// Dictionary IDs are allocated sequentially, so the common case is a
+// compact ID range served by a direct-index slice; sparse ranges fall
+// back to a map. The distinction matters in the assembly loop, which
+// does four lookups per result.
+type dict struct {
+	base  int64
+	names []string
+	has   []bool
+	m     map[int64]string
+}
+
+func (s *Store) loadDict(table string) (*dict, error) {
+	names, err := s.dictNames(table)
+	if err != nil {
+		return nil, err
+	}
+	d := &dict{}
+	if len(names) == 0 {
+		d.m = names
+		return d, nil
+	}
+	lo, hi := int64(0), int64(0)
+	first := true
+	for id := range names {
+		if first || id < lo {
+			lo = id
+		}
+		if first || id > hi {
+			hi = id
+		}
+		first = false
+	}
+	if span := hi - lo + 1; span <= int64(4*len(names))+1024 {
+		d.base = lo
+		d.names = make([]string, span)
+		d.has = make([]bool, span)
+		for id, name := range names {
+			d.names[id-lo] = name
+			d.has[id-lo] = true
+		}
+		return d, nil
+	}
+	d.m = names
+	return d, nil
+}
+
+func (d *dict) get(id int64) (string, bool) {
+	if d.has != nil {
+		off := id - d.base
+		if off < 0 || off >= int64(len(d.has)) || !d.has[off] {
+			return "", false
+		}
+		return d.names[off], true
+	}
+	name, ok := d.m[id]
+	return name, ok
+}
+
+// posIndex maps each distinct input ID to its index in the
+// deduplicated slice. Matched result IDs come out of the pr-filter
+// engine sorted and near-sequential, so the common case is a compact
+// range served by a direct-index table (one bounds check instead of a
+// hash per scanned row); wide ranges fall back to a map.
+type posIndex struct {
+	uniq  []int64
+	base  int64
+	slots []int32 // index+1; 0 = absent
+	m     map[int64]int
+}
+
+func newPosIndex(ids []int64) *posIndex {
+	lo, hi := ids[0], ids[0]
+	for _, id := range ids[1:] {
+		if id < lo {
+			lo = id
+		}
+		if id > hi {
+			hi = id
+		}
+	}
+	p := &posIndex{base: lo, uniq: make([]int64, 0, len(ids))}
+	if span := hi - lo + 1; span <= int64(4*len(ids))+1024 && len(ids) < 1<<31-1 {
+		p.slots = make([]int32, span)
+		for _, id := range ids {
+			if p.slots[id-lo] == 0 {
+				p.uniq = append(p.uniq, id)
+				p.slots[id-lo] = int32(len(p.uniq))
+			}
+		}
+	} else {
+		p.m = make(map[int64]int, len(ids))
+		for _, id := range ids {
+			if _, ok := p.m[id]; !ok {
+				p.m[id] = len(p.uniq)
+				p.uniq = append(p.uniq, id)
+			}
+		}
+	}
+	return p
+}
+
+func (p *posIndex) get(id int64) (int, bool) {
+	if p.slots != nil {
+		off := id - p.base
+		if off < 0 || off >= int64(len(p.slots)) || p.slots[off] == 0 {
+			return 0, false
+		}
+		return int(p.slots[off]) - 1, true
+	}
+	i, ok := p.m[id]
+	return i, ok
+}
+
+// matFocus is one decoded focus: its type and its resource names in
+// focus_has_resource PK order (ascending resource ID).
+type matFocus struct {
+	typ core.FocusType
+	res []core.ResourceName
+}
+
+// materializer carries the per-query state shared by every chunk of one
+// materialization: the prefetched dictionaries and the focus cache.
+type materializer struct {
+	s       *Store
+	workers int
+
+	exec, metric, tool, units *dict
+
+	foci map[int64]*matFocus // focus ID → decoded, grows chunk by chunk
+}
+
+func (s *Store) newMaterializer(opt MaterializeOptions) (*materializer, error) {
+	m := &materializer{
+		s:       s,
+		workers: opt.Workers,
+		foci:    make(map[int64]*matFocus),
+	}
+	if m.workers <= 0 {
+		m.workers = runtime.GOMAXPROCS(0)
+	}
+	var err error
+	if m.exec, err = s.loadDict("execution"); err != nil {
+		return nil, err
+	}
+	if m.metric, err = s.loadDict("metric"); err != nil {
+		return nil, err
+	}
+	if m.tool, err = s.loadDict("performance_tool"); err != nil {
+		return nil, err
+	}
+	if m.units, err = s.loadDict("units"); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// resultRec is one performance_result row plus its focus links, staged
+// between the fetch phases and assembly.
+type resultRec struct {
+	found    bool
+	execID   int64
+	metricID int64
+	toolID   int64
+	unitsID  int64
+	value    float64
+	focusIDs []int64
+}
+
+// shardRange splits [0, n) into contiguous spans, runs fn(lo, hi) on
+// each from its own goroutine, and returns the first error.
+func shardRange(n, workers int, fn func(lo, hi int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return fn(0, n)
+	}
+	errs := make([]error, workers)
+	span := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * span
+		hi := lo + span
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = fn(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// run materializes one chunk of IDs, preserving input order (duplicate
+// IDs yield duplicate pointers to one shared result).
+func (m *materializer) run(ids []int64) ([]*core.PerformanceResult, error) {
+	if len(ids) == 0 {
+		return []*core.PerformanceResult{}, nil
+	}
+	// Dedupe while remembering each distinct ID's index.
+	pos := newPosIndex(ids)
+	uniq := pos.uniq
+	recs := make([]resultRec, len(uniq))
+
+	// Phase 1: performance_result rows.
+	prTab, ok := m.s.eng.Table("performance_result")
+	if !ok {
+		return nil, fmt.Errorf("datastore: no performance_result table: %w", ErrNotFound)
+	}
+	dense := len(uniq)*denseScanDivisor >= prTab.Len()
+	if dense {
+		prTab.Scan(func(id int64, row reldb.Row) bool {
+			i, ok := pos.get(id)
+			if !ok {
+				return true
+			}
+			recs[i] = resultRec{
+				found:    true,
+				execID:   row[1].Int64(),
+				metricID: row[2].Int64(),
+				toolID:   row[3].Int64(),
+				unitsID:  row[4].Int64(),
+				value:    row[5].Float64(),
+			}
+			return true
+		})
+	} else {
+		if err := shardRange(len(uniq), m.workers, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				row, ok := prTab.Get(uniq[i])
+				if !ok {
+					continue // reported below, like the dense path
+				}
+				recs[i] = resultRec{
+					found:    true,
+					execID:   row[1].Int64(),
+					metricID: row[2].Int64(),
+					toolID:   row[3].Int64(),
+					unitsID:  row[4].Int64(),
+					value:    row[5].Float64(),
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for i := range recs {
+		if !recs[i].found {
+			return nil, fmt.Errorf("datastore: no performance result %d: %w", uniq[i], ErrNotFound)
+		}
+	}
+
+	// Phase 2: result → focus links, grouped per result in PK order
+	// (ascending focus ID), matching ResultByID's context ordering.
+	rhfTab, ok := m.s.eng.Table("result_has_focus")
+	if !ok {
+		return nil, fmt.Errorf("datastore: no result_has_focus table: %w", ErrNotFound)
+	}
+	if dense {
+		// The PK is (result_id, focus_id), so the scan hands every
+		// result's links contiguously: stage them in one shared arena
+		// and slice it up afterwards instead of growing one tiny slice
+		// per result.
+		arena := make([]int64, 0, rhfTab.Len())
+		starts := make([]int, len(uniq))
+		counts := make([]int, len(uniq))
+		rhfTab.Scan(func(_ int64, link reldb.Row) bool {
+			if i, ok := pos.get(link[0].Int64()); ok {
+				if counts[i] == 0 {
+					starts[i] = len(arena)
+				}
+				arena = append(arena, link[1].Int64())
+				counts[i]++
+			}
+			return true
+		})
+		for i := range recs {
+			if counts[i] > 0 {
+				recs[i].focusIDs = arena[starts[i] : starts[i]+counts[i] : starts[i]+counts[i]]
+			}
+		}
+	} else {
+		if err := shardRange(len(uniq), m.workers, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if err := rhfTab.PKScan([]reldb.Value{reldb.Int(uniq[i])},
+					func(_ int64, link reldb.Row) bool {
+						recs[i].focusIDs = append(recs[i].focusIDs, link[1].Int64())
+						return true
+					}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 3: decode each focus not yet in the per-query cache.
+	links := 0
+	for i := range recs {
+		links += len(recs[i].focusIDs)
+	}
+	needed := make([]int64, 0, links)
+	for i := range recs {
+		for _, fid := range recs[i].focusIDs {
+			if _, ok := m.foci[fid]; !ok {
+				needed = append(needed, fid)
+			}
+		}
+	}
+	if len(needed) > 0 {
+		if err := m.decodeFoci(sortDedup(needed)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 4: assemble over the worker pool into one block (a single
+	// allocation for the whole chunk), then lay out pointers in input
+	// order.
+	assembled := make([]core.PerformanceResult, len(uniq))
+	if err := shardRange(len(uniq), m.workers, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			rec := &recs[i]
+			pr := &assembled[i]
+			pr.Value = rec.value
+			var ok bool
+			if pr.Execution, ok = m.exec.get(rec.execID); !ok {
+				return fmt.Errorf("datastore: no execution id %d", rec.execID)
+			}
+			if pr.Metric, ok = m.metric.get(rec.metricID); !ok {
+				return fmt.Errorf("datastore: no metric id %d", rec.metricID)
+			}
+			if pr.Tool, ok = m.tool.get(rec.toolID); !ok {
+				return fmt.Errorf("datastore: no performance_tool id %d", rec.toolID)
+			}
+			if pr.Units, ok = m.units.get(rec.unitsID); !ok {
+				return fmt.Errorf("datastore: no units id %d", rec.unitsID)
+			}
+			if len(rec.focusIDs) > 0 {
+				pr.Contexts = make([]core.Context, 0, len(rec.focusIDs))
+				for _, fid := range rec.focusIDs {
+					f := m.foci[fid]
+					pr.Contexts = append(pr.Contexts, core.Context{Type: f.typ, Resources: f.res})
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	out := make([]*core.PerformanceResult, len(ids))
+	if len(uniq) == len(ids) {
+		// No duplicates: uniq order is input order.
+		for i := range assembled {
+			out[i] = &assembled[i]
+		}
+		return out, nil
+	}
+	for j, id := range ids {
+		i, _ := pos.get(id) // every input ID was found in phase 1
+		out[j] = &assembled[i]
+	}
+	return out, nil
+}
+
+// decodeFoci resolves the given sorted, deduplicated focus IDs into the
+// cache: type plus resource names in ascending resource-ID order. All
+// engine reads happen first (sharded over workers), then one s.mu
+// critical section maps every resource ID to its name — s.mu must never
+// be taken inside an engine scan callback (lock order is store →
+// engine).
+func (m *materializer) decodeFoci(fids []int64) error {
+	fTab, ok := m.s.eng.Table("focus")
+	if !ok {
+		return fmt.Errorf("datastore: no focus table: %w", ErrNotFound)
+	}
+	fhrTab, ok := m.s.eng.Table("focus_has_resource")
+	if !ok {
+		return fmt.Errorf("datastore: no focus_has_resource table: %w", ErrNotFound)
+	}
+	types := make([]core.FocusType, len(fids))
+	resIDs := make([][]int64, len(fids))
+	if len(fids)*denseScanDivisor >= fTab.Len() {
+		fpos := newPosIndex(fids)
+		found := make([]bool, len(fids))
+		var perr error
+		fTab.Scan(func(id int64, row reldb.Row) bool {
+			i, ok := fpos.get(id)
+			if !ok {
+				return true
+			}
+			ft, err := core.ParseFocusType(row[1].Text())
+			if err != nil {
+				perr = err
+				return false
+			}
+			types[i] = ft
+			found[i] = true
+			return true
+		})
+		if perr != nil {
+			return perr
+		}
+		for i, fid := range fids {
+			if !found[i] {
+				return fmt.Errorf("datastore: missing focus %d", fid)
+			}
+		}
+		// PK is (focus_id, resource_id): each focus's links arrive
+		// contiguously, so stage them in one arena (same trick as the
+		// result_has_focus scan).
+		arena := make([]int64, 0, fhrTab.Len())
+		starts := make([]int, len(fids))
+		counts := make([]int, len(fids))
+		fhrTab.Scan(func(_ int64, link reldb.Row) bool {
+			if i, ok := fpos.get(link[0].Int64()); ok {
+				if counts[i] == 0 {
+					starts[i] = len(arena)
+				}
+				arena = append(arena, link[1].Int64())
+				counts[i]++
+			}
+			return true
+		})
+		for i := range resIDs {
+			if counts[i] > 0 {
+				resIDs[i] = arena[starts[i] : starts[i]+counts[i] : starts[i]+counts[i]]
+			}
+		}
+	} else {
+		if err := shardRange(len(fids), m.workers, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				row, ok := fTab.Get(fids[i])
+				if !ok {
+					return fmt.Errorf("datastore: missing focus %d", fids[i])
+				}
+				ft, err := core.ParseFocusType(row[1].Text())
+				if err != nil {
+					return err
+				}
+				types[i] = ft
+				if err := fhrTab.PKScan([]reldb.Value{reldb.Int(fids[i])},
+					func(_ int64, link reldb.Row) bool {
+						resIDs[i] = append(resIDs[i], link[1].Int64())
+						return true
+					}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	// One critical section resolves every resource name for the whole
+	// batch of foci (the per-ID path pays one s.mu round trip per focus
+	// per result).
+	m.s.mu.Lock()
+	for i := range fids {
+		var names []core.ResourceName
+		if len(resIDs[i]) > 0 {
+			names = make([]core.ResourceName, 0, len(resIDs[i]))
+			for _, rid := range resIDs[i] {
+				names = append(names, m.s.resNames[rid])
+			}
+		}
+		m.foci[fids[i]] = &matFocus{typ: types[i], res: names}
+	}
+	m.s.mu.Unlock()
+	return nil
+}
+
+// MaterializeResults materializes the given performance-result IDs in
+// one batch, preserving input order, with default options. Returned
+// results may share Contexts data between results referencing the same
+// focus; callers must treat them as read-only.
+func (s *Store) MaterializeResults(ids []int64) ([]*core.PerformanceResult, error) {
+	return s.MaterializeResultsOpts(ids, MaterializeOptions{})
+}
+
+// MaterializeResultsOpts is MaterializeResults with explicit options.
+func (s *Store) MaterializeResultsOpts(ids []int64, opt MaterializeOptions) ([]*core.PerformanceResult, error) {
+	m, err := s.newMaterializer(opt)
+	if err != nil {
+		return nil, err
+	}
+	return m.run(ids)
+}
+
+// MaterializeStream materializes IDs in bounded chunks, invoking emit
+// with each batch in input order, so memory stays bounded on
+// full-corpus retrievals. The dictionary prefetch and focus cache are
+// shared across chunks. A non-nil error from emit aborts the stream.
+func (s *Store) MaterializeStream(ids []int64, opt MaterializeOptions, emit func([]*core.PerformanceResult) error) error {
+	m, err := s.newMaterializer(opt)
+	if err != nil {
+		return err
+	}
+	chunk := opt.ChunkSize
+	if chunk <= 0 {
+		chunk = defaultMaterializeChunk
+	}
+	for lo := 0; lo < len(ids); lo += chunk {
+		hi := lo + chunk
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		out, err := m.run(ids[lo:hi])
+		if err != nil {
+			return err
+		}
+		if err := emit(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

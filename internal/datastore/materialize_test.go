@@ -1,0 +1,198 @@
+package datastore
+
+import (
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"perftrack/internal/core"
+)
+
+// seedMaterializeStudy builds a store exercising everything the batch
+// materializer must reproduce: multi-context results, foci shared
+// across results (including reused in a different declaration order, so
+// context order follows focus-ID order, not insertion order), deep
+// resource paths, and several executions.
+func seedMaterializeStudy(t *testing.T) (*Store, []int64) {
+	t.Helper()
+	s := newStore(t)
+	s.AddResource("/irs", "application", "")
+	s.AddResource("/GF/Frost/batch/n1/p0", "grid/machine/partition/node/processor", "")
+	s.AddResource("/GM/MCR/batch/n1/p0", "grid/machine/partition/node/processor", "")
+	s.AddResource("/GM/MCR/batch/n2/p0", "grid/machine/partition/node/processor", "")
+	for _, exec := range []string{"m-frost", "m-mcr"} {
+		if _, err := s.AddExecution(exec, "irs"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add := func(exec, metric string, value float64, ctxs ...core.Context) {
+		t.Helper()
+		if _, err := s.AddPerfResult(&core.PerformanceResult{
+			Execution: exec, Metric: metric, Value: value, Units: "seconds", Tool: "test",
+			Contexts: ctxs,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctxFrost := core.NewContext("/irs", "/GF/Frost")
+	ctxMCR := core.NewContext("/irs", "/GM/MCR")
+	ctxSend := core.Context{Type: core.FocusSender, Resources: []core.ResourceName{"/GM/MCR/batch/n1/p0"}}
+	ctxRecv := core.Context{Type: core.FocusReceiver, Resources: []core.ResourceName{"/GM/MCR/batch/n2/p0"}}
+	add("m-frost", "wall time", 120, ctxFrost)
+	add("m-frost", "cpu time", 110, ctxFrost)
+	add("m-mcr", "wall time", 80, ctxMCR)
+	// Two contexts; their foci are shared with the messaging result below.
+	add("m-mcr", "bytes sent", 4096, ctxSend, ctxRecv)
+	// Same foci declared in the opposite order: both paths must emit
+	// contexts in focus-ID order, not declaration order.
+	add("m-mcr", "message count", 17, ctxRecv, ctxSend)
+	// Focus shared across executions.
+	add("m-frost", "proc time", 2.5, core.NewContext("/irs", "/GF/Frost/batch/n1/p0"))
+	add("m-mcr", "proc time", 1.5, core.NewContext("/irs", "/GF/Frost/batch/n1/p0"))
+
+	ids, err := s.MatchingResultIDs(core.PRFilter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 7 {
+		t.Fatalf("seed results = %d, want 7", len(ids))
+	}
+	return s, ids
+}
+
+// perIDResults is the reference implementation: the N+1 path.
+func perIDResults(t *testing.T, s *Store, ids []int64) []*core.PerformanceResult {
+	t.Helper()
+	out := make([]*core.PerformanceResult, 0, len(ids))
+	for _, id := range ids {
+		pr, err := s.ResultByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, pr)
+	}
+	return out
+}
+
+func TestMaterializeEquivalence(t *testing.T) {
+	s, ids := seedMaterializeStudy(t)
+
+	orders := map[string][]int64{
+		"sorted":     ids,
+		"reversed":   reverse(ids),
+		"subset":     {ids[3], ids[0]},
+		"single":     {ids[4]},
+		"duplicates": {ids[2], ids[5], ids[2], ids[2]},
+		// A duplicate before a later distinct ID: first-occurrence
+		// positions and compact uniq indices disagree here.
+		"dup-shifts-later": {ids[1], ids[1], ids[4], ids[0]},
+	}
+	for name, order := range orders {
+		want := perIDResults(t, s, order)
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			got, err := s.MaterializeResultsOpts(order, MaterializeOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("%s/w%d: %v", name, workers, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s/w%d: %d results, want %d", name, workers, len(got), len(want))
+			}
+			for i := range want {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Errorf("%s/w%d: result %d differs:\n got  %+v\n want %+v",
+						name, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMaterializeStreamEquivalence(t *testing.T) {
+	s, ids := seedMaterializeStudy(t)
+	want := perIDResults(t, s, ids)
+	for _, chunk := range []int{1, 3, len(ids), len(ids) + 5} {
+		var got []*core.PerformanceResult
+		batches := 0
+		err := s.MaterializeStream(ids, MaterializeOptions{ChunkSize: chunk},
+			func(batch []*core.PerformanceResult) error {
+				batches++
+				got = append(got, batch...)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		wantBatches := (len(ids) + chunk - 1) / chunk
+		if batches != wantBatches {
+			t.Errorf("chunk %d: %d batches, want %d", chunk, batches, wantBatches)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("chunk %d: stream output differs from per-ID path", chunk)
+		}
+	}
+}
+
+func TestMaterializeStreamEmitError(t *testing.T) {
+	s, ids := seedMaterializeStudy(t)
+	boom := errors.New("boom")
+	calls := 0
+	err := s.MaterializeStream(ids, MaterializeOptions{ChunkSize: 2},
+		func([]*core.PerformanceResult) error {
+			calls++
+			return boom
+		})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+	if calls != 1 {
+		t.Errorf("emit called %d times after error, want 1", calls)
+	}
+}
+
+func TestMaterializeNotFound(t *testing.T) {
+	s, ids := seedMaterializeStudy(t)
+	// Both sparse (one ID) and dense (full set plus one) shapes.
+	for _, bad := range [][]int64{{ids[len(ids)-1] + 999}, append(append([]int64{}, ids...), ids[len(ids)-1]+999)} {
+		if _, err := s.MaterializeResults(bad); !errors.Is(err, ErrNotFound) {
+			t.Errorf("MaterializeResults(%d ids) err = %v, want ErrNotFound", len(bad), err)
+		}
+	}
+	out, err := s.MaterializeResults(nil)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty materialize = %v, %v", out, err)
+	}
+}
+
+func TestQueryResultsUsesBatchPath(t *testing.T) {
+	s, ids := seedMaterializeStudy(t)
+	want := perIDResults(t, s, ids)
+	got, err := s.QueryResults(core.PRFilter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("QueryResults differs from per-ID materialization")
+	}
+
+	byExec, err := s.ResultsOfExecution("m-mcr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byExec) != 4 {
+		t.Fatalf("m-mcr results = %d, want 4", len(byExec))
+	}
+	for _, pr := range byExec {
+		if pr.Execution != "m-mcr" {
+			t.Errorf("stray execution %q", pr.Execution)
+		}
+	}
+}
+
+func reverse(ids []int64) []int64 {
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[len(ids)-1-i] = id
+	}
+	return out
+}

@@ -634,51 +634,37 @@ func (s *Store) ResultsOfExecution(exec string) ([]*core.PerformanceResult, erro
 		}); err != nil {
 		return nil, err
 	}
-	out := make([]*core.PerformanceResult, 0, len(ids))
-	for _, id := range ids {
-		pr, err := s.ResultByID(id)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pr)
-	}
-	return out, nil
+	return s.MaterializeResults(ids)
 }
 
 // QueryResults evaluates a pr-filter and materializes the matching
-// results.
+// results through the batch path.
 func (s *Store) QueryResults(prf core.PRFilter) ([]*core.PerformanceResult, error) {
 	ids, err := s.MatchingResultIDs(prf)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*core.PerformanceResult, 0, len(ids))
-	for _, id := range ids {
-		pr, err := s.ResultByID(id)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pr)
-	}
-	return out, nil
+	return s.MaterializeResults(ids)
 }
 
 // Applications lists application names, sorted.
-func (s *Store) Applications() []string { return s.sortedNames("application") }
+func (s *Store) Applications() ([]string, error) { return s.sortedNames("application") }
 
 // Executions lists execution names, sorted.
-func (s *Store) Executions() []string { return s.sortedNames("execution") }
+func (s *Store) Executions() ([]string, error) { return s.sortedNames("execution") }
 
 // Metrics lists metric names, sorted.
-func (s *Store) Metrics() []string { return s.sortedNames("metric") }
+func (s *Store) Metrics() ([]string, error) { return s.sortedNames("metric") }
 
 // Tools lists performance tool names, sorted.
-func (s *Store) Tools() []string { return s.sortedNames("performance_tool") }
+func (s *Store) Tools() ([]string, error) { return s.sortedNames("performance_tool") }
 
-func (s *Store) sortedNames(table string) []string {
+func (s *Store) sortedNames(table string) ([]string, error) {
 	t, ok := s.eng.Table(table)
 	if !ok {
-		return nil
+		// A dictionary table missing from a migrated store is real
+		// corruption; surfacing it beats returning an empty listing.
+		return nil, fmt.Errorf("datastore: no %s table: %w", table, ErrNotFound)
 	}
 	var out []string
 	t.Scan(func(_ int64, row reldb.Row) bool {
@@ -686,5 +672,5 @@ func (s *Store) sortedNames(table string) []string {
 		return true
 	})
 	sort.Strings(out)
-	return out
+	return out, nil
 }

@@ -29,8 +29,16 @@ func (s *Store) ExecutionDetail(name string) (*ExecutionDetail, error) {
 	}
 	d := &ExecutionDetail{Name: name, Attributes: map[string]string{}}
 
-	execTab, _ := s.eng.Table("execution")
-	row, _ := execTab.Get(execID)
+	execTab, ok := s.eng.Table("execution")
+	if !ok {
+		return nil, fmt.Errorf("datastore: no execution table: %w", ErrNotFound)
+	}
+	// The name cache and the table can disagree during a racing delete;
+	// a missed Get is "not found", not a nil-row panic.
+	row, ok := execTab.Get(execID)
+	if !ok {
+		return nil, fmt.Errorf("datastore: unknown execution %q: %w", name, ErrNotFound)
+	}
 	app, err := s.nameOf("application", row[2].Int64())
 	if err != nil {
 		return nil, err
@@ -55,17 +63,27 @@ func (s *Store) ExecutionDetail(name string) (*ExecutionDetail, error) {
 		}); err != nil {
 		return nil, err
 	}
+	// Resolve names through one prefetched dictionary per table instead
+	// of a locked point lookup per distinct ID.
+	metricNames, err := s.dictNames("metric")
+	if err != nil {
+		return nil, err
+	}
+	toolNames, err := s.dictNames("performance_tool")
+	if err != nil {
+		return nil, err
+	}
 	for id := range metricSet {
-		n, err := s.nameOf("metric", id)
-		if err != nil {
-			return nil, err
+		n, ok := metricNames[id]
+		if !ok {
+			return nil, fmt.Errorf("datastore: no metric id %d", id)
 		}
 		d.Metrics = append(d.Metrics, n)
 	}
 	for id := range toolSet {
-		n, err := s.nameOf("performance_tool", id)
-		if err != nil {
-			return nil, err
+		n, ok := toolNames[id]
+		if !ok {
+			return nil, fmt.Errorf("datastore: no performance_tool id %d", id)
 		}
 		d.Tools = append(d.Tools, n)
 	}

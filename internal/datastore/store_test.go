@@ -422,17 +422,17 @@ func TestLiveMatchCounts(t *testing.T) {
 
 func TestListingHelpers(t *testing.T) {
 	s := seedStudy(t)
-	if apps := s.Applications(); len(apps) != 1 || apps[0] != "irs" {
-		t.Errorf("apps = %v", apps)
+	if apps, err := s.Applications(); err != nil || len(apps) != 1 || apps[0] != "irs" {
+		t.Errorf("apps = %v, %v", apps, err)
 	}
-	if execs := s.Executions(); len(execs) != 2 {
-		t.Errorf("execs = %v", execs)
+	if execs, err := s.Executions(); err != nil || len(execs) != 2 {
+		t.Errorf("execs = %v, %v", execs, err)
 	}
-	if ms := s.Metrics(); len(ms) != 3 {
-		t.Errorf("metrics = %v", ms)
+	if ms, err := s.Metrics(); err != nil || len(ms) != 3 {
+		t.Errorf("metrics = %v, %v", ms, err)
 	}
-	if tools := s.Tools(); len(tools) != 1 || tools[0] != "test" {
-		t.Errorf("tools = %v", tools)
+	if tools, err := s.Tools(); err != nil || len(tools) != 1 || tools[0] != "test" {
+		t.Errorf("tools = %v, %v", tools, err)
 	}
 }
 

@@ -177,14 +177,18 @@ func TestModelDemoEndToEnd(t *testing.T) {
 		}
 	}
 	// Predictions were stored as tool "model" results.
+	tools, err := s.Tools()
+	if err != nil {
+		t.Fatal(err)
+	}
 	found := false
-	for _, tool := range s.Tools() {
+	for _, tool := range tools {
 		if tool == "model" {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("model predictions not stored; tools = %v", s.Tools())
+		t.Errorf("model predictions not stored; tools = %v", tools)
 	}
 	if _, err := ModelDemo(s, "nosuchfn", counts); err == nil {
 		t.Error("unknown function accepted")

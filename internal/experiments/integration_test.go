@@ -79,7 +79,10 @@ func TestSingleSessionIntegratesAllToolsAndMachines(t *testing.T) {
 	}
 
 	// Five tools, one store.
-	tools := s.Tools()
+	tools, err := s.Tools()
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantTools := map[string]bool{"IRS": true, "SMG2000": true, "mpiP": true,
 		"PMAPI": true, "Paradyn": true}
 	for _, tool := range tools {
@@ -90,11 +93,11 @@ func TestSingleSessionIntegratesAllToolsAndMachines(t *testing.T) {
 	}
 
 	// Two applications, five executions.
-	if apps := s.Applications(); len(apps) != 2 {
-		t.Errorf("applications = %v", apps)
+	if apps, err := s.Applications(); err != nil || len(apps) != 2 {
+		t.Errorf("applications = %v, %v", apps, err)
 	}
-	if execs := s.Executions(); len(execs) != 5 {
-		t.Errorf("executions = %v", execs)
+	if execs, err := s.Executions(); err != nil || len(execs) != 5 {
+		t.Errorf("executions = %v, %v", execs, err)
 	}
 
 	// A single pr-filter spans tools: everything measured on the irs
@@ -162,8 +165,8 @@ func TestSingleSessionIntegratesAllToolsAndMachines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(s2.Executions()); got != 5 {
-		t.Errorf("executions after restart = %d", got)
+	if execs, err := s2.Executions(); err != nil || len(execs) != 5 {
+		t.Errorf("executions after restart = %v, %v", execs, err)
 	}
 	n, err := s2.CountMatches(core.PRFilter{})
 	if err != nil {

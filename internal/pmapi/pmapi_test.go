@@ -87,8 +87,8 @@ func TestToPTdfPerProcessResults(t *testing.T) {
 	if len(kids) != 4 {
 		t.Errorf("processes = %v", kids)
 	}
-	if got := s.Tools(); len(got) != 1 || got[0] != "PMAPI" {
-		t.Errorf("tools = %v", got)
+	if got, err := s.Tools(); err != nil || len(got) != 1 || got[0] != "PMAPI" {
+		t.Errorf("tools = %v, %v", got, err)
 	}
 }
 

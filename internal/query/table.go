@@ -55,13 +55,9 @@ func Retrieve(s *datastore.Store, prf core.PRFilter) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	results := make([]*core.PerformanceResult, 0, len(ids))
-	for _, id := range ids {
-		pr, err := s.ResultByID(id)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, pr)
+	results, err := s.MaterializeResults(ids)
+	if err != nil {
+		return nil, err
 	}
 	t := &Table{store: s, typeOf: make(map[core.ResourceName]core.TypePath)}
 	for i, pr := range results {

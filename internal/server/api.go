@@ -64,6 +64,34 @@ type ResultsResponse struct {
 	Total      int        `json:"total"` // rows matched before the limit
 }
 
+// ResultStreamLine is one line of the NDJSON response to
+// POST /v1/results?stream=1. The first line carries Columns plus Total
+// (IDs matched by the pr-filter, before any metric filter); each
+// following line carries one Row; the final line has Done=true with the
+// emitted row count. A mid-stream failure emits a line with Error and
+// ends the stream.
+type ResultStreamLine struct {
+	APIVersion string     `json:"api_version"`
+	Columns    []string   `json:"columns,omitempty"`
+	Total      int        `json:"total,omitempty"`
+	Row        *ResultRow `json:"row,omitempty"`
+	Error      string     `json:"error,omitempty"`
+
+	// Summary-line fields (Done == true).
+	Done bool `json:"done,omitempty"`
+	Rows int  `json:"rows,omitempty"`
+}
+
+// ResultRow is one streamed performance result.
+type ResultRow struct {
+	Execution string   `json:"execution"`
+	Metric    string   `json:"metric"`
+	Value     float64  `json:"value"`
+	Units     string   `json:"units"`
+	Tool      string   `json:"tool"`
+	Resources []string `json:"resources,omitempty"`
+}
+
 // LoadResponse reports one single-document PTdf ingest.
 type LoadResponse struct {
 	APIVersion string              `json:"api_version"`

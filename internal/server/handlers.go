@@ -277,6 +277,10 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		writeErrorString(w, r, http.StatusBadRequest, "limit must be >= 0")
 		return
 	}
+	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
+		s.handleResultsStream(w, r, req)
+		return
+	}
 	prf, _, err := s.buildPRFilter(req.Families)
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err)
@@ -327,6 +331,92 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		out = append(out, cells)
 	}
 	writeJSON(w, http.StatusOK, ResultsResponse{APIVersion: APIVersion, Columns: cols, Rows: out, Total: total})
+}
+
+// errStreamLimit aborts MaterializeStream once the row limit is reached.
+var errStreamLimit = errors.New("stream limit reached")
+
+// resultStreamChunk bounds how many results are materialized (and held
+// in memory) per emitted NDJSON burst.
+const resultStreamChunk = 2048
+
+// handleResultsStream is POST /v1/results?stream=1: evaluate the
+// pr-filter once, then materialize and emit matching results in bounded
+// chunks as NDJSON, so neither side holds a full-corpus retrieval in
+// memory. Refinements that need the whole result set (sorting, added
+// columns) are rejected; the metric filter and row limit apply per row.
+func (s *Server) handleResultsStream(w http.ResponseWriter, r *http.Request, req ResultsRequest) {
+	if len(req.AddColumns) > 0 || len(req.AddAttributes) > 0 || req.SortBy != "" {
+		writeErrorString(w, r, http.StatusBadRequest,
+			"stream=1 supports families, metric, and limit only (sorting and added columns need the full result set)")
+		return
+	}
+	prf, _, err := s.buildPRFilter(req.Families)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	ids, err := s.store.MatchingResultIDs(prf)
+	if err != nil {
+		writeError(w, r, statusOf(err, http.StatusInternalServerError), err)
+		return
+	}
+	total := len(ids)
+	if req.Metric == "" && req.Limit > 0 && len(ids) > req.Limit {
+		ids = ids[:req.Limit]
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := enc.Encode(ResultStreamLine{APIVersion: APIVersion, Columns: query.FixedColumns, Total: total}); err != nil {
+		return
+	}
+	flush()
+	emitted := 0
+	err = s.store.MaterializeStream(ids, datastore.MaterializeOptions{ChunkSize: resultStreamChunk},
+		func(batch []*core.PerformanceResult) error {
+			for _, pr := range batch {
+				if req.Metric != "" && pr.Metric != req.Metric {
+					continue
+				}
+				row := &ResultRow{
+					Execution: pr.Execution,
+					Metric:    pr.Metric,
+					Value:     pr.Value,
+					Units:     pr.Units,
+					Tool:      pr.Tool,
+				}
+				for _, res := range pr.AllResources() {
+					row.Resources = append(row.Resources, string(res))
+				}
+				if err := enc.Encode(ResultStreamLine{APIVersion: APIVersion, Row: row}); err != nil {
+					return err
+				}
+				emitted++
+				if req.Limit > 0 && emitted >= req.Limit {
+					return errStreamLimit
+				}
+			}
+			flush()
+			return nil
+		})
+	if err != nil && !errors.Is(err, errStreamLimit) {
+		// Headers are gone; all we can do is report in-band and stop
+		// before the Done line so the client sees a truncated stream.
+		s.logf("results stream: %v rid=%s", err, RequestIDFromContext(r.Context()))
+		enc.Encode(ResultStreamLine{APIVersion: APIVersion, Error: err.Error()})
+		flush()
+		return
+	}
+	enc.Encode(ResultStreamLine{APIVersion: APIVersion, Done: true, Rows: emitted})
+	flush()
+	s.logf("results stream: %d/%d rows rid=%s", emitted, total, RequestIDFromContext(r.Context()))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -439,16 +529,19 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	var items []string
+	var (
+		items []string
+		err   error
+	)
 	switch name {
 	case "executions":
-		items = s.store.Executions()
+		items, err = s.store.Executions()
 	case "metrics":
-		items = s.store.Metrics()
+		items, err = s.store.Metrics()
 	case "applications":
-		items = s.store.Applications()
+		items, err = s.store.Applications()
 	case "tools":
-		items = s.store.Tools()
+		items, err = s.store.Tools()
 	case "stats":
 		// Kept for wire compatibility; GET /v1/stats is the primary form.
 		s.handleStats(w, r)
@@ -456,6 +549,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeErrorString(w, r, http.StatusNotFound,
 			fmt.Sprintf("unknown report %q (want executions, metrics, applications, tools, or stats)", name))
+		return
+	}
+	if err != nil {
+		writeError(w, r, statusOf(err, http.StatusInternalServerError), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, ReportResponse{APIVersion: APIVersion, Report: name, Items: items})

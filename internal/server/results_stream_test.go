@@ -1,0 +1,200 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// streamResults posts a ResultsRequest to /v1/results?stream=1 and
+// decodes every NDJSON line.
+func streamResults(t *testing.T, baseURL string, req ResultsRequest) (int, []ResultStreamLine) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(baseURL+"/v1/results?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content-type = %q", ct)
+	}
+	var lines []ResultStreamLine
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var line ResultStreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, lines
+}
+
+func TestResultsStream(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	loadDoc(t, ts.URL, ptdfDoc("sm", 5))
+
+	code, lines := streamResults(t, ts.URL, ResultsRequest{Families: []string{"type=application"}})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if len(lines) != 7 { // header + 5 rows + done
+		t.Fatalf("got %d lines, want 7: %+v", len(lines), lines)
+	}
+	header := lines[0]
+	if header.APIVersion != APIVersion || header.Total != 5 || len(header.Columns) != 5 {
+		t.Errorf("header = %+v", header)
+	}
+	for i, line := range lines[1:6] {
+		if line.Row == nil {
+			t.Fatalf("line %d has no row: %+v", i+1, line)
+		}
+		if line.Row.Execution != "exec-sm" || line.Row.Metric != "wall time" ||
+			line.Row.Units != "seconds" || line.Row.Tool != "ptool" {
+			t.Errorf("row %d = %+v", i, line.Row)
+		}
+		if len(line.Row.Resources) != 2 {
+			t.Errorf("row %d resources = %v", i, line.Row.Resources)
+		}
+	}
+	done := lines[len(lines)-1]
+	if !done.Done || done.Rows != 5 {
+		t.Errorf("summary = %+v", done)
+	}
+
+	// The row limit bounds emission.
+	_, limited := streamResults(t, ts.URL, ResultsRequest{Families: []string{"type=application"}, Limit: 2})
+	if got := len(limited); got != 4 { // header + 2 rows + done
+		t.Errorf("limited stream = %d lines: %+v", got, limited)
+	} else if !limited[3].Done || limited[3].Rows != 2 {
+		t.Errorf("limited summary = %+v", limited[3])
+	}
+
+	// A metric filter that matches nothing yields an empty stream with a
+	// summary.
+	_, none := streamResults(t, ts.URL, ResultsRequest{Families: []string{"type=application"}, Metric: "no such metric"})
+	if len(none) != 2 || !none[1].Done || none[1].Rows != 0 {
+		t.Errorf("empty stream = %+v", none)
+	}
+}
+
+func TestResultsStreamRejectsRefinements(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	loadDoc(t, ts.URL, ptdfDoc("sr", 2))
+	for name, req := range map[string]ResultsRequest{
+		"sort":     {SortBy: "value"},
+		"columns":  {AddColumns: []string{"grid/machine"}},
+		"attrs":    {AddAttributes: []string{"execution.nprocs"}},
+		"badfam":   {Families: []string{"%%%not-a-spec"}},
+		"neglimit": {Limit: -1},
+	} {
+		code, _ := streamResults(t, ts.URL, req)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, code)
+		}
+	}
+	// The buffered (non-stream) retrieval still works on the same route.
+	var rr ResultsResponse
+	code, raw := postJSON(t, ts.URL+"/v1/results", ResultsRequest{SortBy: "value"}, &rr)
+	if code != http.StatusOK || len(rr.Rows) != 2 {
+		t.Errorf("buffered retrieval: %d %s %+v", code, raw, rr)
+	}
+}
+
+// TestResultsStreamConcurrentWithBulkLoad races streamed retrievals
+// against parallel multipart ingest; run with -race this checks the
+// materializer's worker fan-out against the write path.
+func TestResultsStreamConcurrentWithBulkLoad(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	loadDoc(t, ts.URL, ptdfDoc("seed", 4))
+
+	const loaders, docsPer = 3, 3
+	var wg sync.WaitGroup
+	for l := 0; l < loaders; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			docs := map[string]string{}
+			var order []string
+			for d := 0; d < docsPer; d++ {
+				name := fmt.Sprintf("sl%d-d%d", l, d)
+				docs[name] = ptdfDoc(name, 3)
+				order = append(order, name)
+			}
+			body, ct := multipartBody(t, docs, order)
+			for _, st := range postMultipart(t, ts.URL+"/v1/load?j=3", body, ct) {
+				if st.Error != "" {
+					t.Errorf("loader %d: %s", l, st.Error)
+				}
+			}
+		}(l)
+	}
+	stop := make(chan struct{})
+	var swg sync.WaitGroup
+	for q := 0; q < 2; q++ {
+		swg.Add(1)
+		go func() {
+			defer swg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_, lines := streamResults(t, ts.URL, ResultsRequest{Families: []string{"type=application"}})
+				if len(lines) == 0 {
+					continue
+				}
+				last := lines[len(lines)-1]
+				if last.Error != "" {
+					t.Errorf("stream failed mid-flight: %s", last.Error)
+					return
+				}
+				if !last.Done {
+					t.Error("stream ended without a summary line")
+					return
+				}
+				rows := 0
+				for _, line := range lines[1 : len(lines)-1] {
+					if line.Row == nil {
+						t.Errorf("non-row line mid-stream: %+v", line)
+						return
+					}
+					rows++
+				}
+				if rows != last.Rows {
+					t.Errorf("summary says %d rows, saw %d", last.Rows, rows)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	swg.Wait()
+
+	// Everything committed is now visible to one final stream.
+	_, lines := streamResults(t, ts.URL, ResultsRequest{Families: []string{"type=application"}})
+	want := 4 + loaders*docsPer*3
+	if last := lines[len(lines)-1]; !last.Done || last.Rows != want {
+		t.Errorf("final stream summary = %+v, want %d rows", last, want)
+	}
+}

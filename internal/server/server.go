@@ -125,7 +125,11 @@ func (s *Server) Handler() http.Handler {
 	// a large upload may legitimately outlast the request timeout.
 	s.route(mux, "POST /v1/load", "/v1/load", true, false, http.HandlerFunc(s.handleLoad))
 	s.route(mux, "POST /v1/query", "/v1/query", true, true, http.HandlerFunc(s.handleQuery))
-	s.route(mux, "POST /v1/results", "/v1/results", true, true, http.HandlerFunc(s.handleResults))
+	// /v1/results is limited but not timed for the same reason as
+	// /v1/load: ?stream=1 emits NDJSON through http.Flusher, which the
+	// buffering TimeoutHandler would hide, and a full-corpus retrieval
+	// may legitimately outlast the request timeout.
+	s.route(mux, "POST /v1/results", "/v1/results", true, false, http.HandlerFunc(s.handleResults))
 	s.route(mux, "GET /v1/stats", "/v1/stats", true, true, http.HandlerFunc(s.handleStats))
 	s.route(mux, "GET /v1/compare", "/v1/compare", true, true, http.HandlerFunc(s.handleCompare))
 	s.route(mux, "GET /v1/reports/{name}", "/v1/reports", true, true, http.HandlerFunc(s.handleReport))
