@@ -30,6 +30,7 @@ func main() {
 	remote := flag.String("remote", "", "ptserved base URL (e.g. http://localhost:7075) instead of -db")
 	checkpoint := flag.Bool("checkpoint", true, "checkpoint the store after loading (direct -db mode only)")
 	workers := flag.Int("j", 1, "parallel decode workers (bulk mode when > 1)")
+	verbose := flag.Bool("verbose", false, "print client instrumentation (requests, retries, backoff) after a -remote load")
 	flag.Parse()
 	if (*dbDir == "") == (*remote == "") || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "ptload: exactly one of -db or -remote, and at least one PTdf file, are required")
@@ -41,7 +42,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *remote != "" {
-		loadRemote(*remote, flag.Args(), *workers)
+		loadRemote(*remote, flag.Args(), *workers, *verbose)
 		return
 	}
 	fe, err := reldb.OpenFile(*dbDir)
@@ -96,8 +97,14 @@ func main() {
 // posts one document per request with retry; bulk mode (-j > 1) posts
 // all files as one multipart stream and reports each document's status
 // line as the server commits it.
-func loadRemote(baseURL string, paths []string, workers int) {
+func loadRemote(baseURL string, paths []string, workers int, verbose bool) {
 	c := client.New(baseURL)
+	if verbose {
+		// onFatal, not defer: fatal's os.Exit skips deferred calls, and the
+		// retry counters matter most when a load fails.
+		onFatal = func() { printClientCounters(c) }
+		defer printClientCounters(c)
+	}
 	ctx := context.Background()
 	var total datastore.LoadStats
 	failed := 0
@@ -158,7 +165,20 @@ func printFileStats(path string, stats datastore.LoadStats) {
 		path, stats.Records, stats.Resources, stats.Attributes, stats.Results)
 }
 
+func printClientCounters(c *client.Client) {
+	st := c.Counters()
+	fmt.Fprintf(os.Stderr, "ptload: client: %d requests, %d retries, %d backoff sleeps (%s total), %d stream aborts\n",
+		st.Requests, st.Retries, st.BackoffSleeps, st.BackoffTotal, st.StreamAborts)
+}
+
+// onFatal, when set, runs before fatal exits (used by -verbose to flush
+// the client counters past os.Exit).
+var onFatal func()
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ptload:", err)
+	if onFatal != nil {
+		onFatal()
+	}
 	os.Exit(1)
 }

@@ -73,6 +73,7 @@ func main() {
 	reduce := flag.String("reduce", "avg", "chart reducer: min, max, avg, sum, count")
 	limit := flag.Int("limit", 50, "maximum rows to print (0 = all)")
 	stream := flag.Bool("stream", false, "with -remote: stream rows as NDJSON arrives (/v1/results?stream=1) instead of fetching the whole table")
+	verbose := flag.Bool("verbose", false, "with -remote: print client instrumentation (requests, retries, backoff) to stderr")
 	flag.Parse()
 
 	if (*dbDir == "") == (*remote == "") {
@@ -92,7 +93,7 @@ func main() {
 		runRemote(*remote, remoteQuery{
 			families: families, countOnly: *countOnly, explain: *explain, report: *report,
 			metric: *metricFilter, addCols: addCols, addAttrs: addAttrs,
-			sortBy: *sortBy, desc: *desc, limit: *limit, stream: *stream,
+			sortBy: *sortBy, desc: *desc, limit: *limit, stream: *stream, verbose: *verbose,
 		})
 		return
 	}
@@ -253,6 +254,7 @@ type remoteQuery struct {
 	desc      bool
 	limit     int
 	stream    bool
+	verbose   bool
 }
 
 // runRemote answers counts, result tables, and reports from a ptserved
@@ -260,6 +262,12 @@ type remoteQuery struct {
 func runRemote(baseURL string, q remoteQuery) {
 	c := client.New(baseURL)
 	ctx := context.Background()
+	if q.verbose {
+		// onFatal, not defer: fatal's os.Exit skips deferred calls, and the
+		// retry counters matter most when a call fails.
+		onFatal = func() { printClientCounters(c) }
+		defer printClientCounters(c)
+	}
 
 	if q.report == "stats" {
 		st, err := c.Stats(ctx)
@@ -413,7 +421,20 @@ func sortedKeys(m map[string]string) []string {
 	return out
 }
 
+func printClientCounters(c *client.Client) {
+	st := c.Counters()
+	fmt.Fprintf(os.Stderr, "ptquery: client: %d requests, %d retries, %d backoff sleeps (%s total), %d stream aborts\n",
+		st.Requests, st.Retries, st.BackoffSleeps, st.BackoffTotal, st.StreamAborts)
+}
+
+// onFatal, when set, runs before fatal exits (used by -verbose to flush
+// the client counters past os.Exit).
+var onFatal func()
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ptquery:", err)
+	if onFatal != nil {
+		onFatal()
+	}
 	os.Exit(1)
 }

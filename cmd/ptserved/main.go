@@ -7,6 +7,7 @@
 //
 //	ptserved -db DIR [-addr :7075] [-readonly] [-max-inflight N]
 //	         [-timeout 30s] [-auto-checkpoint N] [-sync] [-pprof addr]
+//	         [-log-level info] [-slow-threshold 1s] [-trace-buffer 256]
 //
 // On SIGINT/SIGTERM the server drains in-flight requests, checkpoints
 // the store (snapshot + truncated WAL), and exits.
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"perftrack/internal/datastore"
+	"perftrack/internal/obs"
 	"perftrack/internal/reldb"
 	"perftrack/internal/server"
 )
@@ -39,6 +41,9 @@ func main() {
 	syncWAL := flag.Bool("sync", false, "fsync the WAL on every mutation")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, or error")
+	slowThreshold := flag.Duration("slow-threshold", time.Second, "log requests at or over this duration and keep their traces in the slow ring (negative disables)")
+	traceBuffer := flag.Int("trace-buffer", 256, "completed traces retained for /v1/debug/traces")
 	flag.Parse()
 
 	if *dbDir == "" {
@@ -46,7 +51,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ptserved:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	logger := log.New(os.Stderr, "ptserved: ", log.LstdFlags|log.Lmsgprefix)
+	slog := obs.NewLogger(os.Stderr, level)
 
 	fe, err := reldb.OpenFile(*dbDir)
 	if err != nil {
@@ -64,12 +76,15 @@ func main() {
 		*dbDir, st.Executions, st.Results, st.Resources)
 
 	srv, err := server.New(server.Config{
-		Store:          store,
-		Checkpointer:   fe,
-		ReadOnly:       *readOnly,
-		MaxInFlight:    *maxInFlight,
-		RequestTimeout: *timeout,
-		Logger:         logger,
+		Store:                store,
+		Checkpointer:         fe,
+		ReadOnly:             *readOnly,
+		MaxInFlight:          *maxInFlight,
+		RequestTimeout:       *timeout,
+		Logger:               logger,
+		Log:                  slog,
+		TraceBuffer:          *traceBuffer,
+		SlowRequestThreshold: *slowThreshold,
 	})
 	if err != nil {
 		fatal(err)

@@ -75,6 +75,9 @@ type Client struct {
 	// to MaxBackoff, plus up to 50% jitter). Zero values mean 100ms / 2s.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+
+	// ctrs instruments the client; snapshot with Counters.
+	ctrs counters
 }
 
 // New returns a client with default retry policy.
@@ -135,6 +138,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 			case <-ctx.Done():
 				return fmt.Errorf("client: %w (last error: %v)", ctx.Err(), lastErr)
 			}
+			c.countRetry(wait)
 		}
 		err := c.doOnce(ctx, method, path, contentType, body, out)
 		if err == nil {
@@ -175,6 +179,7 @@ func (c *Client) doOnce(ctx context.Context, method, path, contentType string, b
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
+	c.countRequest()
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
@@ -266,6 +271,7 @@ func (c *Client) ResultsStream(ctx context.Context, req server.ResultsRequest, o
 		return summary, fmt.Errorf("client: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	c.countRequest()
 	resp, err := c.httpClient().Do(hreq)
 	if err != nil {
 		return summary, fmt.Errorf("client: POST %s: %w", path, err)
@@ -295,6 +301,7 @@ func (c *Client) ResultsStream(ctx context.Context, req server.ResultsRequest, o
 		}
 		switch {
 		case st.Error != "":
+			c.countStreamAbort()
 			return summary, fmt.Errorf("client: result stream failed mid-stream: %s", st.Error)
 		case st.Done:
 			summary, sawSummary = st, true
@@ -305,9 +312,11 @@ func (c *Client) ResultsStream(ctx context.Context, req server.ResultsRequest, o
 		}
 	}
 	if err := sc.Err(); err != nil {
+		c.countStreamAbort()
 		return summary, fmt.Errorf("client: read result stream: %w", err)
 	}
 	if !sawSummary {
+		c.countStreamAbort()
 		return summary, fmt.Errorf("client: result stream ended without a summary line")
 	}
 	return summary, nil
@@ -404,6 +413,7 @@ func (c *Client) LoadBatch(ctx context.Context, docs []BatchDoc, workers int, on
 		return summary, fmt.Errorf("client: %w", err)
 	}
 	req.Header.Set("Content-Type", mw.FormDataContentType())
+	c.countRequest()
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return summary, fmt.Errorf("client: POST %s: %w", path, err)
@@ -429,6 +439,7 @@ func (c *Client) LoadBatch(ctx context.Context, docs []BatchDoc, workers int, on
 		}
 		var st server.LoadDocStatus
 		if err := json.Unmarshal(line, &st); err != nil {
+			c.countStreamAbort()
 			return summary, fmt.Errorf("client: decode load status line: %w", err)
 		}
 		if st.Done {
@@ -440,9 +451,11 @@ func (c *Client) LoadBatch(ctx context.Context, docs []BatchDoc, workers int, on
 		}
 	}
 	if err := sc.Err(); err != nil {
+		c.countStreamAbort()
 		return summary, fmt.Errorf("client: read load status stream: %w", err)
 	}
 	if !sawSummary {
+		c.countStreamAbort()
 		return summary, fmt.Errorf("client: load status stream ended without a summary line")
 	}
 	return summary, nil

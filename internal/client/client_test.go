@@ -207,3 +207,58 @@ func TestBackoffGrowsAndJitters(t *testing.T) {
 		t.Errorf("Retry-After backoff = %s, want >= 2s", d)
 	}
 }
+
+// TestCountersTrackRetriesAndBackoff pins the client's own
+// instrumentation: each attempt counts as a request, each retry counts a
+// backoff sleep, and the snapshot is cumulative across calls.
+func TestCountersTrackRetriesAndBackoff(t *testing.T) {
+	h, _ := flakyHandler(2, http.StatusInternalServerError, nil, func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(server.HealthResponse{Status: "ok"})
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Counters()
+	if st.Requests != 3 || st.Retries != 2 || st.BackoffSleeps != 2 {
+		t.Errorf("counters = %+v, want 3 requests / 2 retries / 2 sleeps", st)
+	}
+	if st.BackoffTotal <= 0 {
+		t.Errorf("backoff total = %s, want > 0", st.BackoffTotal)
+	}
+	if st.StreamAborts != 0 {
+		t.Errorf("stream aborts = %d, want 0", st.StreamAborts)
+	}
+
+	// A second, clean call adds exactly one request.
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Counters().Requests; got != 4 {
+		t.Errorf("requests after clean call = %d, want 4", got)
+	}
+}
+
+// TestCountersTrackStreamAborts: a result stream truncated before its
+// summary line counts as an abort.
+func TestCountersTrackStreamAborts(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write([]byte(`{"api_version":"v1","columns":["execution"],"total":1}` + "\n"))
+		// No row, no Done line: the stream just ends.
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	_, err := c.ResultsStream(context.Background(), server.ResultsRequest{}, nil)
+	if err == nil {
+		t.Fatal("truncated stream did not error")
+	}
+	st := c.Counters()
+	if st.StreamAborts != 1 || st.Requests != 1 {
+		t.Errorf("counters = %+v, want 1 abort / 1 request", st)
+	}
+}

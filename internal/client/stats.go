@@ -1,0 +1,60 @@
+package client
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a snapshot of one Client's lifetime instrumentation counters.
+// (Client.Stats fetches the *server's* /v1/stats; Counters reports the
+// client's own behaviour — how many requests it sent, how often it had
+// to retry, and how long it spent backing off.)
+type Stats struct {
+	// Requests counts HTTP requests actually sent, including each retry
+	// attempt and the non-retrying streaming calls.
+	Requests uint64
+	// Retries counts attempts beyond the first.
+	Retries uint64
+	// BackoffSleeps counts the waits before retries; BackoffTotal is the
+	// time spent in them.
+	BackoffSleeps uint64
+	BackoffTotal  time.Duration
+	// StreamAborts counts streaming calls (ResultsStream, LoadBatch) that
+	// ended without a clean summary line: mid-stream server errors,
+	// truncated streams, and decode failures.
+	StreamAborts uint64
+}
+
+// counters is the live atomic state behind Counters. It lives in its own
+// struct so Client's exported configuration fields stay copyable in
+// docs/examples while the counters are only touched through the pointer
+// receiver methods.
+type counters struct {
+	requests      atomic.Uint64
+	retries       atomic.Uint64
+	backoffSleeps atomic.Uint64
+	backoffNanos  atomic.Uint64
+	streamAborts  atomic.Uint64
+}
+
+// Counters snapshots the client's instrumentation counters. Safe for
+// concurrent use with in-flight calls.
+func (c *Client) Counters() Stats {
+	return Stats{
+		Requests:      c.ctrs.requests.Load(),
+		Retries:       c.ctrs.retries.Load(),
+		BackoffSleeps: c.ctrs.backoffSleeps.Load(),
+		BackoffTotal:  time.Duration(c.ctrs.backoffNanos.Load()),
+		StreamAborts:  c.ctrs.streamAborts.Load(),
+	}
+}
+
+func (c *Client) countRequest() { c.ctrs.requests.Add(1) }
+
+func (c *Client) countRetry(slept time.Duration) {
+	c.ctrs.retries.Add(1)
+	c.ctrs.backoffSleeps.Add(1)
+	c.ctrs.backoffNanos.Add(uint64(slept))
+}
+
+func (c *Client) countStreamAbort() { c.ctrs.streamAborts.Add(1) }

@@ -1,9 +1,12 @@
 package datastore
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strconv"
 
+	"perftrack/internal/obs"
 	"perftrack/internal/ptdf"
 )
 
@@ -80,6 +83,15 @@ type walBatcher interface {
 // (the engine transaction rolls back and the in-memory caches are
 // rebuilt) and the error names the failing record.
 func (b *Batch) Commit() (LoadStats, error) {
+	return b.CommitCtx(context.Background())
+}
+
+// CommitCtx is Commit under a context: when a trace rides ctx, the
+// commit records a datastore.batch.commit span (annotated with the
+// record count) and the WAL group flush its own datastore.wal.flush
+// child. The context carries telemetry only — commit is not cancelable
+// midway, by design: a batch either fully applies or fully rolls back.
+func (b *Batch) CommitCtx(ctx context.Context) (LoadStats, error) {
 	if b.done {
 		return LoadStats{}, ErrBatchDone
 	}
@@ -88,6 +100,9 @@ func (b *Batch) Commit() (LoadStats, error) {
 		return LoadStats{}, nil
 	}
 	s := b.s
+	ctx, span := obs.StartSpan(ctx, "datastore.batch.commit")
+	span.Annotate("records", strconv.Itoa(len(b.recs)))
+	defer span.End()
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
 	defer s.bumpGen()
@@ -100,7 +115,11 @@ func (b *Batch) Commit() (LoadStats, error) {
 		if wb == nil {
 			return err
 		}
-		if ferr := wb.EndWALBatch(); ferr != nil {
+		_, fspan := obs.StartSpan(ctx, "datastore.wal.flush")
+		ferr := wb.EndWALBatch()
+		fspan.End()
+		s.tel.walFlushes.Add(1)
+		if ferr != nil {
 			return errors.Join(err, fmt.Errorf("datastore: WAL flush: %w", ferr))
 		}
 		return err
@@ -125,14 +144,20 @@ func (b *Batch) Commit() (LoadStats, error) {
 	if applyErr != nil {
 		// rollbackLoad logs compensation records; the deferred flush below
 		// makes the rollback durable.
+		s.tel.batchRollbacks.Add(1)
+		span.Annotate("outcome", "rollback")
 		return LoadStats{}, flush(s.rollbackLoad(tx, applyErr))
 	}
 	if err := tx.Commit(); err != nil {
+		s.tel.batchRollbacks.Add(1)
+		span.Annotate("outcome", "rollback")
 		return LoadStats{}, flush(err)
 	}
 	if err := flush(nil); err != nil {
 		return LoadStats{}, err
 	}
+	s.tel.batchCommits.Add(1)
+	s.tel.recordsLoaded.Add(uint64(len(b.recs)))
 	return b.stats, nil
 }
 

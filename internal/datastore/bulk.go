@@ -1,6 +1,7 @@
 package datastore
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -49,6 +50,14 @@ type bulkDoc struct {
 // A non-EOF error from next stops dispatching and is returned after the
 // already-dispatched documents finish.
 func (s *Store) BulkLoadStream(next func() (string, io.ReadCloser, error), workers int, emit func(DocResult)) error {
+	return s.BulkLoadStreamCtx(context.Background(), next, workers, emit)
+}
+
+// BulkLoadStreamCtx is BulkLoadStream under a context: when a trace
+// rides ctx, each document's commit records its own
+// datastore.batch.commit span (the decode fan-out is not traced — its
+// cost shows up as the gap between commit spans).
+func (s *Store) BulkLoadStreamCtx(ctx context.Context, next func() (string, io.ReadCloser, error), workers int, emit func(DocResult)) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -127,7 +136,7 @@ func (s *Store) BulkLoadStream(next func() (string, io.ReadCloser, error), worke
 			dr := DocResult{Name: d.name}
 			if d.err != nil {
 				dr.Err = fmt.Errorf("%s: %w", d.name, d.err)
-			} else if stats, err := d.batch.Commit(); err != nil {
+			} else if stats, err := d.batch.CommitCtx(ctx); err != nil {
 				dr.Err = fmt.Errorf("%s: %w", d.name, err)
 			} else {
 				dr.Stats = stats

@@ -1,12 +1,15 @@
 package datastore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 
 	"perftrack/internal/core"
+	"perftrack/internal/obs"
 	"perftrack/internal/ptdf"
 	"perftrack/internal/reldb"
 )
@@ -101,14 +104,26 @@ func (s *Store) loadRecordLocked(rec ptdf.Record) error {
 // no trace of the document behind; the error names the failing record.
 // Concurrent loads decode in parallel and serialize only at commit.
 func (s *Store) LoadPTdf(r io.Reader) (LoadStats, error) {
+	return s.LoadPTdfCtx(context.Background(), r)
+}
+
+// LoadPTdfCtx is LoadPTdf under a context: when a trace rides ctx, the
+// decode and commit phases record datastore.load.decode and
+// datastore.batch.commit spans in the request's span tree.
+func (s *Store) LoadPTdfCtx(ctx context.Context, r io.Reader) (LoadStats, error) {
 	b := s.NewBatch()
+	_, dspan := obs.StartSpan(ctx, "datastore.load.decode")
 	pr := ptdf.NewReader(r)
 	for {
 		rec, err := pr.Next()
 		if err == io.EOF {
-			return b.Commit()
+			dspan.Annotate("records", strconv.Itoa(b.Len()))
+			dspan.End()
+			return b.CommitCtx(ctx)
 		}
 		if err != nil {
+			dspan.Annotate("outcome", "decode-error")
+			dspan.End()
 			b.Rollback()
 			return LoadStats{}, fmt.Errorf("%w: %w", err, ErrBadSpec)
 		}

@@ -33,11 +33,14 @@ package datastore
 // results as read-only (every current consumer does).
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"perftrack/internal/core"
+	"perftrack/internal/obs"
 	"perftrack/internal/reldb"
 )
 
@@ -209,7 +212,7 @@ type materializer struct {
 	foci map[int64]*matFocus // focus ID → decoded, grows chunk by chunk
 }
 
-func (s *Store) newMaterializer(opt MaterializeOptions) (*materializer, error) {
+func (s *Store) newMaterializer(ctx context.Context, opt MaterializeOptions) (*materializer, error) {
 	m := &materializer{
 		s:       s,
 		workers: opt.Workers,
@@ -218,6 +221,8 @@ func (s *Store) newMaterializer(opt MaterializeOptions) (*materializer, error) {
 	if m.workers <= 0 {
 		m.workers = runtime.GOMAXPROCS(0)
 	}
+	_, span := obs.StartSpan(ctx, "materialize.prefetch")
+	defer span.End()
 	var err error
 	if m.exec, err = s.loadDict("execution"); err != nil {
 		return nil, err
@@ -287,7 +292,7 @@ func shardRange(n, workers int, fn func(lo, hi int) error) error {
 
 // run materializes one chunk of IDs, preserving input order (duplicate
 // IDs yield duplicate pointers to one shared result).
-func (m *materializer) run(ids []int64) ([]*core.PerformanceResult, error) {
+func (m *materializer) run(ctx context.Context, ids []int64) ([]*core.PerformanceResult, error) {
 	if len(ids) == 0 {
 		return []*core.PerformanceResult{}, nil
 	}
@@ -295,10 +300,19 @@ func (m *materializer) run(ids []int64) ([]*core.PerformanceResult, error) {
 	pos := newPosIndex(ids)
 	uniq := pos.uniq
 	recs := make([]resultRec, len(uniq))
+	m.s.tel.materializations.Add(1)
+	m.s.tel.resultsRead.Add(uint64(len(uniq)))
 
-	// Phase 1: performance_result rows.
+	// Phase 1: performance_result rows. The fetch span covers phases 1–2
+	// (row fetch plus focus-link resolution) and is ended explicitly on
+	// every path: a deferred closure here measurably slows the whole
+	// chunk (it forces a larger frame on run, which the per-chunk worker
+	// goroutines then pay for in stack growth).
+	_, fetchSpan := obs.StartSpan(ctx, "materialize.fetch")
+	fetchSpan.Annotate("results", strconv.Itoa(len(uniq)))
 	prTab, ok := m.s.eng.Table("performance_result")
 	if !ok {
+		fetchSpan.End()
 		return nil, fmt.Errorf("datastore: no performance_result table: %w", ErrNotFound)
 	}
 	dense := len(uniq)*denseScanDivisor >= prTab.Len()
@@ -336,11 +350,13 @@ func (m *materializer) run(ids []int64) ([]*core.PerformanceResult, error) {
 			}
 			return nil
 		}); err != nil {
+			fetchSpan.End()
 			return nil, err
 		}
 	}
 	for i := range recs {
 		if !recs[i].found {
+			fetchSpan.End()
 			return nil, fmt.Errorf("datastore: no performance result %d: %w", uniq[i], ErrNotFound)
 		}
 	}
@@ -349,6 +365,7 @@ func (m *materializer) run(ids []int64) ([]*core.PerformanceResult, error) {
 	// (ascending focus ID), matching ResultByID's context ordering.
 	rhfTab, ok := m.s.eng.Table("result_has_focus")
 	if !ok {
+		fetchSpan.End()
 		return nil, fmt.Errorf("datastore: no result_has_focus table: %w", ErrNotFound)
 	}
 	if dense {
@@ -387,11 +404,15 @@ func (m *materializer) run(ids []int64) ([]*core.PerformanceResult, error) {
 			}
 			return nil
 		}); err != nil {
+			fetchSpan.End()
 			return nil, err
 		}
 	}
 
+	fetchSpan.End()
+
 	// Phase 3: decode each focus not yet in the per-query cache.
+	_, focusSpan := obs.StartSpan(ctx, "materialize.focus")
 	links := 0
 	for i := range recs {
 		links += len(recs[i].focusIDs)
@@ -404,15 +425,24 @@ func (m *materializer) run(ids []int64) ([]*core.PerformanceResult, error) {
 			}
 		}
 	}
+	m.s.tel.focusCacheHits.Add(uint64(links - len(needed)))
+	focusSpan.Annotate("cached", strconv.Itoa(links-len(needed)))
 	if len(needed) > 0 {
-		if err := m.decodeFoci(sortDedup(needed)); err != nil {
+		decode := sortDedup(needed)
+		m.s.tel.focusCacheMisses.Add(uint64(len(decode)))
+		focusSpan.Annotate("decoded", strconv.Itoa(len(decode)))
+		if err := m.decodeFoci(decode); err != nil {
+			focusSpan.End()
 			return nil, err
 		}
 	}
+	focusSpan.End()
 
 	// Phase 4: assemble over the worker pool into one block (a single
 	// allocation for the whole chunk), then lay out pointers in input
 	// order.
+	_, assembleSpan := obs.StartSpan(ctx, "materialize.assemble")
+	defer assembleSpan.End()
 	assembled := make([]core.PerformanceResult, len(uniq))
 	if err := shardRange(len(uniq), m.workers, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
@@ -571,16 +601,30 @@ func (m *materializer) decodeFoci(fids []int64) error {
 // results may share Contexts data between results referencing the same
 // focus; callers must treat them as read-only.
 func (s *Store) MaterializeResults(ids []int64) ([]*core.PerformanceResult, error) {
-	return s.MaterializeResultsOpts(ids, MaterializeOptions{})
+	return s.MaterializeResultsOptsCtx(context.Background(), ids, MaterializeOptions{})
+}
+
+// MaterializeResultsCtx is MaterializeResults under a context: when a
+// trace rides ctx, the materializer records its phase spans
+// (materialize.prefetch, .fetch, .focus, .assemble) in the request's
+// span tree.
+func (s *Store) MaterializeResultsCtx(ctx context.Context, ids []int64) ([]*core.PerformanceResult, error) {
+	return s.MaterializeResultsOptsCtx(ctx, ids, MaterializeOptions{})
 }
 
 // MaterializeResultsOpts is MaterializeResults with explicit options.
 func (s *Store) MaterializeResultsOpts(ids []int64, opt MaterializeOptions) ([]*core.PerformanceResult, error) {
-	m, err := s.newMaterializer(opt)
+	return s.MaterializeResultsOptsCtx(context.Background(), ids, opt)
+}
+
+// MaterializeResultsOptsCtx is MaterializeResultsCtx with explicit
+// options.
+func (s *Store) MaterializeResultsOptsCtx(ctx context.Context, ids []int64, opt MaterializeOptions) ([]*core.PerformanceResult, error) {
+	m, err := s.newMaterializer(ctx, opt)
 	if err != nil {
 		return nil, err
 	}
-	return m.run(ids)
+	return m.run(ctx, ids)
 }
 
 // MaterializeStream materializes IDs in bounded chunks, invoking emit
@@ -588,7 +632,13 @@ func (s *Store) MaterializeResultsOpts(ids []int64, opt MaterializeOptions) ([]*
 // full-corpus retrievals. The dictionary prefetch and focus cache are
 // shared across chunks. A non-nil error from emit aborts the stream.
 func (s *Store) MaterializeStream(ids []int64, opt MaterializeOptions, emit func([]*core.PerformanceResult) error) error {
-	m, err := s.newMaterializer(opt)
+	return s.MaterializeStreamCtx(context.Background(), ids, opt, emit)
+}
+
+// MaterializeStreamCtx is MaterializeStream under a context; each chunk
+// records its own phase spans.
+func (s *Store) MaterializeStreamCtx(ctx context.Context, ids []int64, opt MaterializeOptions, emit func([]*core.PerformanceResult) error) error {
+	m, err := s.newMaterializer(ctx, opt)
 	if err != nil {
 		return err
 	}
@@ -601,7 +651,7 @@ func (s *Store) MaterializeStream(ids []int64, opt MaterializeOptions, emit func
 		if hi > len(ids) {
 			hi = len(ids)
 		}
-		out, err := m.run(ids[lo:hi])
+		out, err := m.run(ctx, ids[lo:hi])
 		if err != nil {
 			return err
 		}

@@ -1,12 +1,15 @@
 package datastore
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 
 	"perftrack/internal/core"
+	"perftrack/internal/obs"
 	"perftrack/internal/reldb"
 )
 
@@ -261,6 +264,23 @@ func (s *Store) namesOfIDs(ids []int64) []core.ResourceName {
 // (name, value) index — one index scan per predicate, intersected
 // smallest-first — instead of materializing every candidate resource.
 func (s *Store) ApplyFilter(rf core.ResourceFilter) (core.Family, error) {
+	return s.ApplyFilterCtx(context.Background(), rf)
+}
+
+// ApplyFilterCtx is ApplyFilter under a context: when a trace rides
+// ctx, evaluation records a datastore.filter span annotated with the
+// resulting family size.
+func (s *Store) ApplyFilterCtx(ctx context.Context, rf core.ResourceFilter) (core.Family, error) {
+	_, span := obs.StartSpan(ctx, "datastore.filter")
+	fam, err := s.applyFilter(rf)
+	if err == nil {
+		span.Annotate("members", strconv.Itoa(fam.Size()))
+	}
+	span.End()
+	return fam, err
+}
+
+func (s *Store) applyFilter(rf core.ResourceFilter) (core.Family, error) {
 	fam := core.NewFamily()
 	var matched []core.ResourceName
 	selected := true // a name/base/type selection mode is set
@@ -400,12 +420,16 @@ func (s *Store) attrFilterIDs(preds []core.AttrPredicate) (idSet, error) {
 // contexts touch any member of the family. Results are cached per store
 // generation under the family's canonical signature, so the GUI's
 // per-family live counts cost one map lookup between writes.
-func (s *Store) familyResultIDs(fam core.Family) (idSet, error) {
+func (s *Store) familyResultIDs(ctx context.Context, fam core.Family) (idSet, error) {
 	gen := s.gen.Load()
 	key := "fam:" + fam.Signature()
+	_, span := obs.StartSpan(ctx, "datastore.family")
+	defer span.End()
 	if ids, ok := s.cache.get(gen, key); ok {
+		span.Annotate("cache", "hit")
 		return ids, nil
 	}
+	span.Annotate("cache", "miss")
 	fhrTab, _ := s.eng.Table("focus_has_resource")
 	rhfTab, _ := s.eng.Table("result_has_focus")
 	s.mu.Lock()
@@ -445,7 +469,7 @@ func (s *Store) familyResultIDs(fam core.Family) (idSet, error) {
 // bounded worker pool when more than one family (and CPU) is available.
 // The engine takes a reader lock per scan, so independent families read
 // concurrently without blocking each other.
-func (s *Store) familySets(fams []core.Family) ([]idSet, error) {
+func (s *Store) familySets(ctx context.Context, fams []core.Family) ([]idSet, error) {
 	sets := make([]idSet, len(fams))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(fams) {
@@ -453,7 +477,7 @@ func (s *Store) familySets(fams []core.Family) ([]idSet, error) {
 	}
 	if workers <= 1 {
 		for i, fam := range fams {
-			ids, err := s.familyResultIDs(fam)
+			ids, err := s.familyResultIDs(ctx, fam)
 			if err != nil {
 				return nil, err
 			}
@@ -469,7 +493,7 @@ func (s *Store) familySets(fams []core.Family) ([]idSet, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				sets[i], errs[i] = s.familyResultIDs(fams[i])
+				sets[i], errs[i] = s.familyResultIDs(ctx, fams[i])
 			}
 		}()
 	}
@@ -488,7 +512,9 @@ func (s *Store) familySets(fams []core.Family) ([]idSet, error) {
 
 // matchingIDs evaluates a pr-filter to its sorted result ID-set. The
 // returned set may be shared with the cache; callers must not modify it.
-func (s *Store) matchingIDs(prf core.PRFilter) (idSet, error) {
+// When a trace rides ctx it records a datastore.prfilter span annotated
+// with the match-cache outcome.
+func (s *Store) matchingIDs(ctx context.Context, prf core.PRFilter) (idSet, error) {
 	if len(prf.Families) == 0 {
 		prTab, _ := s.eng.Table("performance_result")
 		var all []int64
@@ -500,10 +526,14 @@ func (s *Store) matchingIDs(prf core.PRFilter) (idSet, error) {
 	}
 	gen := s.gen.Load()
 	key := "prf:" + prf.Signature()
+	ctx, span := obs.StartSpan(ctx, "datastore.prfilter")
+	defer span.End()
 	if ids, ok := s.cache.get(gen, key); ok {
+		span.Annotate("cache", "hit")
 		return ids, nil
 	}
-	sets, err := s.familySets(prf.Families)
+	span.Annotate("cache", "miss")
+	sets, err := s.familySets(ctx, prf.Families)
 	if err != nil {
 		return nil, err
 	}
@@ -516,7 +546,12 @@ func (s *Store) matchingIDs(prf core.PRFilter) (idSet, error) {
 // whose contexts contain at least one resource from every family, sorted
 // ascending. The returned slice is the caller's to modify.
 func (s *Store) MatchingResultIDs(prf core.PRFilter) ([]int64, error) {
-	ids, err := s.matchingIDs(prf)
+	return s.MatchingResultIDsCtx(context.Background(), prf)
+}
+
+// MatchingResultIDsCtx is MatchingResultIDs under a context.
+func (s *Store) MatchingResultIDsCtx(ctx context.Context, prf core.PRFilter) ([]int64, error) {
+	ids, err := s.matchingIDs(ctx, prf)
 	if err != nil {
 		return nil, err
 	}
@@ -530,11 +565,16 @@ func (s *Store) MatchingResultIDs(prf core.PRFilter) ([]int64, error) {
 // materializing or copying the ID slice; with a warm cache it is one map
 // lookup.
 func (s *Store) CountMatches(prf core.PRFilter) (int, error) {
+	return s.CountMatchesCtx(context.Background(), prf)
+}
+
+// CountMatchesCtx is CountMatches under a context.
+func (s *Store) CountMatchesCtx(ctx context.Context, prf core.PRFilter) (int, error) {
 	if len(prf.Families) == 0 {
 		prTab, _ := s.eng.Table("performance_result")
 		return prTab.Len(), nil
 	}
-	ids, err := s.matchingIDs(prf)
+	ids, err := s.matchingIDs(ctx, prf)
 	if err != nil {
 		return 0, err
 	}
@@ -544,7 +584,12 @@ func (s *Store) CountMatches(prf core.PRFilter) (int, error) {
 // CountFamilyMatches reports how many results one family alone selects —
 // the GUI's per-family count.
 func (s *Store) CountFamilyMatches(fam core.Family) (int, error) {
-	ids, err := s.familyResultIDs(fam)
+	return s.CountFamilyMatchesCtx(context.Background(), fam)
+}
+
+// CountFamilyMatchesCtx is CountFamilyMatches under a context.
+func (s *Store) CountFamilyMatchesCtx(ctx context.Context, fam core.Family) (int, error) {
+	ids, err := s.familyResultIDs(ctx, fam)
 	if err != nil {
 		return 0, err
 	}
@@ -619,6 +664,11 @@ func (s *Store) nameOf(table string, id int64) (string, error) {
 // ResultsOfExecution materializes every performance result of one
 // execution via the execution index.
 func (s *Store) ResultsOfExecution(exec string) ([]*core.PerformanceResult, error) {
+	return s.ResultsOfExecutionCtx(context.Background(), exec)
+}
+
+// ResultsOfExecutionCtx is ResultsOfExecution under a context.
+func (s *Store) ResultsOfExecutionCtx(ctx context.Context, exec string) ([]*core.PerformanceResult, error) {
 	s.mu.Lock()
 	execID, ok := s.execIDs[exec]
 	s.mu.Unlock()
@@ -634,17 +684,22 @@ func (s *Store) ResultsOfExecution(exec string) ([]*core.PerformanceResult, erro
 		}); err != nil {
 		return nil, err
 	}
-	return s.MaterializeResults(ids)
+	return s.MaterializeResultsCtx(ctx, ids)
 }
 
 // QueryResults evaluates a pr-filter and materializes the matching
 // results through the batch path.
 func (s *Store) QueryResults(prf core.PRFilter) ([]*core.PerformanceResult, error) {
-	ids, err := s.MatchingResultIDs(prf)
+	return s.QueryResultsCtx(context.Background(), prf)
+}
+
+// QueryResultsCtx is QueryResults under a context.
+func (s *Store) QueryResultsCtx(ctx context.Context, prf core.PRFilter) ([]*core.PerformanceResult, error) {
+	ids, err := s.MatchingResultIDsCtx(ctx, prf)
 	if err != nil {
 		return nil, err
 	}
-	return s.MaterializeResults(ids)
+	return s.MaterializeResultsCtx(ctx, ids)
 }
 
 // Applications lists application names, sorted.

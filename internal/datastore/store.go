@@ -56,6 +56,10 @@ type Store struct {
 	toolID   map[string]int64
 	unitsID  map[string]int64
 	focusIDs map[string]int64 // signature -> focus id
+
+	// tel counts store operations for the observability layer; see
+	// telemetry.go.
+	tel telemetry
 }
 
 // inserter is the mutation surface shared by the engine and a transaction;

@@ -1,0 +1,51 @@
+package datastore
+
+import "sync/atomic"
+
+// telemetry holds the store's operation counters: plain atomics bumped
+// on the write and materialize paths, cheap enough to stay enabled
+// unconditionally. The service layer bridges them into its metrics
+// registry at scrape time via Telemetry().
+type telemetry struct {
+	batchCommits     atomic.Uint64
+	batchRollbacks   atomic.Uint64
+	walFlushes       atomic.Uint64
+	recordsLoaded    atomic.Uint64
+	focusCacheHits   atomic.Uint64
+	focusCacheMisses atomic.Uint64
+	materializations atomic.Uint64
+	resultsRead      atomic.Uint64
+}
+
+// Telemetry is a point-in-time snapshot of the store's operation
+// counters. Match-cache numbers come from the generation-stamped query
+// cache; focus-cache numbers count materializer focus decodes served
+// from the per-query cache versus decoded from the engine.
+type Telemetry struct {
+	BatchCommits     uint64 // committed batches (LoadPTdf, bulk load, LoadRecord)
+	BatchRollbacks   uint64 // batches rolled back by a bad record
+	WALFlushes       uint64 // WAL group flushes on a durable engine
+	RecordsLoaded    uint64 // PTdf records applied by committed batches
+	MatchCacheHits   uint64 // pr-filter query cache hits
+	MatchCacheMisses uint64 // pr-filter query cache misses
+	FocusCacheHits   uint64 // focus links served from a materializer's cache
+	FocusCacheMisses uint64 // focus IDs decoded from the engine
+	Materializations uint64 // materializer chunks run
+	ResultsRead      uint64 // performance results materialized
+}
+
+// Telemetry snapshots the store's operation counters.
+func (s *Store) Telemetry() Telemetry {
+	return Telemetry{
+		BatchCommits:     s.tel.batchCommits.Load(),
+		BatchRollbacks:   s.tel.batchRollbacks.Load(),
+		WALFlushes:       s.tel.walFlushes.Load(),
+		RecordsLoaded:    s.tel.recordsLoaded.Load(),
+		MatchCacheHits:   s.cache.hits.Load(),
+		MatchCacheMisses: s.cache.misses.Load(),
+		FocusCacheHits:   s.tel.focusCacheHits.Load(),
+		FocusCacheMisses: s.tel.focusCacheMisses.Load(),
+		Materializations: s.tel.materializations.Load(),
+		ResultsRead:      s.tel.resultsRead.Load(),
+	}
+}

@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency bounds in seconds, resolving both
+// sub-millisecond cached lookups and multi-second streamed loads.
+var DefBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Histogram counts observations into fixed buckets. Observe is lock-free
+// (one atomic add per bucket plus a CAS loop for the sum) and safe for
+// concurrent use; rendering and quantile estimation read a snapshot, so
+// a scrape racing observations sees per-bucket counts that are each
+// individually consistent (the standard Prometheus trade-off).
+type Histogram struct {
+	bounds  []float64       // ascending upper bounds
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending upper
+// bounds; +Inf is implicit. Nil or empty bounds use DefBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Buckets returns the upper bounds and the cumulative count at each
+// bound, plus the total (the +Inf count).
+func (h *Histogram) Buckets() (bounds []float64, cumulative []uint64, total uint64) {
+	bounds = h.bounds
+	cumulative = make([]uint64, len(h.bounds))
+	var c uint64
+	for i := range h.bounds {
+		c += h.counts[i].Load()
+		cumulative[i] = c
+	}
+	total = c + h.counts[len(h.bounds)].Load()
+	return bounds, cumulative, total
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the bucket containing the target rank — the same
+// estimate Prometheus's histogram_quantile computes. Observations in
+// the +Inf bucket clamp to the highest finite bound. An empty histogram
+// returns NaN.
+func (h *Histogram) Quantile(q float64) float64 {
+	bounds, cum, total := h.Buckets()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	for i, ub := range bounds {
+		if float64(cum[i]) >= rank {
+			lo := 0.0
+			var below uint64
+			if i > 0 {
+				lo = bounds[i-1]
+				below = cum[i-1]
+			}
+			inBucket := cum[i] - below
+			if inBucket == 0 {
+				return ub
+			}
+			return lo + (ub-lo)*(rank-float64(below))/float64(inBucket)
+		}
+	}
+	// Target rank falls in the +Inf bucket.
+	return bounds[len(bounds)-1]
+}
+
+// writeSeries renders the _bucket/_sum/_count series with the given
+// extra labels.
+func (h *Histogram) writeSeries(w *bufio.Writer, name string, labels, values []string) {
+	bounds, cum, total := h.Buckets()
+	bLabels := append(append([]string(nil), labels...), "le")
+	for i, ub := range bounds {
+		bVals := append(append([]string(nil), values...), strconv.FormatFloat(ub, 'g', -1, 64))
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(bLabels, bVals), cum[i])
+	}
+	infVals := append(append([]string(nil), values...), "+Inf")
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(bLabels, infVals), total)
+	suffix := ""
+	if len(labels) > 0 {
+		suffix = labelString(labels, values)
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatValue(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, total)
+}

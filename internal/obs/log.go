@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity. Messages below the logger's level are
+// dropped before any formatting happens.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "level(" + strconv.Itoa(int(l)) + ")"
+	}
+}
+
+// ParseLevel parses "debug", "info", "warn"/"warning", or "error".
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q", s)
+}
+
+// Logger writes structured key=value lines:
+//
+//	time=2026-08-05T12:00:00.000Z level=info msg="request done" route=/v1/query dur=1.2ms
+//
+// Keys and values come in pairs; a trailing odd argument is emitted
+// under the key "!arg". A nil *Logger drops everything, so callers
+// never need to guard log sites.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level Level
+}
+
+// NewLogger returns a logger writing lines at or above level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{w: w, level: level}
+}
+
+// Enabled reports whether level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.level
+}
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	b.Grow(96)
+	b.WriteString("time=")
+	b.WriteString(time.Now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" msg=")
+	appendValue(&b, msg)
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		appendKey(&b, kv[i])
+		b.WriteByte('=')
+		appendValue(&b, kv[i+1])
+	}
+	if len(kv)%2 == 1 {
+		b.WriteString(" !arg=")
+		appendValue(&b, kv[len(kv)-1])
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+func appendKey(b *strings.Builder, k any) {
+	if s, ok := k.(string); ok {
+		b.WriteString(s)
+		return
+	}
+	fmt.Fprint(b, k)
+}
+
+// appendValue renders v, quoting strings that contain spaces, quotes,
+// or '=' so the line stays machine-parsable.
+func appendValue(b *strings.Builder, v any) {
+	var s string
+	switch t := v.(type) {
+	case string:
+		s = t
+	case time.Duration:
+		s = t.String()
+	case error:
+		s = t.Error()
+	case fmt.Stringer:
+		s = t.String()
+	default:
+		fmt.Fprint(b, v)
+		return
+	}
+	if s == "" || strings.ContainsAny(s, " \"=\n\t") {
+		b.WriteString(strconv.Quote(s))
+		return
+	}
+	b.WriteString(s)
+}

@@ -1,0 +1,63 @@
+package obs
+
+import "sync/atomic"
+
+// Ring is a bounded lock-free ring buffer with overwrite semantics:
+// writers never block and never fail; once full, each Put evicts the
+// oldest element. Snapshot returns newest-first. A slot being written
+// concurrently with a Snapshot is either seen with its previous value
+// or its new one — never torn — because slots hold atomic pointers.
+type Ring[T any] struct {
+	slots []atomic.Pointer[T]
+	next  atomic.Uint64 // total Puts; next slot is next % len(slots)
+}
+
+// NewRing returns a ring holding up to n elements (n < 1 is treated
+// as 1).
+func NewRing[T any](n int) *Ring[T] {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring[T]{slots: make([]atomic.Pointer[T], n)}
+}
+
+// Put appends v, evicting the oldest element when full.
+func (r *Ring[T]) Put(v *T) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(v)
+}
+
+// Len returns the number of elements currently held.
+func (r *Ring[T]) Len() int {
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring[T]) Cap() int { return len(r.slots) }
+
+// Snapshot returns up to max elements, newest first (max <= 0 means
+// all). Under concurrent Puts the result is a best-effort view: each
+// returned element was in the ring at some point during the call.
+func (r *Ring[T]) Snapshot(max int) []*T {
+	n := int(r.next.Load())
+	if n > len(r.slots) {
+		n = len(r.slots)
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]*T, 0, n)
+	head := r.next.Load()
+	for i := 0; i < n; i++ {
+		// head-1 is the newest slot, walk backwards.
+		idx := (head - 1 - uint64(i)) % uint64(len(r.slots))
+		if v := r.slots[idx].Load(); v != nil {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCache amortizes runtime.ReadMemStats across the gauges that
+// read from it: ReadMemStats stops the world briefly, so a single
+// scrape touching four heap gauges should pay for it once, not four
+// times.
+type memStatsCache struct {
+	mu      sync.Mutex
+	stats   runtime.MemStats
+	fetched time.Time
+}
+
+func (c *memStatsCache) get() *runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if time.Since(c.fetched) > time.Second {
+		runtime.ReadMemStats(&c.stats)
+		c.fetched = time.Now()
+	}
+	return &c.stats
+}
+
+// RegisterRuntimeMetrics registers Go runtime gauges (goroutines, heap
+// bytes, GC pause totals, GC cycles) on the registry.
+func RegisterRuntimeMetrics(r *Registry) {
+	cache := &memStatsCache{}
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", func() float64 {
+		return float64(cache.get().HeapAlloc)
+	})
+	r.GaugeFunc("go_heap_objects", "Number of allocated heap objects.", func() float64 {
+		return float64(cache.get().HeapObjects)
+	})
+	r.GaugeFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time in seconds.", func() float64 {
+		return float64(cache.get().PauseTotalNs) / 1e9
+	})
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.", func() uint64 {
+		return uint64(cache.get().NumGC)
+	})
+}

@@ -7,6 +7,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -51,11 +52,17 @@ var FixedColumns = []string{"execution", "metric", "value", "units", "tool"}
 // table (the GUI's "get data" step). The filter is evaluated once; rows
 // are materialized from the matching IDs.
 func Retrieve(s *datastore.Store, prf core.PRFilter) (*Table, error) {
-	ids, err := s.MatchingResultIDs(prf)
+	return RetrieveCtx(context.Background(), s, prf)
+}
+
+// RetrieveCtx is Retrieve under a context, so a trace riding ctx records
+// the filter-evaluation and materialization spans.
+func RetrieveCtx(ctx context.Context, s *datastore.Store, prf core.PRFilter) (*Table, error) {
+	ids, err := s.MatchingResultIDsCtx(ctx, prf)
 	if err != nil {
 		return nil, err
 	}
-	results, err := s.MaterializeResults(ids)
+	results, err := s.MaterializeResultsCtx(ctx, ids)
 	if err != nil {
 		return nil, err
 	}

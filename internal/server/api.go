@@ -199,3 +199,42 @@ type ErrorResponse struct {
 	Error      string `json:"error"`
 	RequestID  string `json:"request_id,omitempty"`
 }
+
+// TraceSummary is one completed request trace in list form
+// (GET /v1/debug/traces). ID is the request ID the trace was keyed by.
+type TraceSummary struct {
+	ID         string  `json:"id"`
+	Route      string  `json:"route"`
+	Start      string  `json:"start"` // RFC 3339 with sub-second precision
+	DurationMS float64 `json:"duration_ms"`
+	Slow       bool    `json:"slow,omitempty"`
+	Spans      int     `json:"spans"`
+}
+
+// TracesResponse lists recent (or, with ?slow=1, slow) traces, newest
+// first.
+type TracesResponse struct {
+	APIVersion string         `json:"api_version"`
+	Slow       bool           `json:"slow,omitempty"`
+	Traces     []TraceSummary `json:"traces"`
+}
+
+// SpanWire is one span of a trace's span tree. Parent is the index of
+// the parent span within the same trace, -1 for the root. OffsetMS is
+// the span's start relative to the trace start.
+type SpanWire struct {
+	Index       int               `json:"index"`
+	Parent      int               `json:"parent"`
+	Name        string            `json:"name"`
+	OffsetMS    float64           `json:"offset_ms"`
+	DurationMS  float64           `json:"duration_ms"`
+	Annotations map[string]string `json:"annotations,omitempty"`
+}
+
+// TraceResponse is one full trace (GET /v1/debug/traces/{id}): the
+// summary plus every span recorded under the request, in start order.
+type TraceResponse struct {
+	APIVersion string       `json:"api_version"`
+	Trace      TraceSummary `json:"trace"`
+	Spans      []SpanWire   `json:"spans"`
+}

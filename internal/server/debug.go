@@ -1,0 +1,156 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"perftrack/internal/core"
+	"perftrack/internal/obs"
+	"perftrack/internal/ptdf"
+)
+
+// debugTraceLimit is the default (and maximum) number of traces listed
+// by GET /v1/debug/traces.
+const debugTraceLimit = 100
+
+func wireTraceSummary(d obs.TraceData) TraceSummary {
+	return TraceSummary{
+		ID:         d.ID,
+		Route:      d.Name,
+		Start:      d.Start.UTC().Format(time.RFC3339Nano),
+		DurationMS: float64(d.Duration) / float64(time.Millisecond),
+		Slow:       d.Slow,
+		Spans:      len(d.Spans),
+	}
+}
+
+// handleDebugTraces lists completed traces, newest first. ?slow=1 reads
+// the slow ring instead of the recent one; ?limit=N caps the list.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := debugTraceLimit
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeErrorString(w, r, http.StatusBadRequest, fmt.Sprintf("bad limit %q", raw))
+			return
+		}
+		limit = min(n, debugTraceLimit)
+	}
+	slow := q.Get("slow") == "1" || q.Get("slow") == "true"
+	var traces []obs.TraceData
+	if slow {
+		traces = s.tracer.Slow(limit)
+	} else {
+		traces = s.tracer.Recent(limit)
+	}
+	resp := TracesResponse{APIVersion: APIVersion, Slow: slow, Traces: make([]TraceSummary, 0, len(traces))}
+	for _, d := range traces {
+		resp.Traces = append(resp.Traces, wireTraceSummary(d))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDebugTrace returns the full span tree of one trace by request
+// ID. A trace is findable as long as it survives in the recent or slow
+// ring; an evicted or unknown ID is a 404.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	d, ok := s.tracer.Find(id)
+	if !ok {
+		writeErrorString(w, r, http.StatusNotFound,
+			fmt.Sprintf("no trace for request ID %q (evicted or never traced)", id))
+		return
+	}
+	resp := TraceResponse{APIVersion: APIVersion, Trace: wireTraceSummary(d)}
+	for _, sp := range d.Spans {
+		sw := SpanWire{
+			Index:      sp.ID,
+			Parent:     sp.Parent,
+			Name:       sp.Name,
+			OffsetMS:   float64(sp.Start.Sub(d.Start)) / float64(time.Millisecond),
+			DurationMS: float64(sp.Duration) / float64(time.Millisecond),
+		}
+		if len(sp.Annotations) > 0 {
+			sw.Annotations = make(map[string]string, len(sp.Annotations))
+			for _, a := range sp.Annotations {
+				sw.Annotations[a.Key] = a.Value
+			}
+		}
+		resp.Spans = append(resp.Spans, sw)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSelfPTdf serializes the server's own telemetry as a loadable
+// PTdf document: PerfTrack eating its own dog food. The server becomes
+// an application, this process an execution, the host a grid/machine
+// resource, and every per-route latency quantile and store counter a
+// PerfResult — so ptserved's performance can be loaded into a PerfTrack
+// store (even its own) and diagnosed with the same pr-filter/compare
+// workflow as any parallel application.
+func (s *Server) handleSelfPTdf(w http.ResponseWriter, r *http.Request) {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "localhost"
+	}
+	exec := "ptserved-" + host
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	pw := ptdf.NewWriter(w)
+	pw.Comment("ptserved self-profile, generated " + time.Now().UTC().Format(time.RFC3339))
+	pw.Write(ptdf.ApplicationRec{Name: "ptserved"})
+	pw.Write(ptdf.ResourceTypeRec{Type: "grid"})
+	pw.Write(ptdf.ResourceTypeRec{Type: "grid/machine"})
+	pw.Write(ptdf.ExecutionRec{Name: exec, App: "ptserved"})
+	machine := core.ResourceName("/ptserved/" + host)
+	pw.Write(ptdf.ResourceRec{Name: "/ptserved", Type: "grid"})
+	pw.Write(ptdf.ResourceRec{Name: machine, Type: "grid/machine"})
+
+	ctxSet := []ptdf.ResourceSet{{Names: []core.ResourceName{machine}, Type: core.FocusPrimary}}
+	result := func(metric string, value float64, units string) {
+		pw.Write(ptdf.PerfResultRec{
+			Exec: exec, Sets: ctxSet, Tool: "ptserved", Metric: metric, Value: value, Units: units,
+		})
+	}
+
+	s.metrics.latency.Each(func(values []string, h *obs.Histogram) {
+		route := values[0]
+		if h.Count() == 0 {
+			return
+		}
+		result(route+" requests", float64(h.Count()), "requests")
+		result(route+" latency sum", h.Sum(), "seconds")
+		for _, q := range []struct {
+			name string
+			q    float64
+		}{{"p50", 0.5}, {"p90", 0.9}, {"p99", 0.99}} {
+			result(route+" latency "+q.name, h.Quantile(q.q), "seconds")
+		}
+	})
+
+	tel := s.store.Telemetry()
+	result("batch commits", float64(tel.BatchCommits), "batches")
+	result("batch rollbacks", float64(tel.BatchRollbacks), "batches")
+	result("wal flushes", float64(tel.WALFlushes), "flushes")
+	result("records loaded", float64(tel.RecordsLoaded), "records")
+	result("match cache hits", float64(tel.MatchCacheHits), "hits")
+	result("match cache misses", float64(tel.MatchCacheMisses), "misses")
+	result("focus cache hits", float64(tel.FocusCacheHits), "hits")
+	result("focus cache misses", float64(tel.FocusCacheMisses), "misses")
+	result("materializations", float64(tel.Materializations), "chunks")
+	result("results read", float64(tel.ResultsRead), "results")
+
+	started, completed, slowN, spans := s.tracer.Stats()
+	result("traces started", float64(started), "traces")
+	result("traces completed", float64(completed), "traces")
+	result("traces slow", float64(slowN), "traces")
+	result("spans recorded", float64(spans), "spans")
+
+	if err := pw.Flush(); err != nil {
+		s.log.Warn("selfptdf write", "err", err, "rid", RequestIDFromContext(r.Context()))
+	}
+}

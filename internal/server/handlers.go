@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -84,14 +85,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	es := s.store.QueryEngineStats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, []gauge{
-		{"ptserved_store_generation", float64(es.Generation)},
-		{"ptserved_query_cache_hits", float64(es.CacheHits)},
-		{"ptserved_query_cache_misses", float64(es.CacheMisses)},
-		{"ptserved_query_cache_entries", float64(es.CacheEntries)},
-	})
+	s.metrics.reg.WritePrometheus(w)
 }
 
 // handleLoad ingests PTdf. A plain body is one document, applied
@@ -112,7 +107,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		s.handleBulkLoad(w, r, params["boundary"])
 		return
 	}
-	stats, err := s.store.LoadPTdf(r.Body)
+	stats, err := s.store.LoadPTdfCtx(r.Context(), r.Body)
 	if err != nil {
 		// Within an uploaded document, dangling references are the
 		// document's fault, not a missing URI: report 400, not 404.
@@ -123,8 +118,8 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeErrorString(w, r, code, err.Error())
 		return
 	}
-	s.logf("load: %d records (%d results, %d resources) rid=%s",
-		stats.Records, stats.Results, stats.Resources, RequestIDFromContext(r.Context()))
+	s.log.Info("load", "records", stats.Records, "results", stats.Results,
+		"resources", stats.Resources, "rid", RequestIDFromContext(r.Context()))
 	writeJSON(w, http.StatusOK, LoadResponse{APIVersion: APIVersion, Stats: stats, Generation: s.store.Generation()})
 }
 
@@ -183,7 +178,7 @@ func (s *Server) handleBulkLoad(w http.ResponseWriter, r *http.Request, boundary
 
 	var total datastore.LoadStats
 	docs, failed := 0, 0
-	srcErr := s.store.BulkLoadStream(next, workers, func(dr datastore.DocResult) {
+	srcErr := s.store.BulkLoadStreamCtx(r.Context(), next, workers, func(dr datastore.DocResult) {
 		docs++
 		line := LoadDocStatus{APIVersion: APIVersion, Doc: dr.Name}
 		if dr.Err != nil {
@@ -211,14 +206,14 @@ func (s *Server) handleBulkLoad(w http.ResponseWriter, r *http.Request, boundary
 		summary.Error = srcErr.Error()
 	}
 	enc.Encode(summary)
-	s.logf("bulk load: %d docs (%d failed) %d records j=%d rid=%s",
-		docs, failed, total.Records, workers, RequestIDFromContext(r.Context()))
+	s.log.Info("bulk load", "docs", docs, "failed", failed,
+		"records", total.Records, "j", workers, "rid", RequestIDFromContext(r.Context()))
 }
 
 // buildPRFilter parses each family spec, applies it against the store,
 // and reports the per-family live counts alongside the assembled
 // pr-filter.
-func (s *Server) buildPRFilter(specs []string) (core.PRFilter, []FamilyCount, error) {
+func (s *Server) buildPRFilter(ctx context.Context, specs []string) (core.PRFilter, []FamilyCount, error) {
 	prf := core.PRFilter{}
 	counts := make([]FamilyCount, 0, len(specs))
 	for _, spec := range specs {
@@ -226,11 +221,11 @@ func (s *Server) buildPRFilter(specs []string) (core.PRFilter, []FamilyCount, er
 		if err != nil {
 			return prf, nil, fmt.Errorf("%w: %w", err, datastore.ErrBadSpec)
 		}
-		fam, err := s.store.ApplyFilter(rf)
+		fam, err := s.store.ApplyFilterCtx(ctx, rf)
 		if err != nil {
 			return prf, nil, fmt.Errorf("family %q: %w", spec, err)
 		}
-		n, err := s.store.CountFamilyMatches(fam)
+		n, err := s.store.CountFamilyMatchesCtx(ctx, fam)
 		if err != nil {
 			return prf, nil, fmt.Errorf("family %q: %w", spec, err)
 		}
@@ -246,12 +241,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	prf, counts, err := s.buildPRFilter(req.Families)
+	prf, counts, err := s.buildPRFilter(r.Context(), req.Families)
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	total, err := s.store.CountMatches(prf)
+	total, err := s.store.CountMatchesCtx(r.Context(), prf)
 	if err != nil {
 		writeError(w, r, http.StatusInternalServerError, err)
 		return
@@ -281,12 +276,12 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		s.handleResultsStream(w, r, req)
 		return
 	}
-	prf, _, err := s.buildPRFilter(req.Families)
+	prf, _, err := s.buildPRFilter(r.Context(), req.Families)
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	tbl, err := query.Retrieve(s.store, prf)
+	tbl, err := query.RetrieveCtx(r.Context(), s.store, prf)
 	if err != nil {
 		writeError(w, r, http.StatusInternalServerError, err)
 		return
@@ -351,12 +346,12 @@ func (s *Server) handleResultsStream(w http.ResponseWriter, r *http.Request, req
 			"stream=1 supports families, metric, and limit only (sorting and added columns need the full result set)")
 		return
 	}
-	prf, _, err := s.buildPRFilter(req.Families)
+	prf, _, err := s.buildPRFilter(r.Context(), req.Families)
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	ids, err := s.store.MatchingResultIDs(prf)
+	ids, err := s.store.MatchingResultIDsCtx(r.Context(), prf)
 	if err != nil {
 		writeError(w, r, statusOf(err, http.StatusInternalServerError), err)
 		return
@@ -379,7 +374,7 @@ func (s *Server) handleResultsStream(w http.ResponseWriter, r *http.Request, req
 	}
 	flush()
 	emitted := 0
-	err = s.store.MaterializeStream(ids, datastore.MaterializeOptions{ChunkSize: resultStreamChunk},
+	err = s.store.MaterializeStreamCtx(r.Context(), ids, datastore.MaterializeOptions{ChunkSize: resultStreamChunk},
 		func(batch []*core.PerformanceResult) error {
 			for _, pr := range batch {
 				if req.Metric != "" && pr.Metric != req.Metric {
@@ -409,14 +404,14 @@ func (s *Server) handleResultsStream(w http.ResponseWriter, r *http.Request, req
 	if err != nil && !errors.Is(err, errStreamLimit) {
 		// Headers are gone; all we can do is report in-band and stop
 		// before the Done line so the client sees a truncated stream.
-		s.logf("results stream: %v rid=%s", err, RequestIDFromContext(r.Context()))
+		s.log.Warn("results stream aborted", "err", err, "rid", RequestIDFromContext(r.Context()))
 		enc.Encode(ResultStreamLine{APIVersion: APIVersion, Error: err.Error()})
 		flush()
 		return
 	}
 	enc.Encode(ResultStreamLine{APIVersion: APIVersion, Done: true, Rows: emitted})
 	flush()
-	s.logf("results stream: %d/%d rows rid=%s", emitted, total, RequestIDFromContext(r.Context()))
+	s.log.Debug("results stream", "rows", emitted, "total", total, "rid", RequestIDFromContext(r.Context()))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

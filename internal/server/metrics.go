@@ -1,108 +1,104 @@
 package server
 
 import (
-	"fmt"
-	"io"
-	"sort"
-	"sync"
-	"sync/atomic"
+	"strconv"
 	"time"
+
+	"perftrack/internal/datastore"
+	"perftrack/internal/obs"
 )
 
-// latencyBuckets are the histogram upper bounds in seconds, chosen to
-// resolve both cached count lookups (sub-millisecond) and large streamed
-// loads (seconds).
-var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
-
-// routeStats accumulates one route's request counts and latencies.
-type routeStats struct {
-	codes   map[int]uint64
-	buckets []uint64 // cumulative counts per latencyBuckets entry
-	count   uint64
-	sum     float64 // total seconds
-}
-
-// serverMetrics is the process-local instrumentation behind GET /metrics:
-// per-route request counters by status code, per-route latency
-// histograms, an in-flight gauge, and a shed-request counter. The query
-// engine's generation and cache counters are appended at scrape time.
+// serverMetrics is the process-local instrumentation behind GET /metrics,
+// built on the obs registry: per-route request counters by status code,
+// per-route latency histograms, an in-flight gauge, and a shed-request
+// counter. Store counters (batch commits, WAL flushes, cache hit/miss),
+// tracer counters, and Go runtime gauges are registered as scrape-time
+// callbacks, so /metrics always reflects the live values without the
+// store knowing about the registry.
 type serverMetrics struct {
-	inFlight atomic.Int64
-	shed     atomic.Uint64
-
-	mu     sync.Mutex
-	routes map[string]*routeStats
+	reg      *obs.Registry
+	requests *obs.CounterVec
+	latency  *obs.HistogramVec
+	inFlight *obs.Gauge
+	shed     *obs.Counter
 }
 
 func newServerMetrics() *serverMetrics {
-	return &serverMetrics{routes: make(map[string]*routeStats)}
+	reg := obs.NewRegistry()
+	m := &serverMetrics{
+		reg: reg,
+		requests: reg.CounterVec("ptserved_requests_total",
+			"Requests served, by route and status code.", "route", "code"),
+		latency: reg.HistogramVec("ptserved_request_duration_seconds",
+			"Request latency in seconds, by route.", obs.DefBuckets, "route"),
+		inFlight: reg.Gauge("ptserved_in_flight_requests",
+			"API requests currently being served."),
+		shed: reg.Counter("ptserved_requests_shed_total",
+			"Requests shed with 429 at the in-flight ceiling."),
+	}
+	obs.RegisterRuntimeMetrics(reg)
+	return m
 }
 
 // observe records one finished request.
 func (m *serverMetrics) observe(route string, code int, d time.Duration) {
-	secs := d.Seconds()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	rs, ok := m.routes[route]
-	if !ok {
-		rs = &routeStats{codes: make(map[int]uint64), buckets: make([]uint64, len(latencyBuckets))}
-		m.routes[route] = rs
-	}
-	rs.codes[code]++
-	rs.count++
-	rs.sum += secs
-	for i, ub := range latencyBuckets {
-		if secs <= ub {
-			rs.buckets[i]++
-		}
-	}
+	m.requests.With(route, strconv.Itoa(code)).Inc()
+	m.latency.With(route).Observe(d.Seconds())
 }
 
-// gauge is one extra name/value pair appended to the exposition.
-type gauge struct {
-	name  string
-	value float64
+// registerStore bridges the store's query-engine and telemetry counters
+// into the registry. The ptserved_query_cache_* and
+// ptserved_store_generation names predate the registry and are kept
+// verbatim (gauges, no _total suffix) for scrape compatibility.
+func (m *serverMetrics) registerStore(store *datastore.Store) {
+	m.reg.GaugeFunc("ptserved_store_generation",
+		"Store generation; advances on every mutation.",
+		func() float64 { return float64(store.Generation()) })
+	m.reg.GaugeFunc("ptserved_query_cache_hits",
+		"pr-filter match-cache hits.",
+		func() float64 { return float64(store.QueryEngineStats().CacheHits) })
+	m.reg.GaugeFunc("ptserved_query_cache_misses",
+		"pr-filter match-cache misses.",
+		func() float64 { return float64(store.QueryEngineStats().CacheMisses) })
+	m.reg.GaugeFunc("ptserved_query_cache_entries",
+		"pr-filter match-cache resident entries.",
+		func() float64 { return float64(store.QueryEngineStats().CacheEntries) })
+
+	m.reg.CounterFunc("ptserved_store_batch_commits_total",
+		"Committed write batches.",
+		func() uint64 { return store.Telemetry().BatchCommits })
+	m.reg.CounterFunc("ptserved_store_batch_rollbacks_total",
+		"Write batches rolled back by a bad record.",
+		func() uint64 { return store.Telemetry().BatchRollbacks })
+	m.reg.CounterFunc("ptserved_store_wal_flushes_total",
+		"WAL group flushes.",
+		func() uint64 { return store.Telemetry().WALFlushes })
+	m.reg.CounterFunc("ptserved_store_records_loaded_total",
+		"PTdf records applied by committed batches.",
+		func() uint64 { return store.Telemetry().RecordsLoaded })
+	m.reg.CounterFunc("ptserved_store_focus_cache_hits_total",
+		"Materializer focus links served from the per-query cache.",
+		func() uint64 { return store.Telemetry().FocusCacheHits })
+	m.reg.CounterFunc("ptserved_store_focus_cache_misses_total",
+		"Materializer foci decoded from the engine.",
+		func() uint64 { return store.Telemetry().FocusCacheMisses })
+	m.reg.CounterFunc("ptserved_store_materializations_total",
+		"Materializer chunks run.",
+		func() uint64 { return store.Telemetry().Materializations })
+	m.reg.CounterFunc("ptserved_store_results_read_total",
+		"Performance results materialized.",
+		func() uint64 { return store.Telemetry().ResultsRead })
 }
 
-// write renders the Prometheus text exposition format.
-func (m *serverMetrics) write(w io.Writer, extra []gauge) {
-	m.mu.Lock()
-	routes := make([]string, 0, len(m.routes))
-	for r := range m.routes {
-		routes = append(routes, r)
-	}
-	sort.Strings(routes)
-
-	fmt.Fprintf(w, "# TYPE ptserved_requests_total counter\n")
-	for _, route := range routes {
-		rs := m.routes[route]
-		codes := make([]int, 0, len(rs.codes))
-		for c := range rs.codes {
-			codes = append(codes, c)
-		}
-		sort.Ints(codes)
-		for _, c := range codes {
-			fmt.Fprintf(w, "ptserved_requests_total{route=%q,code=\"%d\"} %d\n", route, c, rs.codes[c])
-		}
-	}
-	fmt.Fprintf(w, "# TYPE ptserved_request_duration_seconds histogram\n")
-	for _, route := range routes {
-		rs := m.routes[route]
-		for i, ub := range latencyBuckets {
-			fmt.Fprintf(w, "ptserved_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n", route, ub, rs.buckets[i])
-		}
-		fmt.Fprintf(w, "ptserved_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, rs.count)
-		fmt.Fprintf(w, "ptserved_request_duration_seconds_sum{route=%q} %g\n", route, rs.sum)
-		fmt.Fprintf(w, "ptserved_request_duration_seconds_count{route=%q} %d\n", route, rs.count)
-	}
-	m.mu.Unlock()
-
-	fmt.Fprintf(w, "# TYPE ptserved_in_flight_requests gauge\n")
-	fmt.Fprintf(w, "ptserved_in_flight_requests %d\n", m.inFlight.Load())
-	fmt.Fprintf(w, "# TYPE ptserved_requests_shed_total counter\n")
-	fmt.Fprintf(w, "ptserved_requests_shed_total %d\n", m.shed.Load())
-	for _, g := range extra {
-		fmt.Fprintf(w, "# TYPE %s gauge\n", g.name)
-		fmt.Fprintf(w, "%s %g\n", g.name, g.value)
-	}
+// registerTracer exposes the tracer's lifetime counters.
+func (m *serverMetrics) registerTracer(tr *obs.Tracer) {
+	m.reg.CounterFunc("ptserved_traces_total",
+		"Traces completed.",
+		func() uint64 { _, c, _, _ := tr.Stats(); return c })
+	m.reg.CounterFunc("ptserved_traces_slow_total",
+		"Traces over the slow-request threshold.",
+		func() uint64 { _, _, s, _ := tr.Stats(); return s })
+	m.reg.CounterFunc("ptserved_spans_total",
+		"Spans recorded across all traces.",
+		func() uint64 { _, _, _, sp := tr.Stats(); return sp })
 }

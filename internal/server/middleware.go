@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
 )
 
@@ -83,9 +84,35 @@ func (s *Server) logRequests(route string, next http.Handler) http.Handler {
 		if sr.code == 0 {
 			sr.code = http.StatusOK
 		}
-		s.logf("method=%s route=%q path=%s status=%d bytes=%d dur=%s rid=%s remote=%s",
-			r.Method, route, r.URL.Path, sr.code, sr.bytes,
-			time.Since(start).Round(time.Microsecond), RequestIDFromContext(r.Context()), r.RemoteAddr)
+		s.log.Info("request",
+			"method", r.Method, "route", route, "path", r.URL.Path,
+			"status", sr.code, "bytes", sr.bytes,
+			"dur", time.Since(start).Round(time.Microsecond),
+			"rid", RequestIDFromContext(r.Context()), "remote", r.RemoteAddr)
+	})
+}
+
+// trace opens the request's root span, keyed by the request ID so
+// /v1/debug/traces/{id} can find it later, and threads the trace down
+// through the handler's context into the datastore. The root span is
+// annotated with the method, path, and final status code; the trace is
+// published to the debug rings when the root span ends.
+func (s *Server) trace(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, span := s.tracer.StartTrace(r.Context(), RequestIDFromContext(r.Context()), route)
+		span.Annotate("method", r.Method)
+		if r.URL.Path != route {
+			span.Annotate("path", r.URL.Path)
+		}
+		sr := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if sr.code == 0 {
+				sr.code = http.StatusOK
+			}
+			span.Annotate("status", strconv.Itoa(sr.code))
+			span.End()
+		}()
+		next.ServeHTTP(sr, r.WithContext(ctx))
 	})
 }
 
@@ -99,7 +126,8 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 				if v == http.ErrAbortHandler {
 					panic(v)
 				}
-				s.logf("panic=%v rid=%s\n%s", v, RequestIDFromContext(r.Context()), debug.Stack())
+				s.log.Error("panic", "err", v,
+					"rid", RequestIDFromContext(r.Context()), "stack", string(debug.Stack()))
 				writeErrorString(w, r, http.StatusInternalServerError, "internal error")
 			}
 		}()
@@ -134,6 +162,7 @@ func (s *Server) limit(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 		default:
 			s.metrics.shed.Add(1)
+			s.log.Debug("shed", "route", r.URL.Path, "rid", RequestIDFromContext(r.Context()))
 			w.Header().Set("Retry-After", "1")
 			writeErrorString(w, r, http.StatusTooManyRequests, "server at capacity")
 		}

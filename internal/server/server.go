@@ -2,8 +2,9 @@
 // concurrent network front end over one PerfTrack data store. It exposes
 // PTdf ingest, pr-filter match counting, two-step result retrieval, and
 // the name-list reports, with an operational envelope of request
-// tagging, structured logs, load shedding, per-request timeouts, panic
-// recovery, Prometheus-style metrics, and graceful drain + checkpoint
+// tagging, structured leveled logs, load shedding, per-request timeouts,
+// panic recovery, Prometheus-style metrics, context-propagated request
+// tracing with debug endpoints, and graceful drain + checkpoint
 // shutdown. Only the standard library is used.
 package server
 
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"perftrack/internal/datastore"
+	"perftrack/internal/obs"
 )
 
 // Checkpointer is the subset of reldb.FileEngine the server needs at
@@ -41,9 +43,24 @@ type Config struct {
 	// default of 30s. /healthz and /metrics are exempt.
 	RequestTimeout time.Duration
 
-	// Logger receives one line per request plus lifecycle events; nil
-	// disables logging.
+	// Log receives structured key=value lines (one per request plus
+	// lifecycle events). Nil falls back to wrapping Logger's writer at
+	// info level, or no logging when both are nil.
+	Log *obs.Logger
+
+	// Logger is the legacy plain logger; retained so existing callers
+	// keep their output destination. When Log is set it wins.
 	Logger *log.Logger
+
+	// TraceBuffer bounds how many completed (and, separately, slow)
+	// traces are retained for /v1/debug/traces. 0 means the default of
+	// 256.
+	TraceBuffer int
+
+	// SlowRequestThreshold marks traces at or over this duration as slow
+	// (kept in a separate ring and logged at warn level). 0 means the
+	// default of 1s; negative disables slow-request detection.
+	SlowRequestThreshold time.Duration
 }
 
 // Server is the ptserved HTTP service.
@@ -51,6 +68,8 @@ type Server struct {
 	cfg     Config
 	store   *datastore.Store
 	metrics *serverMetrics
+	tracer  *obs.Tracer
+	log     *obs.Logger
 	sem     chan struct{}
 	httpSrv *http.Server
 }
@@ -70,12 +89,30 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RequestTimeout == 0 {
 		cfg.RequestTimeout = 30 * time.Second
 	}
+	if cfg.TraceBuffer == 0 {
+		cfg.TraceBuffer = 256
+	}
+	if cfg.SlowRequestThreshold == 0 {
+		cfg.SlowRequestThreshold = time.Second
+	}
+	logger := cfg.Log
+	if logger == nil && cfg.Logger != nil {
+		logger = obs.NewLogger(cfg.Logger.Writer(), obs.LevelInfo)
+	}
 	s := &Server{
 		cfg:     cfg,
 		store:   cfg.Store,
 		metrics: newServerMetrics(),
+		log:     logger,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 	}
+	s.tracer = obs.NewTracer(cfg.TraceBuffer, cfg.SlowRequestThreshold, func(tr *obs.Trace) {
+		d := tr.Data()
+		s.log.Warn("slow request", "rid", tr.ID(), "route", tr.Name(),
+			"dur", d.Duration, "spans", len(d.Spans))
+	})
+	s.metrics.registerStore(cfg.Store)
+	s.metrics.registerTracer(s.tracer)
 	s.httpSrv = &http.Server{
 		Handler:     s.Handler(),
 		ReadTimeout: 0, // streamed loads may upload for a long time
@@ -85,21 +122,17 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logger != nil {
-		s.cfg.Logger.Printf(format, args...)
-	}
-}
-
 // route wires one endpoint with the full middleware stack. Outermost to
-// innermost: request-ID tagging, structured logging, panic recovery,
-// metrics instrumentation, load shedding, per-request timeout. The
-// limiter sits inside instrumentation so shed requests still appear in
-// the 429 counters. `timed` is separate from `limited` because
+// innermost: request-ID tagging, structured logging, tracing, panic
+// recovery, metrics instrumentation, load shedding, per-request timeout.
+// The limiter sits inside instrumentation so shed requests still appear
+// in the 429 counters. `timed` is separate from `limited` because
 // http.TimeoutHandler buffers the whole response (and hides
 // http.Flusher), which would break streaming endpoints: /v1/load counts
-// against the in-flight ceiling but streams NDJSON unbuffered.
-func (s *Server) route(mux *http.ServeMux, pattern, routeName string, limited, timed bool, h http.Handler) {
+// against the in-flight ceiling but streams NDJSON unbuffered. `traced`
+// marks API routes whose requests record a span tree; probe and debug
+// endpoints skip tracing so scrapes don't churn the trace rings.
+func (s *Server) route(mux *http.ServeMux, pattern, routeName string, limited, timed, traced bool, h http.Handler) {
 	if timed {
 		h = http.TimeoutHandler(h, s.cfg.RequestTimeout, "request timed out")
 	}
@@ -108,6 +141,9 @@ func (s *Server) route(mux *http.ServeMux, pattern, routeName string, limited, t
 	}
 	h = s.instrument(routeName, h)
 	h = s.recoverPanics(h)
+	if traced {
+		h = s.trace(routeName, h)
+	}
 	h = s.logRequests(routeName, h)
 	h = withRequestID(h)
 	mux.Handle(pattern, h)
@@ -118,29 +154,34 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	// /healthz and /metrics bypass the limiter and timeout so probes and
 	// scrapes keep answering while the API sheds load.
-	s.route(mux, "GET /healthz", "/healthz", false, false, http.HandlerFunc(s.handleHealth))
-	s.route(mux, "GET /metrics", "/metrics", false, false, http.HandlerFunc(s.handleMetrics))
+	s.route(mux, "GET /healthz", "/healthz", false, false, false, http.HandlerFunc(s.handleHealth))
+	s.route(mux, "GET /metrics", "/metrics", false, false, false, http.HandlerFunc(s.handleMetrics))
 	// /v1/load is limited but not timed: bulk ingest streams per-document
 	// status lines, which the buffering TimeoutHandler would swallow, and
 	// a large upload may legitimately outlast the request timeout.
-	s.route(mux, "POST /v1/load", "/v1/load", true, false, http.HandlerFunc(s.handleLoad))
-	s.route(mux, "POST /v1/query", "/v1/query", true, true, http.HandlerFunc(s.handleQuery))
+	s.route(mux, "POST /v1/load", "/v1/load", true, false, true, http.HandlerFunc(s.handleLoad))
+	s.route(mux, "POST /v1/query", "/v1/query", true, true, true, http.HandlerFunc(s.handleQuery))
 	// /v1/results is limited but not timed for the same reason as
 	// /v1/load: ?stream=1 emits NDJSON through http.Flusher, which the
 	// buffering TimeoutHandler would hide, and a full-corpus retrieval
 	// may legitimately outlast the request timeout.
-	s.route(mux, "POST /v1/results", "/v1/results", true, false, http.HandlerFunc(s.handleResults))
-	s.route(mux, "GET /v1/stats", "/v1/stats", true, true, http.HandlerFunc(s.handleStats))
-	s.route(mux, "GET /v1/compare", "/v1/compare", true, true, http.HandlerFunc(s.handleCompare))
-	s.route(mux, "GET /v1/reports/{name}", "/v1/reports", true, true, http.HandlerFunc(s.handleReport))
+	s.route(mux, "POST /v1/results", "/v1/results", true, false, true, http.HandlerFunc(s.handleResults))
+	s.route(mux, "GET /v1/stats", "/v1/stats", true, true, true, http.HandlerFunc(s.handleStats))
+	s.route(mux, "GET /v1/compare", "/v1/compare", true, true, true, http.HandlerFunc(s.handleCompare))
+	s.route(mux, "GET /v1/reports/{name}", "/v1/reports", true, true, true, http.HandlerFunc(s.handleReport))
+	// Debug surface: untraced (reading traces must not write traces) and
+	// unlimited, so diagnosis works while the API sheds load.
+	s.route(mux, "GET /v1/debug/traces", "/v1/debug/traces", false, false, false, http.HandlerFunc(s.handleDebugTraces))
+	s.route(mux, "GET /v1/debug/traces/{id}", "/v1/debug/trace", false, false, false, http.HandlerFunc(s.handleDebugTrace))
+	s.route(mux, "GET /v1/debug/selfptdf", "/v1/debug/selfptdf", false, false, false, http.HandlerFunc(s.handleSelfPTdf))
 	return mux
 }
 
 // Serve accepts connections on l until Shutdown. It returns
 // http.ErrServerClosed after a clean shutdown, mirroring net/http.
 func (s *Server) Serve(l net.Listener) error {
-	s.logf("ptserved: serving on %s (read-only=%v max-in-flight=%d timeout=%s)",
-		l.Addr(), s.cfg.ReadOnly, s.cfg.MaxInFlight, s.cfg.RequestTimeout)
+	s.log.Info("serving", "addr", l.Addr().String(), "read_only", s.cfg.ReadOnly,
+		"max_in_flight", s.cfg.MaxInFlight, "timeout", s.cfg.RequestTimeout)
 	return s.httpSrv.Serve(l)
 }
 
@@ -157,7 +198,7 @@ func (s *Server) ListenAndServe(addr string) error {
 // the store so the on-disk snapshot reflects everything ingested over
 // the network and the write-ahead log is truncated.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.logf("ptserved: shutting down, draining in-flight requests")
+	s.log.Info("shutting down, draining in-flight requests")
 	if err := s.httpSrv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("server: drain: %w", err)
 	}
@@ -165,7 +206,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if err := s.cfg.Checkpointer.Checkpoint(); err != nil {
 			return fmt.Errorf("server: checkpoint: %w", err)
 		}
-		s.logf("ptserved: checkpoint complete")
+		s.log.Info("checkpoint complete")
 	}
 	return nil
 }

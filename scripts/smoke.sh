@@ -55,6 +55,23 @@ if command -v curl >/dev/null; then
     grep -q '"status": "ok"' health.json
     curl -fsS "$base/metrics" > metrics.txt
     grep -q ptserved_requests_total metrics.txt
+    # Latency histograms and datastore counters ride the same exposition.
+    grep -q 'ptserved_request_duration_seconds_bucket{route="/v1/query",le="+Inf"}' metrics.txt
+    grep -q ptserved_store_batch_commits_total metrics.txt
+
+    echo "== trace a request by ID and fetch its span tree"
+    curl -fsS -H 'X-Request-Id: smoke-trace-1' \
+        -d '{"families":["type=application"]}' "$base/v1/query" >/dev/null
+    curl -fsS "$base/v1/debug/traces/smoke-trace-1" > trace.json
+    grep -q '"datastore.prfilter"' trace.json
+    curl -fsS "$base/v1/debug/traces" | grep -q '"smoke-trace-1"'
+
+    echo "== self-profile round-trips as PTdf"
+    curl -fsS "$base/v1/debug/selfptdf" > self.ptdf
+    grep -q '^Application ptserved$' self.ptdf
+    bin/ptinit -db selfstore
+    bin/ptload -db selfstore self.ptdf >/dev/null
+    bin/ptquery -db selfstore -report applications | grep -q '^ptserved$'
 fi
 
 echo "== graceful shutdown checkpoints the store"
