@@ -11,12 +11,19 @@
 //	ptbench -schema             print the live Figure 1 schema
 //	ptbench -basetypes          print the Figure 2 base types
 //	ptbench -fig10 -fig11       print the Paradyn hierarchy and mapping
+//	ptbench -benchjson [-bench-rows N] [-bench-out DIR]
+//	                            measure materialize and bulk-load per
+//	                            storage engine, writing
+//	                            BENCH_materialize.json and
+//	                            BENCH_bulkload.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"perftrack/internal/datastore"
 	"perftrack/internal/experiments"
@@ -35,6 +42,10 @@ func main() {
 	baseTypes := flag.Bool("basetypes", false, "print the base resource types (Figure 2)")
 	fig10 := flag.Bool("fig10", false, "print Paradyn's resource hierarchy (Figure 10)")
 	fig11 := flag.Bool("fig11", false, "print the Paradyn type mapping (Figure 11)")
+	benchJSON := flag.Bool("benchjson", false, "benchmark each storage engine and write BENCH_*.json artifacts")
+	benchRows := flag.Int("bench-rows", 100_000, "synthetic result rows for -benchjson")
+	benchIters := flag.Int("bench-iters", 3, "timed materialize iterations per engine for -benchjson")
+	benchOut := flag.String("bench-out", ".", "directory for the -benchjson artifacts")
 	flag.Parse()
 
 	any := false
@@ -133,10 +144,70 @@ func main() {
 		any = true
 		fmt.Println(experiments.Fig11Mapping())
 	}
+	if *benchJSON {
+		any = true
+		if err := runBenchJSON(*benchRows, *benchIters, *benchOut); err != nil {
+			fatal(err)
+		}
+	}
 	if !any {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runBenchJSON measures MaterializeResults and bulk load on every
+// storage engine over the synthetic corpus and writes one JSON artifact
+// per operation (BENCH_materialize.json, BENCH_bulkload.json).
+func runBenchJSON(rows, iters int, outDir string) error {
+	engines := []string{reldb.KindMem, reldb.KindWAL, reldb.KindSegment}
+	work, err := os.MkdirTemp("", "perftrack-bench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+	var mat, bulk []experiments.BenchResult
+	for _, kind := range engines {
+		fmt.Fprintf(os.Stderr, "ptbench: materialize on %s (%d rows)...\n", kind, rows)
+		m, err := experiments.MaterializeBenchmark(kind, filepath.Join(work, "mat-"+kind), rows, iters)
+		if err != nil {
+			return fmt.Errorf("materialize on %s: %w", kind, err)
+		}
+		mat = append(mat, m)
+		fmt.Fprintf(os.Stderr, "ptbench: bulk load on %s (%d rows)...\n", kind, rows)
+		l, err := experiments.BulkLoadBenchmark(kind, filepath.Join(work, "bulk-"+kind), rows)
+		if err != nil {
+			return fmt.Errorf("bulk load on %s: %w", kind, err)
+		}
+		bulk = append(bulk, l)
+	}
+	if err := writeBenchArtifact(filepath.Join(outDir, "BENCH_materialize.json"), mat); err != nil {
+		return err
+	}
+	if err := writeBenchArtifact(filepath.Join(outDir, "BENCH_bulkload.json"), bulk); err != nil {
+		return err
+	}
+	for _, r := range mat {
+		fmt.Printf("materialize %-8s %8d rows  %12.0f ns/op  %8.1f MB/s\n",
+			r.Engine, r.Rows, r.NsPerOp, r.MBPerSec)
+	}
+	for _, r := range bulk {
+		fmt.Printf("bulkload    %-8s %8d rows  %12.0f ns/op  %8.1f MB/s\n",
+			r.Engine, r.Rows, r.NsPerOp, r.MBPerSec)
+	}
+	return nil
+}
+
+func writeBenchArtifact(path string, results []experiments.BenchResult) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ptbench: wrote %s\n", path)
+	return nil
 }
 
 func fatal(err error) {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ptinit -db DIR [-machines] [-maxnodes N]
+//	ptinit -db DIR [-storage wal|segment] [-machines] [-maxnodes N]
 package main
 
 import (
@@ -21,22 +21,27 @@ func main() {
 	dbDir := flag.String("db", "", "data store directory (required)")
 	machines := flag.Bool("machines", false, "preload the MCR/Frost/UV/BG/L machine catalog")
 	maxNodes := flag.Int("maxnodes", 8, "cap on nodes emitted per partition when preloading machines (0 = all)")
+	storage := flag.String("storage", "", "storage engine: wal or segment (default: wal)")
 	flag.Parse()
 	if *dbDir == "" {
 		fmt.Fprintln(os.Stderr, "ptinit: -db is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	fe, err := reldb.OpenFile(*dbDir)
+	eng, err := reldb.Open(*storage, *dbDir)
 	if err != nil {
 		fatal(err)
+	}
+	fe, ok := eng.(*reldb.FileEngine)
+	if !ok {
+		fatal(fmt.Errorf("storage engine %q is not durable; use wal or segment", eng.Kind()))
 	}
 	defer fe.Close()
 	store, err := datastore.Open(fe)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("initialized PerfTrack store in %s\n", *dbDir)
+	fmt.Printf("initialized PerfTrack store in %s (%s engine)\n", *dbDir, fe.Kind())
 	fmt.Printf("tables: %d, base types: %d\n",
 		len(fe.TableNames()), len(store.Types().All()))
 	if *machines {

@@ -8,6 +8,7 @@
 //	ptserved -db DIR [-addr :7075] [-readonly] [-max-inflight N]
 //	         [-timeout 30s] [-auto-checkpoint N] [-sync] [-pprof addr]
 //	         [-log-level info] [-slow-threshold 1s] [-trace-buffer 256]
+//	         [-storage mem|wal|segment] [-segment-flush N]
 //
 // On SIGINT/SIGTERM the server drains in-flight requests, checkpoints
 // the store (snapshot + truncated WAL), and exits.
@@ -44,6 +45,8 @@ func main() {
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, or error")
 	slowThreshold := flag.Duration("slow-threshold", time.Second, "log requests at or over this duration and keep their traces in the slow ring (negative disables)")
 	traceBuffer := flag.Int("trace-buffer", 256, "completed traces retained for /v1/debug/traces")
+	storage := flag.String("storage", "", "storage engine: mem, wal, or segment (default: auto-detect; wal for a new store)")
+	segmentFlush := flag.Int64("segment-flush", 0, "segment engine: compact a hot table once this many rows are pending (0 = engine default)")
 	flag.Parse()
 
 	if *dbDir == "" {
@@ -60,24 +63,31 @@ func main() {
 	logger := log.New(os.Stderr, "ptserved: ", log.LstdFlags|log.Lmsgprefix)
 	slog := obs.NewLogger(os.Stderr, level)
 
-	fe, err := reldb.OpenFile(*dbDir)
+	eng, err := reldb.Open(*storage, *dbDir)
 	if err != nil {
 		fatal(err)
 	}
-	defer fe.Close()
-	fe.AutoCheckpoint = *autoCheckpoint
-	fe.SetSync(*syncWAL)
-	store, err := datastore.Open(fe)
+	defer eng.Close()
+	var checkpointer server.Checkpointer
+	if fe, ok := eng.(*reldb.FileEngine); ok {
+		fe.AutoCheckpoint = *autoCheckpoint
+		fe.SetSync(*syncWAL)
+		if *segmentFlush > 0 {
+			fe.SetSegmentFlushRows(*segmentFlush)
+		}
+		checkpointer = fe
+	}
+	store, err := datastore.Open(eng)
 	if err != nil {
 		fatal(err)
 	}
 	st := store.Stats()
-	logger.Printf("opened %s: %d executions, %d results, %d resources",
-		*dbDir, st.Executions, st.Results, st.Resources)
+	logger.Printf("opened %s (%s engine): %d executions, %d results, %d resources",
+		*dbDir, eng.Kind(), st.Executions, st.Results, st.Resources)
 
 	srv, err := server.New(server.Config{
 		Store:                store,
-		Checkpointer:         fe,
+		Checkpointer:         checkpointer,
 		ReadOnly:             *readOnly,
 		MaxInFlight:          *maxInFlight,
 		RequestTimeout:       *timeout,

@@ -54,6 +54,15 @@ type MaterializeOptions struct {
 	// per emitted batch. <=0 means defaultMaterializeChunk. Ignored by
 	// MaterializeResults, which produces one batch.
 	ChunkSize int
+	// NoSegments forces the B-tree fetch path even on a segment engine,
+	// for equivalence testing and ablation benchmarks.
+	NoSegments bool
+}
+
+// segmentViewer is the optional columnar interface of the segment
+// engine: a consistent snapshot of a hot table's flushed segments.
+type segmentViewer interface {
+	SegmentView(table string) (*reldb.SegView, bool)
 }
 
 const (
@@ -152,6 +161,14 @@ type posIndex struct {
 }
 
 func newPosIndex(ids []int64) *posIndex {
+	p := &posIndex{}
+	p.reset(ids)
+	return p
+}
+
+// reset rebuilds the index over ids, reusing backing storage from any
+// previous use (pooled indexes come through here between chunks).
+func (p *posIndex) reset(ids []int64) {
 	lo, hi := ids[0], ids[0]
 	for _, id := range ids[1:] {
 		if id < lo {
@@ -161,9 +178,20 @@ func newPosIndex(ids []int64) *posIndex {
 			hi = id
 		}
 	}
-	p := &posIndex{base: lo, uniq: make([]int64, 0, len(ids))}
+	p.base = lo
+	if cap(p.uniq) < len(ids) {
+		p.uniq = make([]int64, 0, len(ids))
+	} else {
+		p.uniq = p.uniq[:0]
+	}
 	if span := hi - lo + 1; span <= int64(4*len(ids))+1024 && len(ids) < 1<<31-1 {
-		p.slots = make([]int32, span)
+		p.m = nil
+		if int64(cap(p.slots)) < span {
+			p.slots = make([]int32, span)
+		} else {
+			p.slots = p.slots[:span]
+			clear(p.slots)
+		}
 		for _, id := range ids {
 			if p.slots[id-lo] == 0 {
 				p.uniq = append(p.uniq, id)
@@ -171,7 +199,12 @@ func newPosIndex(ids []int64) *posIndex {
 			}
 		}
 	} else {
-		p.m = make(map[int64]int, len(ids))
+		p.slots = nil
+		if p.m == nil {
+			p.m = make(map[int64]int, len(ids))
+		} else {
+			clear(p.m)
+		}
 		for _, id := range ids {
 			if _, ok := p.m[id]; !ok {
 				p.m[id] = len(p.uniq)
@@ -179,7 +212,6 @@ func newPosIndex(ids []int64) *posIndex {
 			}
 		}
 	}
-	return p
 }
 
 func (p *posIndex) get(id int64) (int, bool) {
@@ -195,17 +227,22 @@ func (p *posIndex) get(id int64) (int, bool) {
 }
 
 // matFocus is one decoded focus: its type and its resource names in
-// focus_has_resource PK order (ascending resource ID).
+// focus_has_resource PK order (ascending resource ID). ctx1 is the
+// focus as a ready-made single-context list: most results carry exactly
+// one focus, and sharing one slice per focus across all of them keeps
+// the assembly phase from allocating per result.
 type matFocus struct {
-	typ core.FocusType
-	res []core.ResourceName
+	typ  core.FocusType
+	res  []core.ResourceName
+	ctx1 []core.Context
 }
 
 // materializer carries the per-query state shared by every chunk of one
 // materialization: the prefetched dictionaries and the focus cache.
 type materializer struct {
-	s       *Store
-	workers int
+	s          *Store
+	workers    int
+	noSegments bool
 
 	exec, metric, tool, units *dict
 
@@ -214,9 +251,10 @@ type materializer struct {
 
 func (s *Store) newMaterializer(ctx context.Context, opt MaterializeOptions) (*materializer, error) {
 	m := &materializer{
-		s:       s,
-		workers: opt.Workers,
-		foci:    make(map[int64]*matFocus),
+		s:          s,
+		workers:    opt.Workers,
+		noSegments: opt.NoSegments,
+		foci:       make(map[int64]*matFocus),
 	}
 	if m.workers <= 0 {
 		m.workers = runtime.GOMAXPROCS(0)
@@ -237,6 +275,27 @@ func (s *Store) newMaterializer(ctx context.Context, opt MaterializeOptions) (*m
 		return nil, err
 	}
 	return m, nil
+}
+
+// matScratch is run's pooled working memory: everything sized by the
+// chunk that does not escape into the returned results. Stale contents
+// never leak — recs and counts are cleared on reuse, starts is only read
+// where counts marks it written, and the rest are fully overwritten.
+type matScratch struct {
+	pos            posIndex
+	recs           []resultRec
+	starts, counts []int
+	ctxOff         []int
+	arena          []int64
+}
+
+// ints returns buf resized to n without clearing, growing as needed.
+func (sc *matScratch) ints(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // resultRec is one performance_result row plus its focus links, staged
@@ -290,16 +349,156 @@ func shardRange(n, workers int, fn func(lo, hi int) error) error {
 	return nil
 }
 
+// segView returns the columnar view of a hot table when the engine has
+// one and the segment path is enabled; nil falls back to the B-tree.
+func (m *materializer) segView(table string) *reldb.SegView {
+	if m.noSegments {
+		return nil
+	}
+	sv, ok := m.s.eng.(segmentViewer)
+	if !ok {
+		return nil
+	}
+	v, ok := sv.SegmentView(table)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+// noteScan records one segment range scan in the store telemetry.
+func (m *materializer) noteScan(rows, pruned int, bytes int64) {
+	m.s.tel.segmentScans.Add(1)
+	m.s.tel.segmentRowsScanned.Add(uint64(rows))
+	m.s.tel.zoneMapPrunes.Add(uint64(pruned))
+	m.s.scanBytes.Observe(float64(bytes))
+}
+
+// minMax returns the bounds of a non-empty ID slice.
+func minMax(ids []int64) (lo, hi int64) {
+	lo, hi = ids[0], ids[0]
+	for _, id := range ids[1:] {
+		if id < lo {
+			lo = id
+		}
+		if id > hi {
+			hi = id
+		}
+	}
+	return lo, hi
+}
+
+// scanResultSegments fills recs from the columnar segments of
+// performance_result (PK == row ID), then point-fetches the unflushed
+// tail from the B-tree. IDs still missing afterwards are left !found for
+// the caller's not-found report.
+func (m *materializer) scanResultSegments(v *reldb.SegView, tab *reldb.Table, pos *posIndex, recs []resultRec) {
+	lo, hi := minMax(pos.uniq)
+	scanned := 0
+	pruned, bytes := v.ScanPKRange(lo, hi, func(b reldb.ColumnBlock) bool {
+		ids := b.RowIDs()
+		execs := b.Int64s(1)
+		metrics := b.Int64s(2)
+		tools := b.Int64s(3)
+		units := b.Int64s(4)
+		vals := b.Float64s(5)
+		scanned += len(ids)
+		for i, id := range ids {
+			if j, ok := pos.get(id); ok {
+				recs[j] = resultRec{
+					found:    true,
+					execID:   execs[i],
+					metricID: metrics[i],
+					toolID:   tools[i],
+					unitsID:  units[i],
+					value:    vals[i],
+				}
+			}
+		}
+		return true
+	})
+	m.noteScan(scanned, pruned, bytes)
+	for i := range recs {
+		if recs[i].found {
+			continue
+		}
+		row, ok := tab.Get(pos.uniq[i])
+		if !ok {
+			continue
+		}
+		recs[i] = resultRec{
+			found:    true,
+			execID:   row[1].Int64(),
+			metricID: row[2].Int64(),
+			toolID:   row[3].Int64(),
+			unitsID:  row[4].Int64(),
+			value:    row[5].Float64(),
+		}
+	}
+}
+
+// scanLinkSegments streams a two-column link table (owner_id, member_id)
+// from its columnar segments, then walks the unflushed B-tree tail,
+// calling add for every link whose owner is in the wanted set. Both
+// passes deliver links in PK order, and tail owners are >= the flushed
+// maximum (anything else would have invalidated the view), so each
+// owner's members arrive contiguously and ascending — the same contract
+// as a full B-tree scan.
+func (m *materializer) scanLinkSegments(v *reldb.SegView, tab *reldb.Table, want *posIndex, add func(i int, member int64)) {
+	lo, hi := minMax(want.uniq)
+	scanned := 0
+	pruned, bytes := v.ScanPKRange(lo, hi, func(b reldb.ColumnBlock) bool {
+		owners := b.Int64s(0)
+		members := b.Int64s(1)
+		scanned += len(owners)
+		for i, owner := range owners {
+			if j, ok := want.get(owner); ok {
+				add(j, members[i])
+			}
+		}
+		return true
+	})
+	m.noteScan(scanned, pruned, bytes)
+	tailFrom := v.MaxPK()
+	if hi < tailFrom {
+		return // every wanted owner is below the flushed tail
+	}
+	watermark := v.TailRowID()
+	tab.PKRange([]reldb.Value{reldb.Int(tailFrom)}, nil, func(id int64, row reldb.Row) bool {
+		if id <= watermark {
+			return true // flushed row at the boundary PK, already scanned
+		}
+		owner := row[0].Int64()
+		if owner > hi {
+			return false
+		}
+		if j, ok := want.get(owner); ok {
+			add(j, row[1].Int64())
+		}
+		return true
+	})
+}
+
 // run materializes one chunk of IDs, preserving input order (duplicate
 // IDs yield duplicate pointers to one shared result).
 func (m *materializer) run(ctx context.Context, ids []int64) ([]*core.PerformanceResult, error) {
 	if len(ids) == 0 {
 		return []*core.PerformanceResult{}, nil
 	}
-	// Dedupe while remembering each distinct ID's index.
-	pos := newPosIndex(ids)
+	// Dedupe while remembering each distinct ID's index. The chunk-sized
+	// working memory comes from the store's scratch pool; it is returned
+	// only on success paths (abandoned scratch just falls to the GC).
+	sc := m.s.scratch.Get().(*matScratch)
+	sc.pos.reset(ids)
+	pos := &sc.pos
 	uniq := pos.uniq
-	recs := make([]resultRec, len(uniq))
+	if cap(sc.recs) < len(uniq) {
+		sc.recs = make([]resultRec, len(uniq))
+	} else {
+		sc.recs = sc.recs[:len(uniq)]
+		clear(sc.recs)
+	}
+	recs := sc.recs
 	m.s.tel.materializations.Add(1)
 	m.s.tel.resultsRead.Add(uint64(len(uniq)))
 
@@ -316,7 +515,9 @@ func (m *materializer) run(ctx context.Context, ids []int64) ([]*core.Performanc
 		return nil, fmt.Errorf("datastore: no performance_result table: %w", ErrNotFound)
 	}
 	dense := len(uniq)*denseScanDivisor >= prTab.Len()
-	if dense {
+	if prView := m.segView("performance_result"); dense && prView != nil {
+		m.scanResultSegments(prView, prTab, pos, recs)
+	} else if dense {
 		prTab.Scan(func(id int64, row reldb.Row) bool {
 			i, ok := pos.get(id)
 			if !ok {
@@ -369,23 +570,35 @@ func (m *materializer) run(ctx context.Context, ids []int64) ([]*core.Performanc
 		return nil, fmt.Errorf("datastore: no result_has_focus table: %w", ErrNotFound)
 	}
 	if dense {
-		// The PK is (result_id, focus_id), so the scan hands every
+		// The PK is (result_id, focus_id), so either scan hands every
 		// result's links contiguously: stage them in one shared arena
 		// and slice it up afterwards instead of growing one tiny slice
 		// per result.
-		arena := make([]int64, 0, rhfTab.Len())
-		starts := make([]int, len(uniq))
-		counts := make([]int, len(uniq))
-		rhfTab.Scan(func(_ int64, link reldb.Row) bool {
-			if i, ok := pos.get(link[0].Int64()); ok {
-				if counts[i] == 0 {
-					starts[i] = len(arena)
-				}
-				arena = append(arena, link[1].Int64())
-				counts[i]++
+		if cap(sc.arena) < rhfTab.Len() {
+			sc.arena = make([]int64, 0, rhfTab.Len())
+		}
+		arena := sc.arena[:0]
+		starts := sc.ints(&sc.starts, len(uniq))
+		counts := sc.ints(&sc.counts, len(uniq))
+		clear(counts)
+		stage := func(i int, fid int64) {
+			if counts[i] == 0 {
+				starts[i] = len(arena)
 			}
-			return true
-		})
+			arena = append(arena, fid)
+			counts[i]++
+		}
+		if rhfView := m.segView("result_has_focus"); rhfView != nil {
+			m.scanLinkSegments(rhfView, rhfTab, pos, stage)
+		} else {
+			rhfTab.Scan(func(_ int64, link reldb.Row) bool {
+				if i, ok := pos.get(link[0].Int64()); ok {
+					stage(i, link[1].Int64())
+				}
+				return true
+			})
+		}
+		sc.arena = arena // keep any growth for the next chunk
 		for i := range recs {
 			if counts[i] > 0 {
 				recs[i].focusIDs = arena[starts[i] : starts[i]+counts[i] : starts[i]+counts[i]]
@@ -413,20 +626,39 @@ func (m *materializer) run(ctx context.Context, ids []int64) ([]*core.Performanc
 
 	// Phase 3: decode each focus not yet in the per-query cache.
 	_, focusSpan := obs.StartSpan(ctx, "materialize.focus")
+	// links counts only multi-focus results: single-focus results (the
+	// common case) reuse their focus's shared ctx1 slice at assembly and
+	// need no arena slot.
 	links := 0
+	ctxOff := sc.ints(&sc.ctxOff, len(recs))
 	for i := range recs {
-		links += len(recs[i].focusIDs)
+		ctxOff[i] = links
+		if n := len(recs[i].focusIDs); n > 1 {
+			links += n
+		}
 	}
-	needed := make([]int64, 0, links)
+	// Foci are shared heavily across results, so dedupe while collecting
+	// (a small set) instead of sorting one entry per link.
+	var needed []int64
+	var pending map[int64]struct{}
+	misses := 0
 	for i := range recs {
 		for _, fid := range recs[i].focusIDs {
-			if _, ok := m.foci[fid]; !ok {
+			if _, ok := m.foci[fid]; ok {
+				continue
+			}
+			misses++
+			if pending == nil {
+				pending = make(map[int64]struct{}, 64)
+			}
+			if _, dup := pending[fid]; !dup {
+				pending[fid] = struct{}{}
 				needed = append(needed, fid)
 			}
 		}
 	}
-	m.s.tel.focusCacheHits.Add(uint64(links - len(needed)))
-	focusSpan.Annotate("cached", strconv.Itoa(links-len(needed)))
+	m.s.tel.focusCacheHits.Add(uint64(links - misses))
+	focusSpan.Annotate("cached", strconv.Itoa(links-misses))
 	if len(needed) > 0 {
 		decode := sortDedup(needed)
 		m.s.tel.focusCacheMisses.Add(uint64(len(decode)))
@@ -444,6 +676,9 @@ func (m *materializer) run(ctx context.Context, ids []int64) ([]*core.Performanc
 	_, assembleSpan := obs.StartSpan(ctx, "materialize.assemble")
 	defer assembleSpan.End()
 	assembled := make([]core.PerformanceResult, len(uniq))
+	// Contexts for the whole chunk live in one arena block, sliced per
+	// result at the offsets recorded above; workers fill disjoint ranges.
+	ctxArena := make([]core.Context, links)
 	if err := shardRange(len(uniq), m.workers, func(lo, hi int) error {
 		for i := lo; i < hi; i++ {
 			rec := &recs[i]
@@ -462,12 +697,16 @@ func (m *materializer) run(ctx context.Context, ids []int64) ([]*core.Performanc
 			if pr.Units, ok = m.units.get(rec.unitsID); !ok {
 				return fmt.Errorf("datastore: no units id %d", rec.unitsID)
 			}
-			if len(rec.focusIDs) > 0 {
-				pr.Contexts = make([]core.Context, 0, len(rec.focusIDs))
-				for _, fid := range rec.focusIDs {
+			switch n := len(rec.focusIDs); {
+			case n == 1:
+				pr.Contexts = m.foci[rec.focusIDs[0]].ctx1
+			case n > 1:
+				ctxs := ctxArena[ctxOff[i] : ctxOff[i]+n : ctxOff[i]+n]
+				for k, fid := range rec.focusIDs {
 					f := m.foci[fid]
-					pr.Contexts = append(pr.Contexts, core.Context{Type: f.typ, Resources: f.res})
+					ctxs[k] = core.Context{Type: f.typ, Resources: f.res}
 				}
+				pr.Contexts = ctxs
 			}
 		}
 		return nil
@@ -480,12 +719,14 @@ func (m *materializer) run(ctx context.Context, ids []int64) ([]*core.Performanc
 		for i := range assembled {
 			out[i] = &assembled[i]
 		}
+		m.s.scratch.Put(sc)
 		return out, nil
 	}
 	for j, id := range ids {
 		i, _ := pos.get(id) // every input ID was found in phase 1
 		out[j] = &assembled[i]
 	}
+	m.s.scratch.Put(sc)
 	return out, nil
 }
 
@@ -538,16 +779,23 @@ func (m *materializer) decodeFoci(fids []int64) error {
 		arena := make([]int64, 0, fhrTab.Len())
 		starts := make([]int, len(fids))
 		counts := make([]int, len(fids))
-		fhrTab.Scan(func(_ int64, link reldb.Row) bool {
-			if i, ok := fpos.get(link[0].Int64()); ok {
-				if counts[i] == 0 {
-					starts[i] = len(arena)
-				}
-				arena = append(arena, link[1].Int64())
-				counts[i]++
+		stage := func(i int, rid int64) {
+			if counts[i] == 0 {
+				starts[i] = len(arena)
 			}
-			return true
-		})
+			arena = append(arena, rid)
+			counts[i]++
+		}
+		if fhrView := m.segView("focus_has_resource"); fhrView != nil {
+			m.scanLinkSegments(fhrView, fhrTab, fpos, stage)
+		} else {
+			fhrTab.Scan(func(_ int64, link reldb.Row) bool {
+				if i, ok := fpos.get(link[0].Int64()); ok {
+					stage(i, link[1].Int64())
+				}
+				return true
+			})
+		}
 		for i := range resIDs {
 			if counts[i] > 0 {
 				resIDs[i] = arena[starts[i] : starts[i]+counts[i] : starts[i]+counts[i]]
@@ -590,7 +838,11 @@ func (m *materializer) decodeFoci(fids []int64) error {
 				names = append(names, m.s.resNames[rid])
 			}
 		}
-		m.foci[fids[i]] = &matFocus{typ: types[i], res: names}
+		m.foci[fids[i]] = &matFocus{
+			typ:  types[i],
+			res:  names,
+			ctx1: []core.Context{{Type: types[i], Resources: names}},
+		}
 	}
 	m.s.mu.Unlock()
 	return nil

@@ -1,0 +1,170 @@
+package datastore
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"perftrack/internal/core"
+	"perftrack/internal/reldb"
+)
+
+// newSegmentStore opens a store on a fresh segment engine with an
+// aggressive flush threshold so the background compactor engages at
+// test scale.
+func newSegmentStore(t *testing.T) (*Store, *reldb.FileEngine) {
+	t.Helper()
+	eng, err := reldb.Open(reldb.KindSegment, t.TempDir())
+	if err != nil {
+		t.Fatalf("Open segment engine: %v", err)
+	}
+	fe := eng.(*reldb.FileEngine)
+	fe.SetSegmentFlushRows(256)
+	t.Cleanup(func() { fe.Close() })
+	s, err := Open(eng)
+	if err != nil {
+		t.Fatalf("Open store: %v", err)
+	}
+	return s, fe
+}
+
+// seedSegmentStudy registers the shared resources and executions used
+// by the segment equivalence tests.
+func seedSegmentStudy(t *testing.T, s *Store) {
+	t.Helper()
+	s.AddResource("/irs", "application", "")
+	for n := 0; n < 4; n++ {
+		name := core.ResourceName(fmt.Sprintf("/GM/MCR/batch/n%d/p0", n))
+		if _, err := s.AddResource(name, "grid/machine/partition/node/processor", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.AddExecution("m-mcr", "irs"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// addSegResult stores one deterministic result with one or two contexts.
+func addSegResult(t testing.TB, s *Store, i int) int64 {
+	node := core.ResourceName(fmt.Sprintf("/GM/MCR/batch/n%d/p0", i%4))
+	ctxs := []core.Context{core.NewContext("/irs", node)}
+	if i%3 == 0 {
+		other := core.ResourceName(fmt.Sprintf("/GM/MCR/batch/n%d/p0", (i+1)%4))
+		ctxs = append(ctxs, core.Context{Type: core.FocusSender, Resources: []core.ResourceName{other}})
+	}
+	id, err := s.AddPerfResult(&core.PerformanceResult{
+		Execution: "m-mcr", Metric: fmt.Sprintf("metric-%d", i%16), Value: float64(i) * 0.5,
+		Units: "seconds", Tool: "test", Contexts: ctxs,
+	})
+	if err != nil {
+		t.Fatalf("AddPerfResult %d: %v", i, err)
+	}
+	return id
+}
+
+// TestMaterializeSegmentEquivalence compares the columnar scan path
+// against both the B-tree batch path and the per-ID reference on a
+// compacted segment store, including the mixed segment+tail case.
+func TestMaterializeSegmentEquivalence(t *testing.T) {
+	s, fe := newSegmentStore(t)
+	seedSegmentStudy(t, s)
+	ids := make([]int64, 0, 600)
+	for i := 0; i < 600; i++ {
+		ids = append(ids, addSegResult(t, s, i))
+	}
+	if err := fe.CompactSegments(); err != nil {
+		t.Fatal(err)
+	}
+	// Rows inserted after the compaction stay in the unflushed tail.
+	for i := 600; i < 650; i++ {
+		ids = append(ids, addSegResult(t, s, i))
+	}
+	before := s.Telemetry().SegmentScans
+	got, err := s.MaterializeResults(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Telemetry().SegmentScans == before {
+		t.Fatal("segment scan path not taken on a compacted store")
+	}
+	want, err := s.MaterializeResultsOpts(ids, MaterializeOptions{NoSegments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("result %d differs:\n got  %+v\n want %+v", i, got[i], want[i])
+			}
+		}
+	}
+	ref := perIDResults(t, s, ids[:50])
+	if !reflect.DeepEqual(got[:50], ref) {
+		t.Fatal("segment path differs from per-ID reference")
+	}
+}
+
+// TestMaterializeSegmentEquivalenceConcurrentLoad runs the comparison
+// while a writer goroutine bulk-loads new results and compactions race
+// the reads: rows already materialized are immutable under the
+// append-only workload, so both paths must agree on every round.
+func TestMaterializeSegmentEquivalenceConcurrentLoad(t *testing.T) {
+	s, fe := newSegmentStore(t)
+	seedSegmentStudy(t, s)
+	ids := make([]int64, 0, 400)
+	for i := 0; i < 400; i++ {
+		ids = append(ids, addSegResult(t, s, i))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 400; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			node := core.ResourceName(fmt.Sprintf("/GM/MCR/batch/n%d/p0", i%4))
+			if _, err := s.AddPerfResult(&core.PerformanceResult{
+				Execution: "m-mcr", Metric: fmt.Sprintf("metric-%d", i%16), Value: float64(i) * 0.5,
+				Units: "seconds", Tool: "test",
+				Contexts: []core.Context{core.NewContext("/irs", node)},
+			}); err != nil {
+				t.Errorf("concurrent AddPerfResult %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for round := 0; round < 15; round++ {
+		if round%5 == 2 {
+			if err := fe.CompactSegments(); err != nil {
+				t.Error(err)
+				break
+			}
+		}
+		seg, err := s.MaterializeResults(ids)
+		if err != nil {
+			t.Errorf("round %d: %v", round, err)
+			break
+		}
+		btree, err := s.MaterializeResultsOpts(ids, MaterializeOptions{NoSegments: true})
+		if err != nil {
+			t.Errorf("round %d: %v", round, err)
+			break
+		}
+		if !reflect.DeepEqual(seg, btree) {
+			for i := range btree {
+				if !reflect.DeepEqual(seg[i], btree[i]) {
+					t.Errorf("round %d: result %d differs:\n got  %+v\n want %+v", round, i, seg[i], btree[i])
+					break
+				}
+			}
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

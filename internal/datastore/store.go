@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"perftrack/internal/core"
+	"perftrack/internal/obs"
 	"perftrack/internal/reldb"
 	"perftrack/internal/sqldb"
 )
@@ -60,7 +61,25 @@ type Store struct {
 	// tel counts store operations for the observability layer; see
 	// telemetry.go.
 	tel telemetry
+
+	// scanBytes distributes columnar bytes touched per segment range
+	// scan; the service layer bridges it into its metrics registry.
+	scanBytes *obs.Histogram
+
+	// scratch pools the materializer's per-chunk working memory
+	// (*matScratch); at 100k-result chunks it tops 10 MB per call, and
+	// reuse roughly halves a materialize's allocation and GC-assist cost.
+	scratch sync.Pool
 }
+
+// segScanBytesBuckets spans 4 KiB point scans to multi-GiB full sweeps.
+var segScanBytesBuckets = []float64{
+	4 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30,
+}
+
+// SegmentScanBytes is the histogram of columnar bytes read per segment
+// range scan.
+func (s *Store) SegmentScanBytes() *obs.Histogram { return s.scanBytes }
 
 // inserter is the mutation surface shared by the engine and a transaction;
 // store inserts route through it so a PTdf load can run inside a Tx.
@@ -84,6 +103,7 @@ func Open(eng reldb.Engine) (*Store, error) {
 		eng:              eng,
 		sql:              sqldb.Open(eng),
 		cache:            newQueryCache(),
+		scanBytes:        obs.NewHistogram(segScanBytesBuckets),
 		UseClosureTables: true,
 		types:            core.NewTypeSystem(),
 		typeIDs:          make(map[core.TypePath]int64),
@@ -98,6 +118,7 @@ func Open(eng reldb.Engine) (*Store, error) {
 		unitsID:          make(map[string]int64),
 		focusIDs:         make(map[string]int64),
 	}
+	s.scratch.New = func() any { return new(matScratch) }
 	if !schemaExists(eng) {
 		if err := createSchema(s.sql); err != nil {
 			return nil, err

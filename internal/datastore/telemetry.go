@@ -15,6 +15,10 @@ type telemetry struct {
 	focusCacheMisses atomic.Uint64
 	materializations atomic.Uint64
 	resultsRead      atomic.Uint64
+
+	segmentScans       atomic.Uint64
+	segmentRowsScanned atomic.Uint64
+	zoneMapPrunes      atomic.Uint64
 }
 
 // Telemetry is a point-in-time snapshot of the store's operation
@@ -32,6 +36,10 @@ type Telemetry struct {
 	FocusCacheMisses uint64 // focus IDs decoded from the engine
 	Materializations uint64 // materializer chunks run
 	ResultsRead      uint64 // performance results materialized
+
+	SegmentScans       uint64 // columnar segment range scans run
+	SegmentRowsScanned uint64 // rows visited by segment scans
+	ZoneMapPrunes      uint64 // segments skipped by zone-map bounds
 }
 
 // Telemetry snapshots the store's operation counters.
@@ -47,5 +55,9 @@ func (s *Store) Telemetry() Telemetry {
 		FocusCacheMisses: s.tel.focusCacheMisses.Load(),
 		Materializations: s.tel.materializations.Load(),
 		ResultsRead:      s.tel.resultsRead.Load(),
+
+		SegmentScans:       s.tel.segmentScans.Load(),
+		SegmentRowsScanned: s.tel.segmentRowsScanned.Load(),
+		ZoneMapPrunes:      s.tel.zoneMapPrunes.Load(),
 	}
 }

@@ -377,6 +377,13 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	return r.register(name, &histogramMetric{help: help, h: NewHistogram(buckets)}).(*histogramMetric).h
 }
 
+// RegisterHistogram installs an externally owned histogram under name —
+// the bridge for histograms maintained by another subsystem (the
+// datastore's segment scan-bytes histogram).
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram) {
+	r.register(name, &histogramMetric{help: help, h: h})
+}
+
 // histogramMetric adapts a bare Histogram to the registry.
 type histogramMetric struct {
 	help string

@@ -293,35 +293,51 @@ func (t *Table) containsValueLocked(column string, v Value) bool {
 	return false
 }
 
-// Stats summarizes the database contents.
+// Stats summarizes the database contents and storage footprint. The
+// file-backed engines additionally fill the on-disk fields.
 type Stats struct {
-	Tables    int
-	Rows      int64
-	DataBytes int64
-	PerTable  map[string]TableStats
+	Kind       string                `json:"kind"` // storage engine kind: mem, wal, segment
+	Tables     int                   `json:"tables"`
+	Rows       int64                 `json:"rows"`
+	DataBytes  int64                 `json:"data_bytes"`  // row payload bytes resident in memory
+	IndexBytes int64                 `json:"index_bytes"` // primary + secondary B-tree key bytes
+	PerTable   map[string]TableStats `json:"per_table"`
+
+	WALBytes      int64 `json:"wal_bytes,omitempty"` // durable engines only
+	SnapshotBytes int64 `json:"snapshot_bytes,omitempty"`
+	SegmentBytes  int64 `json:"segment_bytes,omitempty"` // segment engine only
+	DiskBytes     int64 `json:"disk_bytes,omitempty"`    // WAL + snapshot + segments
 }
 
-// TableStats summarizes one table.
+// TableStats summarizes one table: row/byte footprint in the B-tree
+// representation plus, on the segment engine, columnar residency.
 type TableStats struct {
-	Rows      int64
-	DataBytes int64
-	Indexes   int
+	Rows       int64 `json:"rows"`
+	DataBytes  int64 `json:"data_bytes"`
+	IndexBytes int64 `json:"index_bytes"`
+	Indexes    int   `json:"indexes"`
+
+	Segments     int   `json:"segments,omitempty"`
+	SegmentRows  int64 `json:"segment_rows,omitempty"`
+	SegmentBytes int64 `json:"segment_bytes,omitempty"`
 }
 
 // Stats returns current row counts and approximate data volume.
 func (db *DB) Stats() Stats {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	s := Stats{PerTable: make(map[string]TableStats, len(db.tables))}
+	s := Stats{Kind: KindMem, PerTable: make(map[string]TableStats, len(db.tables))}
 	for name, t := range db.tables {
 		ts := TableStats{
-			Rows:      int64(len(t.rows)),
-			DataBytes: t.dataBytes,
-			Indexes:   len(t.indexes),
+			Rows:       int64(len(t.rows)),
+			DataBytes:  t.dataBytes,
+			IndexBytes: t.indexBytesLocked(),
+			Indexes:    len(t.indexes),
 		}
 		s.Tables++
 		s.Rows += ts.Rows
 		s.DataBytes += ts.DataBytes
+		s.IndexBytes += ts.IndexBytes
 		s.PerTable[name] = ts
 	}
 	return s

@@ -16,6 +16,7 @@ type Engine interface {
 	Delete(table string, id int64) error
 	Begin() *Tx
 	Stats() Stats
+	Kind() string
 	Close() error
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 )
@@ -18,9 +19,10 @@ type FileEngine struct {
 	dir        string
 	wal        *os.File
 	walW       *recordWriter
-	walCount   int64 // records since last checkpoint
-	syncWAL    bool  // fsync the WAL after every flush
-	batchDepth int   // >0: defer flush/sync to EndWALBatch
+	walCount   int64     // records since last checkpoint
+	syncWAL    bool      // fsync the WAL after every flush
+	batchDepth int       // >0: defer flush/sync to EndWALBatch
+	seg        *segState // non-nil on the "segment" engine
 
 	// AutoCheckpoint, when > 0, triggers a snapshot after that many WAL
 	// records. Zero disables automatic checkpoints.
@@ -38,14 +40,25 @@ const (
 	snapTagRow    byte = 2
 )
 
-// OpenFile opens (or creates) a durable database rooted at dir.
-func OpenFile(dir string) (*FileEngine, error) {
+// openFile opens (or creates) a durable database rooted at dir, with or
+// without the columnar segment extension. Recovery order is snapshot,
+// then segments (skipping rows the snapshot already holds), then WAL
+// replay (replacing divergent rows: the log is truth).
+func openFile(dir string, segmented bool) (*FileEngine, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("reldb: open %s: %w", dir, err)
 	}
 	fe := &FileEngine{DB: NewMem(), dir: dir}
+	if segmented {
+		fe.seg = newSegState(fe)
+	}
 	if err := fe.loadSnapshot(); err != nil {
 		return nil, err
+	}
+	if fe.seg != nil {
+		if err := fe.seg.load(); err != nil {
+			return nil, err
+		}
 	}
 	if err := fe.replayWAL(); err != nil {
 		return nil, err
@@ -57,6 +70,18 @@ func OpenFile(dir string) (*FileEngine, error) {
 	fe.wal = wal
 	fe.walW = newRecordWriter(wal)
 	fe.DB.logger = fe
+	if fe.seg != nil {
+		fe.seg.initAfterRecovery()
+		// Resync the manifest with post-replay state (a replayed DROP
+		// TABLE may have retired segments) before orphan cleanup, so the
+		// manifest never references a deleted file.
+		if err := fe.seg.writeManifest(); err != nil {
+			return nil, err
+		}
+		fe.seg.cleanOrphans()
+		fe.seg.started = true
+		go fe.seg.run()
+	}
 	return fe, nil
 }
 
@@ -87,6 +112,12 @@ func (fe *FileEngine) logMutation(m *mutation) error {
 		}
 	}
 	fe.walCount++
+	if fe.seg != nil {
+		fe.seg.note(m)
+		if fe.batchDepth == 0 {
+			fe.seg.maybeNotify()
+		}
+	}
 	return nil
 }
 
@@ -116,6 +147,9 @@ func (fe *FileEngine) EndWALBatch() error {
 	if err := fe.walW.flush(); err != nil {
 		return err
 	}
+	if fe.seg != nil {
+		fe.seg.maybeNotify()
+	}
 	if fe.syncWAL {
 		return fe.wal.Sync()
 	}
@@ -131,6 +165,9 @@ func (fe *FileEngine) apply(m *mutation) error {
 		return fe.createTableLocked(m.schema, false)
 	case opDropTable:
 		delete(fe.tables, m.table)
+		if fe.seg != nil {
+			fe.seg.resetTable(m.table)
+		}
 		return nil
 	case opCreateIndex:
 		t, ok := fe.tables[m.table]
@@ -160,16 +197,93 @@ func (fe *FileEngine) apply(m *mutation) error {
 		if !ok {
 			return fmt.Errorf("reldb: recovery: no table %q", m.table)
 		}
+		if existing, dup := t.rows[m.id]; dup {
+			// The row was preloaded from the snapshot or a segment (the
+			// WAL survived a checkpoint crash window or a compaction).
+			// Equal images are an idempotent no-op; on divergence the
+			// log wins, and any segment copy is now stale.
+			if rowsEqual(existing, m.row) {
+				return nil
+			}
+			if _, err := t.updateLocked(m.id, m.row); err != nil {
+				return err
+			}
+			if fe.seg != nil {
+				fe.seg.markDirtyBelow(m.table, m.id)
+			}
+			return nil
+		}
 		return t.insertAtLocked(m.id, m.row)
 	case opUpdate:
-		_, err := fe.updateLocked(m.table, m.id, m.row, false)
-		return err
+		t, ok := fe.tables[m.table]
+		if !ok {
+			return fmt.Errorf("reldb: recovery: no table %q", m.table)
+		}
+		if _, exists := t.rows[m.id]; !exists {
+			// Snapshot newer than this record and the row was later
+			// deleted-and-recreated; restore the update image so the
+			// remaining log replays onto the right state.
+			return t.insertAtLocked(m.id, m.row)
+		}
+		if _, err := fe.updateLocked(m.table, m.id, m.row, false); err != nil {
+			return err
+		}
+		if fe.seg != nil {
+			fe.seg.markDirtyBelow(m.table, m.id)
+		}
+		return nil
 	case opDelete:
-		_, err := fe.deleteLocked(m.table, m.id, false)
-		return err
+		t, ok := fe.tables[m.table]
+		if !ok {
+			return fmt.Errorf("reldb: recovery: no table %q", m.table)
+		}
+		if _, exists := t.rows[m.id]; !exists {
+			return nil // snapshot already reflects the delete
+		}
+		if _, err := fe.deleteLocked(m.table, m.id, false); err != nil {
+			return err
+		}
+		if fe.seg != nil {
+			fe.seg.markDirtyBelow(m.table, m.id)
+		}
+		return nil
 	default:
 		return fmt.Errorf("%w: op %d", ErrCorruptLog, m.op)
 	}
+}
+
+// rowsEqual reports bit-exact row equality (NaN-aware for floats). The
+// replay path uses it to recognize an idempotent re-insert of a row that
+// was preloaded from the snapshot or a segment.
+func rowsEqual(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		va, vb := a[i], b[i]
+		if va.Kind() != vb.Kind() {
+			return false
+		}
+		switch va.Kind() {
+		case KindInt:
+			if va.Int64() != vb.Int64() {
+				return false
+			}
+		case KindFloat:
+			if math.Float64bits(va.Float64()) != math.Float64bits(vb.Float64()) {
+				return false
+			}
+		case KindString:
+			if va.Text() != vb.Text() {
+				return false
+			}
+		case KindBool:
+			if va.Truth() != vb.Truth() {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // insertAtLocked inserts a row under a specific row ID (recovery path).
@@ -193,6 +307,7 @@ func (t *Table) insertAtLocked(id int64, row Row) error {
 	t.rows[id] = row
 	t.primary.Set(pk, id)
 	t.dataBytes += rowBytes(row)
+	t.pkBytes += int64(len(pk)) + 8
 	if id >= t.nextID {
 		t.nextID = id + 1
 	}
@@ -300,10 +415,29 @@ func (fe *FileEngine) replayWAL() error {
 	return nil
 }
 
-// Checkpoint writes a full snapshot atomically and truncates the WAL.
+// Checkpoint writes a snapshot atomically and truncates the WAL. On the
+// plain WAL engine the snapshot holds every row. On the segment engine
+// the hot tables' segment-resident rows are omitted — they are already
+// durable in fsynced segment files referenced by the manifest — so the
+// checkpoint costs O(non-hot tables + unflushed tail) instead of a full
+// rewrite of the result tables. Dirty or unordered hot tables are reset
+// here: their segments are dropped and the snapshot holds them in full.
 func (fe *FileEngine) Checkpoint() error {
+	if fe.seg != nil {
+		// Drain the tails first so the snapshot's hot-table share is
+		// only whatever arrived since this compaction.
+		if err := fe.seg.compact(1); err != nil && !errors.Is(err, errCompactBusy) {
+			return err
+		}
+		fe.seg.compactMu.Lock()
+		defer fe.seg.compactMu.Unlock()
+	}
 	fe.mu.Lock()
 	defer fe.mu.Unlock()
+	var dropped []string
+	if fe.seg != nil {
+		dropped = fe.seg.resetStaleLocked()
+	}
 	tmp := fe.snapPath() + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -329,8 +463,20 @@ func (fe *FileEngine) Checkpoint() error {
 			f.Close()
 			return err
 		}
+		// Segment-resident rows (ID at or below the watermark) are
+		// durable in their segment files; only the tail goes into the
+		// snapshot.
+		var skipBelow int64
+		if fe.seg != nil {
+			if sg := fe.seg.tables[name]; sg != nil {
+				skipBelow = sg.watermark.Load()
+			}
+		}
 		var werr error
 		t.primary.Ascend(nil, nil, func(_ []byte, id int64) bool {
+			if skipBelow > 0 && id <= skipBelow {
+				return true
+			}
 			p := []byte{snapTagRow}
 			p = putVarint(p, id)
 			p = encodeRowPayload(p, t.rows[id])
@@ -359,7 +505,15 @@ func (fe *FileEngine) Checkpoint() error {
 	if err := os.Rename(tmp, fe.snapPath()); err != nil {
 		return err
 	}
-	// Truncate the WAL: its effects are captured by the snapshot.
+	// The manifest must reflect the surviving segments before the WAL —
+	// their other source of truth — is discarded.
+	if fe.seg != nil {
+		if err := fe.seg.writeManifest(); err != nil {
+			return err
+		}
+	}
+	// Truncate the WAL: its effects are captured by the snapshot and
+	// the manifest-referenced segments.
 	if err := fe.wal.Truncate(0); err != nil {
 		return err
 	}
@@ -368,6 +522,9 @@ func (fe *FileEngine) Checkpoint() error {
 	}
 	fe.walW = newRecordWriter(fe.wal)
 	fe.walCount = 0
+	for _, path := range dropped {
+		os.Remove(path) // best effort; open-time cleanup catches leftovers
+	}
 	return nil
 }
 
@@ -380,8 +537,8 @@ func (fe *FileEngine) MaybeCheckpoint() error {
 	return nil
 }
 
-// DiskSize reports the total bytes on disk (snapshot + WAL), flushing
-// buffered WAL records first so the figure is accurate.
+// DiskSize reports the total bytes on disk (snapshot + WAL + segment
+// files), flushing buffered WAL records first so the figure is accurate.
 func (fe *FileEngine) DiskSize() (int64, error) {
 	fe.mu.Lock()
 	err := fe.walW.flush()
@@ -400,11 +557,50 @@ func (fe *FileEngine) DiskSize() (int64, error) {
 		}
 		total += info.Size()
 	}
+	if fe.seg != nil {
+		total += fe.seg.segmentBytes()
+	}
 	return total, nil
 }
 
-// Close flushes the WAL and releases file handles.
+// Stats extends the in-memory statistics with on-disk footprint: WAL,
+// snapshot, and per-table segment residency.
+func (fe *FileEngine) Stats() Stats {
+	s := fe.DB.Stats()
+	s.Kind = fe.Kind()
+	fe.mu.Lock()
+	_ = fe.walW.flush()
+	fe.mu.Unlock()
+	if info, err := os.Stat(fe.walPath()); err == nil {
+		s.WALBytes = info.Size()
+	}
+	if info, err := os.Stat(fe.snapPath()); err == nil {
+		s.SnapshotBytes = info.Size()
+	}
+	if fe.seg != nil {
+		fe.seg.mu.RLock()
+		for name, sg := range fe.seg.tables {
+			if len(sg.segs) == 0 {
+				continue
+			}
+			ts := s.PerTable[name]
+			ts.Segments = len(sg.segs)
+			ts.SegmentRows = sg.segRows
+			ts.SegmentBytes = sg.segBytes
+			s.PerTable[name] = ts
+			s.SegmentBytes += sg.segBytes
+		}
+		fe.seg.mu.RUnlock()
+	}
+	s.DiskBytes = s.WALBytes + s.SnapshotBytes + s.SegmentBytes
+	return s
+}
+
+// Close stops the compactor, flushes the WAL, and releases file handles.
 func (fe *FileEngine) Close() error {
+	if fe.seg != nil {
+		fe.seg.shutdown()
+	}
 	if fe.walW != nil {
 		if err := fe.walW.flush(); err != nil {
 			return err

@@ -1,0 +1,621 @@
+package reldb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"sort"
+)
+
+// Columnar segment files. A segment is an immutable, PK-sorted,
+// column-major flush of one table's recent rows, written by the
+// background compactor of the "segment" storage engine. On-disk layout:
+//
+//	8 bytes   magic "PTSEG001"
+//	body      row-ID block, then one block per column
+//	footer    payload (below)
+//	uint32    footer length (little endian)
+//	uint32    CRC-32 (IEEE) of the footer payload
+//	8 bytes   magic again (torn-tail sentinel)
+//
+// The footer carries the table name, row count, and a per-column
+// directory: kind, encoding, body offset/length, null bitmap flag, and a
+// zone map (min/max) for numeric columns. A CRC over the whole body is
+// stored in the footer, so a segment is either verifiably intact or
+// rejected as a unit — there is no partial recovery, because the WAL
+// remains the source of truth for everything a segment holds until the
+// next checkpoint truncates it.
+//
+// Column encodings:
+//
+//	int64   delta-encoded from the previous value, zig-zag varints
+//	float64 raw little-endian bits, 8 bytes per row
+//	string  dictionary: unique values once, then a varint code per row
+//	bool    bitmap, 1 bit per row
+//
+// NULLs are a presence bitmap per column (only written when a column
+// actually contains NULLs) with zero placeholders in the value stream.
+
+const segMagic = "PTSEG001"
+
+// ErrCorruptSegment reports a segment file that failed structural or
+// checksum validation (including a torn tail from a crashed write).
+var ErrCorruptSegment = errors.New("reldb: corrupt segment file")
+
+const (
+	segEncInt    byte = 1
+	segEncFloat  byte = 2
+	segEncString byte = 3
+	segEncBool   byte = 4
+)
+
+// colVec is one decoded, memory-resident column.
+type colVec struct {
+	kind   Kind
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	nulls  []bool // true = NULL; nil when the column has no NULLs
+}
+
+// zoneMap is the per-column min/max summary used to skip segments whose
+// value range cannot intersect a scan predicate.
+type zoneMap struct {
+	valid      bool
+	minI, maxI int64
+	minF, maxF float64
+}
+
+// segment is a decoded in-memory segment: the columns stay resident so
+// scans are pure slice iteration, bounded by memory bandwidth.
+type segment struct {
+	table    string
+	file     string // on-disk path ("" for not-yet-written)
+	rows     int
+	sizeOn   int64 // encoded (on-disk) size in bytes
+	rowIDs   []int64
+	cols     []colVec
+	zones    []zoneMap
+	minRowID int64
+	maxRowID int64
+	minPK    int64 // first primary-key column zone (int PKs only)
+	maxPK    int64
+}
+
+// decodedBytes approximates the resident bytes a full scan of the
+// segment touches, for the scan-bytes histogram.
+func (s *segment) decodedBytes() int64 {
+	n := int64(len(s.rowIDs) * 8)
+	for i := range s.cols {
+		c := &s.cols[i]
+		n += int64(len(c.ints)*8 + len(c.floats)*8 + len(c.bools))
+		for _, v := range c.strs {
+			n += int64(len(v)) + 16
+		}
+		n += int64(len(c.nulls))
+	}
+	return n
+}
+
+// buildSegment sorts (ids, rows) by encoded primary key and lays the
+// batch out column-major. rows must all match schema; ids[i] is the row
+// ID of rows[i].
+func buildSegment(t *Table, ids []int64, rows []Row) (*segment, error) {
+	if len(ids) == 0 || len(ids) != len(rows) {
+		return nil, fmt.Errorf("reldb: buildSegment: bad batch (%d ids, %d rows)", len(ids), len(rows))
+	}
+	order := make([]int, len(ids))
+	keys := make([][]byte, len(ids))
+	for i := range ids {
+		order[i] = i
+		keys[i] = t.pkKey(rows[i])
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return string(keys[order[a]]) < string(keys[order[b]])
+	})
+	schema := t.schema
+	seg := &segment{
+		table:    schema.Name,
+		rows:     len(ids),
+		rowIDs:   make([]int64, len(ids)),
+		cols:     make([]colVec, len(schema.Columns)),
+		zones:    make([]zoneMap, len(schema.Columns)),
+		minRowID: math.MaxInt64,
+		maxRowID: math.MinInt64,
+	}
+	for ci, col := range schema.Columns {
+		cv := &seg.cols[ci]
+		cv.kind = col.Type
+		switch col.Type {
+		case KindInt:
+			cv.ints = make([]int64, len(ids))
+		case KindFloat:
+			cv.floats = make([]float64, len(ids))
+		case KindString:
+			cv.strs = make([]string, len(ids))
+		case KindBool:
+			cv.bools = make([]bool, len(ids))
+		default:
+			return nil, fmt.Errorf("reldb: buildSegment: column %q has unsupported kind %v", col.Name, col.Type)
+		}
+	}
+	for out, in := range order {
+		id, row := ids[in], rows[in]
+		seg.rowIDs[out] = id
+		if id < seg.minRowID {
+			seg.minRowID = id
+		}
+		if id > seg.maxRowID {
+			seg.maxRowID = id
+		}
+		for ci := range schema.Columns {
+			cv := &seg.cols[ci]
+			v := row[ci]
+			if v.IsNull() {
+				if cv.nulls == nil {
+					cv.nulls = make([]bool, len(ids))
+				}
+				cv.nulls[out] = true
+				continue
+			}
+			z := &seg.zones[ci]
+			switch cv.kind {
+			case KindInt:
+				n := v.Int64()
+				cv.ints[out] = n
+				if !z.valid || n < z.minI {
+					z.minI = n
+				}
+				if !z.valid || n > z.maxI {
+					z.maxI = n
+				}
+				z.valid = true
+			case KindFloat:
+				f := v.Float64()
+				cv.floats[out] = f
+				if !z.valid || f < z.minF {
+					z.minF = f
+				}
+				if !z.valid || f > z.maxF {
+					z.maxF = f
+				}
+				z.valid = true
+			case KindString:
+				cv.strs[out] = v.Text()
+			case KindBool:
+				cv.bools[out] = v.Truth()
+			}
+		}
+	}
+	if len(t.pkCols) > 0 && schema.Columns[t.pkCols[0]].Type == KindInt {
+		z := seg.zones[t.pkCols[0]]
+		seg.minPK, seg.maxPK = z.minI, z.maxI
+	}
+	return seg, nil
+}
+
+// row reconstructs row i as a Row (recovery path).
+func (s *segment) row(i int) Row {
+	row := make(Row, len(s.cols))
+	for ci := range s.cols {
+		c := &s.cols[ci]
+		if c.nulls != nil && c.nulls[i] {
+			row[ci] = Null()
+			continue
+		}
+		switch c.kind {
+		case KindInt:
+			row[ci] = Int(c.ints[i])
+		case KindFloat:
+			row[ci] = Float(c.floats[i])
+		case KindString:
+			row[ci] = Str(c.strs[i])
+		case KindBool:
+			row[ci] = Bool(c.bools[i])
+		}
+	}
+	return row
+}
+
+// --- encoding ---
+
+func encodeInt64Block(dst []byte, vals []int64) []byte {
+	prev := int64(0)
+	for _, v := range vals {
+		dst = putVarint(dst, v-prev)
+		prev = v
+	}
+	return dst
+}
+
+func encodeBitmap(dst []byte, bits []bool) []byte {
+	cur := byte(0)
+	for i, b := range bits {
+		if b {
+			cur |= 1 << (uint(i) & 7)
+		}
+		if i&7 == 7 {
+			dst = append(dst, cur)
+			cur = 0
+		}
+	}
+	if len(bits)&7 != 0 {
+		dst = append(dst, cur)
+	}
+	return dst
+}
+
+func encodeColumn(dst []byte, c *colVec) []byte {
+	switch c.kind {
+	case KindInt:
+		dst = encodeInt64Block(dst, c.ints)
+	case KindFloat:
+		var buf [8]byte
+		for _, f := range c.floats {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+			dst = append(dst, buf[:]...)
+		}
+	case KindString:
+		dict := make(map[string]uint64)
+		var words []string
+		codes := make([]uint64, len(c.strs))
+		for i, s := range c.strs {
+			code, ok := dict[s]
+			if !ok {
+				code = uint64(len(words))
+				dict[s] = code
+				words = append(words, s)
+			}
+			codes[i] = code
+		}
+		dst = putUvarint(dst, uint64(len(words)))
+		for _, w := range words {
+			dst = putString(dst, w)
+		}
+		for _, code := range codes {
+			dst = putUvarint(dst, code)
+		}
+	case KindBool:
+		dst = encodeBitmap(dst, c.bools)
+	}
+	return dst
+}
+
+// encodeSegment serializes the segment to its on-disk byte image.
+func encodeSegment(s *segment) []byte {
+	buf := append([]byte(nil), segMagic...)
+	type extent struct{ off, n uint64 }
+	bodyStart := len(buf)
+
+	rowIDExt := extent{off: uint64(len(buf) - bodyStart)}
+	buf = encodeInt64Block(buf, s.rowIDs)
+	rowIDExt.n = uint64(len(buf)-bodyStart) - rowIDExt.off
+
+	colExt := make([]extent, len(s.cols))
+	for ci := range s.cols {
+		c := &s.cols[ci]
+		colExt[ci].off = uint64(len(buf) - bodyStart)
+		if c.nulls != nil {
+			buf = append(buf, 1)
+			buf = encodeBitmap(buf, c.nulls)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = encodeColumn(buf, c)
+		colExt[ci].n = uint64(len(buf)-bodyStart) - colExt[ci].off
+	}
+	bodyCRC := crc32.ChecksumIEEE(buf[bodyStart:])
+
+	footer := putString(nil, s.table)
+	footer = putUvarint(footer, uint64(s.rows))
+	footer = putVarint(footer, s.minRowID)
+	footer = putVarint(footer, s.maxRowID)
+	footer = putVarint(footer, s.minPK)
+	footer = putVarint(footer, s.maxPK)
+	footer = putUvarint(footer, rowIDExt.off)
+	footer = putUvarint(footer, rowIDExt.n)
+	footer = putUvarint(footer, uint64(len(s.cols)))
+	for ci := range s.cols {
+		c := &s.cols[ci]
+		footer = append(footer, byte(c.kind))
+		footer = putUvarint(footer, colExt[ci].off)
+		footer = putUvarint(footer, colExt[ci].n)
+		z := s.zones[ci]
+		if z.valid {
+			footer = append(footer, 1)
+			footer = putVarint(footer, z.minI)
+			footer = putVarint(footer, z.maxI)
+			var fb [16]byte
+			binary.LittleEndian.PutUint64(fb[0:8], math.Float64bits(z.minF))
+			binary.LittleEndian.PutUint64(fb[8:16], math.Float64bits(z.maxF))
+			footer = append(footer, fb[:]...)
+		} else {
+			footer = append(footer, 0)
+		}
+	}
+	footer = putUvarint(footer, uint64(bodyCRC))
+
+	buf = append(buf, footer...)
+	var tail [8]byte
+	binary.LittleEndian.PutUint32(tail[0:4], uint32(len(footer)))
+	binary.LittleEndian.PutUint32(tail[4:8], crc32.ChecksumIEEE(footer))
+	buf = append(buf, tail[:]...)
+	buf = append(buf, segMagic...)
+	return buf
+}
+
+// --- decoding ---
+
+func decodeInt64Block(data []byte, n int) ([]int64, error) {
+	out := make([]int64, n)
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		d, k := binary.Varint(data)
+		if k <= 0 {
+			return nil, ErrCorruptSegment
+		}
+		data = data[k:]
+		prev += d
+		out[i] = prev
+	}
+	if len(data) != 0 {
+		return nil, ErrCorruptSegment
+	}
+	return out, nil
+}
+
+func decodeBitmap(data []byte, n int) ([]bool, []byte, error) {
+	nb := (n + 7) / 8
+	if len(data) < nb {
+		return nil, nil, ErrCorruptSegment
+	}
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = data[i>>3]&(1<<(uint(i)&7)) != 0
+	}
+	return out, data[nb:], nil
+}
+
+func decodeColumn(kind Kind, data []byte, n int) (colVec, error) {
+	cv := colVec{kind: kind}
+	if len(data) == 0 {
+		return cv, ErrCorruptSegment
+	}
+	hasNulls := data[0]
+	data = data[1:]
+	if hasNulls > 1 {
+		return cv, ErrCorruptSegment
+	}
+	if hasNulls == 1 {
+		var err error
+		cv.nulls, data, err = decodeBitmap(data, n)
+		if err != nil {
+			return cv, err
+		}
+	}
+	switch kind {
+	case KindInt:
+		ints, err := decodeInt64Block(data, n)
+		if err != nil {
+			return cv, err
+		}
+		cv.ints = ints
+	case KindFloat:
+		if len(data) != n*8 {
+			return cv, ErrCorruptSegment
+		}
+		cv.floats = make([]float64, n)
+		for i := 0; i < n; i++ {
+			cv.floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		}
+	case KindString:
+		p := &payloadReader{buf: data}
+		nd, err := p.uvarint()
+		if err != nil || nd > uint64(n) {
+			return cv, ErrCorruptSegment
+		}
+		words := make([]string, nd)
+		for i := range words {
+			if words[i], err = p.str(); err != nil {
+				return cv, ErrCorruptSegment
+			}
+		}
+		cv.strs = make([]string, n)
+		for i := 0; i < n; i++ {
+			code, err := p.uvarint()
+			if err != nil || code >= uint64(len(words)) {
+				return cv, ErrCorruptSegment
+			}
+			cv.strs[i] = words[code]
+		}
+		if !p.empty() {
+			return cv, ErrCorruptSegment
+		}
+	case KindBool:
+		bools, rest, err := decodeBitmap(data, n)
+		if err != nil || len(rest) != 0 {
+			return cv, ErrCorruptSegment
+		}
+		cv.bools = bools
+	default:
+		return cv, ErrCorruptSegment
+	}
+	return cv, nil
+}
+
+// decodeSegment parses and validates a full segment image.
+func decodeSegment(buf []byte) (*segment, error) {
+	const magicLen = 8
+	minLen := 2*magicLen + 8
+	if len(buf) < minLen ||
+		string(buf[:magicLen]) != segMagic ||
+		string(buf[len(buf)-magicLen:]) != segMagic {
+		return nil, ErrCorruptSegment
+	}
+	tail := buf[len(buf)-magicLen-8 : len(buf)-magicLen]
+	footerLen := int(binary.LittleEndian.Uint32(tail[0:4]))
+	footerCRC := binary.LittleEndian.Uint32(tail[4:8])
+	footerEnd := len(buf) - magicLen - 8
+	if footerLen <= 0 || footerEnd-footerLen < magicLen {
+		return nil, ErrCorruptSegment
+	}
+	footer := buf[footerEnd-footerLen : footerEnd]
+	if crc32.ChecksumIEEE(footer) != footerCRC {
+		return nil, ErrCorruptSegment
+	}
+	body := buf[magicLen : footerEnd-footerLen]
+
+	p := &payloadReader{buf: footer}
+	s := &segment{sizeOn: int64(len(buf))}
+	var err error
+	if s.table, err = p.str(); err != nil {
+		return nil, ErrCorruptSegment
+	}
+	rows, err := p.uvarint()
+	if err != nil || rows == 0 || rows > 1<<30 {
+		return nil, ErrCorruptSegment
+	}
+	s.rows = int(rows)
+	if s.minRowID, err = p.varint(); err != nil {
+		return nil, ErrCorruptSegment
+	}
+	if s.maxRowID, err = p.varint(); err != nil {
+		return nil, ErrCorruptSegment
+	}
+	if s.minPK, err = p.varint(); err != nil {
+		return nil, ErrCorruptSegment
+	}
+	if s.maxPK, err = p.varint(); err != nil {
+		return nil, ErrCorruptSegment
+	}
+	rowIDOff, err := p.uvarint()
+	if err != nil {
+		return nil, ErrCorruptSegment
+	}
+	rowIDLen, err := p.uvarint()
+	if err != nil {
+		return nil, ErrCorruptSegment
+	}
+	ncols, err := p.uvarint()
+	if err != nil || ncols == 0 || ncols > 1<<16 {
+		return nil, ErrCorruptSegment
+	}
+	type colMeta struct {
+		kind   Kind
+		off, n uint64
+	}
+	metas := make([]colMeta, ncols)
+	s.cols = make([]colVec, ncols)
+	s.zones = make([]zoneMap, ncols)
+	for ci := range metas {
+		kb, err := p.byteVal()
+		if err != nil {
+			return nil, ErrCorruptSegment
+		}
+		metas[ci].kind = Kind(kb)
+		if metas[ci].off, err = p.uvarint(); err != nil {
+			return nil, ErrCorruptSegment
+		}
+		if metas[ci].n, err = p.uvarint(); err != nil {
+			return nil, ErrCorruptSegment
+		}
+		zb, err := p.byteVal()
+		if err != nil || zb > 1 {
+			return nil, ErrCorruptSegment
+		}
+		if zb == 1 {
+			z := &s.zones[ci]
+			z.valid = true
+			if z.minI, err = p.varint(); err != nil {
+				return nil, ErrCorruptSegment
+			}
+			if z.maxI, err = p.varint(); err != nil {
+				return nil, ErrCorruptSegment
+			}
+			if len(p.buf) < 16 {
+				return nil, ErrCorruptSegment
+			}
+			z.minF = math.Float64frombits(binary.LittleEndian.Uint64(p.buf[0:8]))
+			z.maxF = math.Float64frombits(binary.LittleEndian.Uint64(p.buf[8:16]))
+			p.buf = p.buf[16:]
+		}
+	}
+	bodyCRC, err := p.uvarint()
+	if err != nil || !p.empty() {
+		return nil, ErrCorruptSegment
+	}
+	if crc32.ChecksumIEEE(body) != uint32(bodyCRC) {
+		return nil, ErrCorruptSegment
+	}
+
+	slice := func(off, n uint64) ([]byte, error) {
+		if off > uint64(len(body)) || n > uint64(len(body))-off {
+			return nil, ErrCorruptSegment
+		}
+		return body[off : off+n], nil
+	}
+	rb, err := slice(rowIDOff, rowIDLen)
+	if err != nil {
+		return nil, err
+	}
+	if s.rowIDs, err = decodeInt64Block(rb, s.rows); err != nil {
+		return nil, err
+	}
+	for ci, m := range metas {
+		cb, err := slice(m.off, m.n)
+		if err != nil {
+			return nil, err
+		}
+		if s.cols[ci], err = decodeColumn(m.kind, cb, s.rows); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// writeSegmentFile encodes the segment and writes it durably to path
+// (write temp, fsync, rename). The manifest gates visibility, so a crash
+// mid-write leaves only an orphan file that open-time cleanup removes.
+func writeSegmentFile(path string, s *segment) error {
+	buf := encodeSegment(s)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("reldb: write segment: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	s.file = path
+	s.sizeOn = int64(len(buf))
+	return nil
+}
+
+// readSegmentFile loads and validates one segment file.
+func readSegmentFile(path string) (*segment, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reldb: read segment %s: %w", path, err)
+	}
+	s, err := decodeSegment(buf)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	s.file = path
+	return s, nil
+}

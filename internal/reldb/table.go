@@ -19,12 +19,14 @@ type Table struct {
 
 	pkCols    []int // column positions of the primary key
 	dataBytes int64 // approximate stored data volume
+	pkBytes   int64 // approximate primary B-tree key volume
 }
 
 type tableIndex struct {
-	spec IndexSpec
-	cols []int
-	tree *btree
+	spec  IndexSpec
+	cols  []int
+	tree  *btree
+	bytes int64 // approximate key volume held by this index
 }
 
 func newTable(db *DB, schema *Schema) (*Table, error) {
@@ -88,11 +90,14 @@ func (ix *tableIndex) insert(row Row, id int64) error {
 		}
 	}
 	ix.tree.Set(key, id)
+	ix.bytes += int64(len(key)) + 8
 	return nil
 }
 
 func (ix *tableIndex) remove(row Row, id int64) {
-	ix.tree.Delete(ix.key(row, id))
+	key := ix.key(row, id)
+	ix.tree.Delete(key)
+	ix.bytes -= int64(len(key)) + 8
 }
 
 // Schema returns the table's schema. Callers must not mutate it.
@@ -164,6 +169,7 @@ func (t *Table) insertLocked(row Row) (int64, error) {
 	t.rows[id] = row
 	t.primary.Set(pk, id)
 	t.dataBytes += rowBytes(row)
+	t.pkBytes += int64(len(pk)) + 8
 	return id, nil
 }
 
@@ -172,7 +178,9 @@ func (t *Table) deleteLocked(id int64) (Row, error) {
 	if !ok {
 		return nil, fmt.Errorf("reldb: table %q: no row %d", t.schema.Name, id)
 	}
-	t.primary.Delete(t.pkKey(row))
+	pk := t.pkKey(row)
+	t.primary.Delete(pk)
+	t.pkBytes -= int64(len(pk)) + 8
 	for _, ix := range t.indexes {
 		ix.remove(row, id)
 	}
@@ -222,7 +230,18 @@ func (t *Table) updateLocked(id int64, row Row) (Row, error) {
 	t.primary.Set(newPK, id)
 	t.rows[id] = row
 	t.dataBytes += rowBytes(row) - rowBytes(old)
+	t.pkBytes += int64(len(newPK)) - int64(len(oldPK))
 	return old, nil
+}
+
+// indexBytesLocked approximates the key bytes held by the primary
+// B-tree and every secondary index.
+func (t *Table) indexBytesLocked() int64 {
+	n := t.pkBytes
+	for _, ix := range t.indexes {
+		n += ix.bytes
+	}
+	return n
 }
 
 // Len reports the number of rows. It takes the DB read lock.
@@ -293,6 +312,25 @@ func (t *Table) PKScan(prefix []Value, fn func(id int64, row Row) bool) error {
 		return fn(id, t.rows[id])
 	})
 	return nil
+}
+
+// PKRange visits rows whose encoded primary key k satisfies lo <= k < hi
+// in primary-key order; nil bounds are unbounded. The materializer's
+// segment path uses it to walk the unflushed tail of a hot table,
+// starting just past the flushed primary-key maximum.
+func (t *Table) PKRange(lo, hi []Value, fn func(id int64, row Row) bool) {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	var loKey, hiKey []byte
+	if len(lo) > 0 {
+		loKey = EncodeKey(nil, lo...)
+	}
+	if len(hi) > 0 {
+		hiKey = EncodeKey(nil, hi...)
+	}
+	t.primary.Ascend(loKey, hiKey, func(_ []byte, id int64) bool {
+		return fn(id, t.rows[id])
+	})
 }
 
 // IndexScan visits rows whose index-key prefix equals the given values, in

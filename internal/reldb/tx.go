@@ -140,6 +140,7 @@ func (db *DB) reinsertLocked(table string, id int64, row Row) error {
 	t.rows[id] = row
 	t.primary.Set(pk, id)
 	t.dataBytes += rowBytes(row)
+	t.pkBytes += int64(len(pk)) + 8
 	if id >= t.nextID {
 		t.nextID = id + 1
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"perftrack/internal/datastore"
+	"perftrack/internal/reldb"
 )
 
 // Wire types for the v1 HTTP/JSON API. internal/client reuses these, so
@@ -125,11 +126,26 @@ type ReportResponse struct {
 }
 
 // StatsResponse is the Table 1 style store summary plus query-engine
-// counters (GET /v1/stats).
+// counters and storage-engine footprint (GET /v1/stats).
 type StatsResponse struct {
 	APIVersion string                     `json:"api_version"`
 	Store      datastore.Stats            `json:"store"`
 	Engine     datastore.QueryEngineStats `json:"engine"`
+	Storage    StorageStats               `json:"storage"`
+}
+
+// StorageStats describes the storage engine behind the store: its kind,
+// per-table byte footprint, and — on the segment engine — compaction
+// status.
+type StorageStats struct {
+	Kind     string              `json:"kind"`
+	Engine   reldb.Stats         `json:"engine"`
+	Segments *reldb.SegmentStats `json:"segments,omitempty"`
+}
+
+// segmentStatser is implemented by the segment storage engine.
+type segmentStatser interface {
+	SegmentStats() reldb.SegmentStats
 }
 
 // ComparePair is one aligned pair of performance results from the two

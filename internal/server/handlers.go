@@ -415,11 +415,19 @@ func (s *Server) handleResultsStream(w http.ResponseWriter, r *http.Request, req
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
+	es := s.store.Engine().Stats()
+	resp := StatsResponse{
 		APIVersion: APIVersion,
 		Store:      s.store.Stats(),
 		Engine:     s.store.QueryEngineStats(),
-	})
+		Storage:    StorageStats{Kind: es.Kind, Engine: es},
+	}
+	if se, ok := s.store.Engine().(segmentStatser); ok {
+		if st := se.SegmentStats(); st.Enabled {
+			resp.Storage.Segments = &st
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // finite maps NaN and ±Inf — which JSON cannot carry — to 0.

@@ -88,6 +88,30 @@ func (m *serverMetrics) registerStore(store *datastore.Store) {
 	m.reg.CounterFunc("ptserved_store_results_read_total",
 		"Performance results materialized.",
 		func() uint64 { return store.Telemetry().ResultsRead })
+
+	m.reg.CounterFunc("ptserved_store_segment_scans_total",
+		"Columnar segment range scans run by the materializer.",
+		func() uint64 { return store.Telemetry().SegmentScans })
+	m.reg.CounterFunc("ptserved_store_segment_rows_scanned_total",
+		"Rows visited by columnar segment scans.",
+		func() uint64 { return store.Telemetry().SegmentRowsScanned })
+	m.reg.CounterFunc("ptserved_store_zone_map_prunes_total",
+		"Segments skipped by zone-map bounds during range scans.",
+		func() uint64 { return store.Telemetry().ZoneMapPrunes })
+	m.reg.RegisterHistogram("ptserved_store_segment_scan_bytes",
+		"Columnar bytes touched per segment range scan.",
+		store.SegmentScanBytes())
+
+	// Compactor counters live on the storage engine rather than the
+	// store; bridge them only when a segment engine is attached.
+	if se, ok := store.Engine().(segmentStatser); ok {
+		m.reg.CounterFunc("ptserved_store_segments_compacted_total",
+			"Background compaction passes that wrote segments.",
+			func() uint64 { return uint64(se.SegmentStats().Compactions) })
+		m.reg.CounterFunc("ptserved_store_segments_written_total",
+			"Immutable columnar segment files written.",
+			func() uint64 { return uint64(se.SegmentStats().SegmentsWritten) })
+	}
 }
 
 // registerTracer exposes the tracer's lifetime counters.

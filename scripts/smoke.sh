@@ -4,6 +4,9 @@
 # generate data, ingest it over HTTP with ptload -remote, and query it
 # back with ptquery -remote. Exercises startup, ingest, query, reports,
 # health, metrics, and graceful SIGTERM shutdown (drain + checkpoint).
+# A second pass boots the columnar segment engine, forces compaction,
+# kills the server without a checkpoint, and verifies that recovery
+# loses nothing.
 set -eu
 
 workdir=$(mktemp -d)
@@ -13,6 +16,31 @@ cleanup() {
     rm -rf "$workdir"
 }
 trap cleanup EXIT
+
+# start_server LOGFILE ARGS... — boot ptserved in the background and wait
+# for readiness; on timeout, fail fast with the server's log tail instead
+# of leaving only a silent curl retry loop behind.
+start_server() {
+    log=$1
+    shift
+    bin/ptserved "$@" >"$log" 2>&1 &
+    pid=$!
+    for i in $(seq 1 50); do
+        if bin/ptquery -remote "$base" -report stats >/dev/null 2>&1; then
+            return 0
+        fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "ptserved exited during startup; log tail:" >&2
+            tail -n 20 "$log" >&2
+            pid=""
+            exit 1
+        fi
+        sleep 0.2
+    done
+    echo "ptserved did not become ready; log tail:" >&2
+    tail -n 20 "$log" >&2
+    exit 1
+}
 
 echo "== build all commands"
 go build -o "$workdir/bin/" ./cmd/...
@@ -27,15 +55,7 @@ bin/ptgen -kind smg-bgl -out raw -execs 2 -np 64
 bin/ptdfgen -index raw/index.txt -out ptdf
 
 echo "== start ptserved"
-bin/ptserved -db store -addr "$addr" &
-pid=$!
-for i in $(seq 1 50); do
-    if bin/ptquery -remote "$base" -report stats >/dev/null 2>&1; then
-        break
-    fi
-    [ "$i" -eq 50 ] && { echo "ptserved did not become ready" >&2; exit 1; }
-    sleep 0.2
-done
+start_server served.log -db store -addr "$addr"
 
 echo "== remote load"
 bin/ptload -remote "$base" ptdf/*.ptdf
@@ -86,4 +106,45 @@ final=$(bin/ptquery -db store -family 'type=application' -count 2>&1 |
     sed -n 's/^pr-filter matches \([0-9]*\) performance results$/\1/p')
 [ "$final" = "$count" ] || { echo "post-shutdown count $final != served count $count" >&2; exit 1; }
 
-echo "smoke test passed ($count results served)"
+echo "== segment engine: load, compact, crash, recover"
+bin/ptinit -db segstore -storage segment -machines >/dev/null
+start_server segserved.log -db segstore -addr "$addr" -storage segment -segment-flush 8
+
+bin/ptload -remote "$base" ptdf/*.ptdf >/dev/null
+segcount=$(bin/ptquery -remote "$base" -family 'type=application' -count 2>&1 |
+    sed -n 's/^pr-filter matches \([0-9]*\) performance results$/\1/p')
+[ "$segcount" = "$count" ] || { echo "segment store served $segcount != $count results" >&2; exit 1; }
+
+if command -v curl >/dev/null; then
+    echo "== /v1/stats reports segment storage"
+    curl -fsS "$base/v1/stats" > segstats.json
+    grep -q '"kind": "segment"' segstats.json
+    grep -q '"segments"' segstats.json
+fi
+
+# Wait for the background compactor (flush threshold 64 rows) to flush
+# the hot tables into columnar segments.
+for i in $(seq 1 50); do
+    if ls segstore/segments/seg-performance_result-*.seg >/dev/null 2>&1; then
+        break
+    fi
+    [ "$i" -eq 50 ] && { echo "compactor wrote no segments" >&2; exit 1; }
+    sleep 0.2
+done
+
+echo "== kill -9 between compaction and checkpoint"
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+[ -s segstore/perftrack.wal ] || { echo "expected a live WAL after hard kill" >&2; exit 1; }
+
+echo "== recovery serves every committed batch"
+start_server segserved2.log -db segstore -addr "$addr" -storage segment
+recovered=$(bin/ptquery -remote "$base" -family 'type=application' -count 2>&1 |
+    sed -n 's/^pr-filter matches \([0-9]*\) performance results$/\1/p')
+[ "$recovered" = "$count" ] || { echo "post-crash count $recovered != $count" >&2; exit 1; }
+kill -TERM "$pid"
+wait "$pid"
+pid=""
+
+echo "smoke test passed ($count results served, $recovered recovered on segment engine)"
