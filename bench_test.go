@@ -13,6 +13,7 @@ package perftrack
 //	BenchmarkFig6PTdfParse       Figure 6 — PTdf parse throughput
 //	BenchmarkParadynImport       §4.3 — Paradyn bundle → store
 //	BenchmarkCompareExecutions   §6 operators on §4.1 data
+//	BenchmarkDiagnose/*          automated diagnosis over a 100-exec fleet
 //
 // Ablations:
 //
@@ -22,6 +23,7 @@ package perftrack
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -35,6 +37,7 @@ import (
 	"perftrack/internal/compare"
 	"perftrack/internal/core"
 	"perftrack/internal/datastore"
+	"perftrack/internal/diagnose"
 	"perftrack/internal/experiments"
 	"perftrack/internal/gen"
 	"perftrack/internal/irs"
@@ -738,6 +741,37 @@ func BenchmarkMaterialize(b *testing.B) {
 		}
 		report(b)
 	})
+}
+
+// BenchmarkDiagnose measures the automated-diagnosis pipeline (§6
+// extension) over a 100-execution synthetic fleet with a planted
+// compiler=-O0 slowdown: side perf, bottleneck ranking, attribute
+// feature extraction, and predicate enumeration/scoring. Serial pins
+// one worker; Parallel fans out over GOMAXPROCS.
+func BenchmarkDiagnose(b *testing.B) {
+	s, fleet, err := experiments.SeedFleetStore(100, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{{"Serial", 1}, {fmt.Sprintf("Parallel-w%d", runtime.GOMAXPROCS(0)), 0}} {
+		b.Run(c.name, func(b *testing.B) {
+			spec := diagnose.Spec{ExecsA: fleet.Fast, ExecsB: fleet.Slow, Workers: c.workers}
+			for i := 0; i < b.N; i++ {
+				res, err := diagnose.Run(context.Background(), s, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Explanations) == 0 ||
+					res.Explanations[0].Pred.String() != "compiler = -O0" {
+					b.Fatalf("planted predicate not recovered: %+v", res.Explanations)
+				}
+			}
+			b.ReportMetric(float64(len(fleet.Fast)+len(fleet.Slow)), "execs")
+		})
+	}
 }
 
 // prepareBulkFiles writes n generated IRS execution PTdf files to disk,

@@ -5,6 +5,7 @@ package perftrack
 // interactive session, figure regeneration — exactly as a user would.
 
 import (
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -36,6 +37,18 @@ func (c cli) run(tool string, args ...string) string {
 	out, err := cmd.CombinedOutput()
 	if err != nil {
 		c.t.Fatalf("%s %s: %v\n%s", tool, strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+// runFail runs a tool expecting a non-zero exit, returning the combined
+// output.
+func (c cli) runFail(tool string, args ...string) string {
+	c.t.Helper()
+	cmd := exec.Command(filepath.Join(c.bin, tool), args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		c.t.Fatalf("%s %s: expected failure, got success\n%s", tool, strings.Join(args, " "), out)
 	}
 	return string(out)
 }
@@ -169,5 +182,71 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 	if st, err := os.Stat(svg); err != nil || st.Size() == 0 {
 		t.Fatalf("fig5 svg missing: %v", err)
+	}
+}
+
+// TestCLIDiagnose drives ptdiagnose end to end against a hand-planted
+// corpus: load executions whose only systematic difference is a compiler
+// attribute, then recover it as the top-ranked explanation.
+func TestCLIDiagnose(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs all binaries")
+	}
+	c := cli{t: t, bin: buildTools(t)}
+	work := t.TempDir()
+	db := filepath.Join(work, "store")
+	c.run("ptinit", "-db", db)
+
+	var doc strings.Builder
+	doc.WriteString("Application diagapp\nResource /diagapp application\n")
+	diagArgs := []string{"-db", db}
+	for i := 0; i < 8; i++ {
+		name := "diag-" + string(rune('0'+i))
+		compiler, value := "-O2", 100.0
+		side := "-a"
+		if i%2 == 1 {
+			compiler, value, side = "-O0", 200.0, "-b"
+		}
+		fmt.Fprintf(&doc, "Execution %s diagapp\n", name)
+		fmt.Fprintf(&doc, "Resource /%s execution %s\n", name, name)
+		fmt.Fprintf(&doc, "ResourceAttribute /%s compiler %s string\n", name, compiler)
+		fmt.Fprintf(&doc, "PerfResult %s /diagapp,/%s(primary) t \"wall clock time\" %g seconds\n",
+			name, name, value)
+		diagArgs = append(diagArgs, side, name)
+	}
+	docPath := filepath.Join(work, "fleet.ptdf")
+	if err := os.WriteFile(docPath, []byte(doc.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c.run("ptload", "-db", db, docPath)
+
+	out := c.run("ptdiagnose", append(diagArgs, "-explain")...)
+	if !strings.Contains(out, "compiler = -O0") || !strings.Contains(out, "ratio B/A 2.000") {
+		t.Fatalf("ptdiagnose:\n%s", out)
+	}
+	if !strings.Contains(out, "search trace:") {
+		t.Fatalf("ptdiagnose -explain printed no trace:\n%s", out)
+	}
+
+	// 1v1 mode aligns contexts.
+	out = c.run("ptdiagnose", "-db", db, "-a", "diag-0", "-b", "diag-1")
+	if !strings.Contains(out, "aligned contexts") {
+		t.Fatalf("ptdiagnose 1v1:\n%s", out)
+	}
+
+	// Attribute listing.
+	out = c.run("ptdiagnose", "-db", db, "-attrs")
+	if !strings.Contains(out, "compiler") {
+		t.Fatalf("ptdiagnose -attrs:\n%s", out)
+	}
+
+	// A missing execution is a one-line hint and a non-zero exit.
+	out = c.runFail("ptdiagnose", "-db", db, "-a", "diag-0", "-b", "nope")
+	if !strings.Contains(out, `execution "nope" not found (try 'ptquery -report executions'`) {
+		t.Fatalf("ptdiagnose not-found UX:\n%s", out)
+	}
+	out = c.runFail("ptcompare", "-db", db, "-a", "diag-0", "-b", "nope")
+	if !strings.Contains(out, `execution "nope" not found (try 'ptquery -report executions'`) {
+		t.Fatalf("ptcompare not-found UX:\n%s", out)
 	}
 }

@@ -11,11 +11,11 @@
 //	ptbench -schema             print the live Figure 1 schema
 //	ptbench -basetypes          print the Figure 2 base types
 //	ptbench -fig10 -fig11       print the Paradyn hierarchy and mapping
-//	ptbench -benchjson [-bench-rows N] [-bench-out DIR]
+//	ptbench -benchjson [-bench-rows N] [-bench-execs N] [-bench-out DIR]
 //	                            measure materialize and bulk-load per
-//	                            storage engine, writing
-//	                            BENCH_materialize.json and
-//	                            BENCH_bulkload.json
+//	                            storage engine plus serial/parallel
+//	                            diagnosis, writing BENCH_materialize.json,
+//	                            BENCH_bulkload.json, and BENCH_diagnose.json
 package main
 
 import (
@@ -45,6 +45,7 @@ func main() {
 	benchJSON := flag.Bool("benchjson", false, "benchmark each storage engine and write BENCH_*.json artifacts")
 	benchRows := flag.Int("bench-rows", 100_000, "synthetic result rows for -benchjson")
 	benchIters := flag.Int("bench-iters", 3, "timed materialize iterations per engine for -benchjson")
+	benchExecs := flag.Int("bench-execs", 100, "synthetic fleet executions for the -benchjson diagnosis rows")
 	benchOut := flag.String("bench-out", ".", "directory for the -benchjson artifacts")
 	flag.Parse()
 
@@ -146,7 +147,7 @@ func main() {
 	}
 	if *benchJSON {
 		any = true
-		if err := runBenchJSON(*benchRows, *benchIters, *benchOut); err != nil {
+		if err := runBenchJSON(*benchRows, *benchIters, *benchExecs, *benchOut); err != nil {
 			fatal(err)
 		}
 	}
@@ -157,9 +158,10 @@ func main() {
 }
 
 // runBenchJSON measures MaterializeResults and bulk load on every
-// storage engine over the synthetic corpus and writes one JSON artifact
-// per operation (BENCH_materialize.json, BENCH_bulkload.json).
-func runBenchJSON(rows, iters int, outDir string) error {
+// storage engine over the synthetic corpus, plus serial-vs-parallel
+// fleet diagnosis, and writes one JSON artifact per operation
+// (BENCH_materialize.json, BENCH_bulkload.json, BENCH_diagnose.json).
+func runBenchJSON(rows, iters, execs int, outDir string) error {
 	engines := []string{reldb.KindMem, reldb.KindWAL, reldb.KindSegment}
 	work, err := os.MkdirTemp("", "perftrack-bench-*")
 	if err != nil {
@@ -187,6 +189,22 @@ func runBenchJSON(rows, iters int, outDir string) error {
 	if err := writeBenchArtifact(filepath.Join(outDir, "BENCH_bulkload.json"), bulk); err != nil {
 		return err
 	}
+	var diag []experiments.BenchResult
+	for _, workers := range []int{1, 0} {
+		mode := "serial"
+		if workers == 0 {
+			mode = "parallel"
+		}
+		fmt.Fprintf(os.Stderr, "ptbench: diagnose %s (%d executions)...\n", mode, execs)
+		d, err := experiments.DiagnoseBenchmark(execs, iters, workers)
+		if err != nil {
+			return fmt.Errorf("diagnose %s: %w", mode, err)
+		}
+		diag = append(diag, d)
+	}
+	if err := writeBenchArtifact(filepath.Join(outDir, "BENCH_diagnose.json"), diag); err != nil {
+		return err
+	}
 	for _, r := range mat {
 		fmt.Printf("materialize %-8s %8d rows  %12.0f ns/op  %8.1f MB/s\n",
 			r.Engine, r.Rows, r.NsPerOp, r.MBPerSec)
@@ -194,6 +212,10 @@ func runBenchJSON(rows, iters int, outDir string) error {
 	for _, r := range bulk {
 		fmt.Printf("bulkload    %-8s %8d rows  %12.0f ns/op  %8.1f MB/s\n",
 			r.Engine, r.Rows, r.NsPerOp, r.MBPerSec)
+	}
+	for _, r := range diag {
+		fmt.Printf("diagnose    %-8s %8d execs %12.0f ns/op\n",
+			r.Engine, r.Rows, r.NsPerOp)
 	}
 	return nil
 }

@@ -15,9 +15,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"perftrack/internal/client"
@@ -58,7 +60,7 @@ func main() {
 	}
 	cmp, err := compare.Executions(store, *execA, *execB)
 	if err != nil {
-		fatal(err)
+		fatalExec(err, *execA, *execB)
 	}
 	if *metric != "" {
 		cmp = cmp.FilterMetric(*metric)
@@ -116,7 +118,7 @@ func compareRemote(baseURL, execA, execB, metric string, threshold float64, diag
 		Metric: metric, Threshold: threshold, Top: top,
 	})
 	if err != nil {
-		fatal(err)
+		fatalExec(err, execA, execB)
 	}
 	sum := resp.Summary
 	fmt.Printf("comparing %s (A) vs %s (B)\n", execA, execB)
@@ -186,6 +188,21 @@ func resourceLabel(ctx []core.ResourceName) string {
 		}
 	}
 	return strings.Join(parts, ",")
+}
+
+// fatalExec maps a missing execution onto a one-line hint naming the
+// execution; anything else falls through to fatal.
+func fatalExec(err error, execs ...string) {
+	if errors.Is(err, datastore.ErrNotFound) {
+		for _, e := range execs {
+			if strings.Contains(err.Error(), strconv.Quote(e)) {
+				fmt.Fprintf(os.Stderr,
+					"ptcompare: execution %q not found (try 'ptquery -report executions' to list executions)\n", e)
+				os.Exit(1)
+			}
+		}
+	}
+	fatal(err)
 }
 
 func fatal(err error) {

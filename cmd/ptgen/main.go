@@ -5,6 +5,7 @@
 // Usage:
 //
 //	ptgen -kind irs|smg-uv|smg-bgl|paradyn -out DIR [-execs N] [-np N] [-seed N]
+//	ptgen -kind fleet -out DIR [-execs N] [-seed N]   # diagnosis fleet as PTdf
 //	ptgen -kind smg -show        # print one sample file to stdout (Figure 7)
 //	ptgen -kind mpip -show       # print one sample report (Figure 8)
 package main
@@ -19,11 +20,12 @@ import (
 	"perftrack/internal/mpip"
 	"perftrack/internal/paradyn"
 	"perftrack/internal/pmapi"
+	"perftrack/internal/ptdf"
 	"perftrack/internal/smg"
 )
 
 func main() {
-	kind := flag.String("kind", "", "dataset kind: irs, smg-uv, smg-bgl, paradyn; with -show also smg, mpip, pmapi")
+	kind := flag.String("kind", "", "dataset kind: irs, smg-uv, smg-bgl, paradyn, fleet; with -show also smg, mpip, pmapi")
 	out := flag.String("out", "", "output directory")
 	execs := flag.Int("execs", 5, "number of executions")
 	np := flag.Int("np", 64, "processes per execution")
@@ -47,6 +49,10 @@ func main() {
 		if err := writeStudy(*kind, *out, *execs, *np, *seed); err != nil {
 			fatal(err)
 		}
+	case "fleet":
+		if err := writeFleet(*out, *execs, *seed); err != nil {
+			fatal(err)
+		}
 	case "paradyn":
 		for e := 0; e < *execs; e++ {
 			execName := fmt.Sprintf("irs-pd-%03d", e)
@@ -64,6 +70,34 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown kind %q", *kind))
 	}
+}
+
+// writeFleet emits a diagnosis fleet (execs runs spread over MCR and
+// Frost with a planted compiler=-O0 2x slowdown on half) as one PTdf
+// file — the corpus the ptdiagnose quickstart loads.
+func writeFleet(out string, execs int, seed int64) error {
+	fleet, err := gen.FleetRecords(gen.FleetSpec{Execs: execs, Seed: seed})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(out, "fleet.ptdf")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = ptdf.WriteAll(f, fleet.Records)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d executions (%d fast compiler=-O2, %d slow compiler=-O0)\n",
+		path, execs, len(fleet.Fast), len(fleet.Slow))
+	return nil
 }
 
 func writeStudy(kind, out string, execs, np int, seed int64) error {

@@ -154,6 +154,64 @@ func TestResultsStreamEndToEnd(t *testing.T) {
 	}
 }
 
+// attrDoc is execDoc plus a compiler attribute on the execution
+// resource, so a diagnosis has a predicate to find.
+func attrDoc(tag string, value float64, compiler string) string {
+	return fmt.Sprintf(`Application app
+Execution %s app
+Resource /app application
+Resource /%s execution %s
+ResourceAttribute /%s compiler %s string
+PerfResult %s /app,/%s(primary) t "wall time" %g seconds
+`, tag, tag, tag, tag, compiler, tag, tag, value)
+}
+
+func TestClientDiagnoseAndAttributes(t *testing.T) {
+	c := newAPIServer(t)
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		compiler, value := "-O2", 100.0
+		if i%2 == 1 {
+			compiler, value = "-O0", 200.0
+		}
+		doc := attrDoc(fmt.Sprintf("e%d", i), value, compiler)
+		if _, err := c.Load(ctx, strings.NewReader(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := c.Diagnose(ctx, server.DiagnoseRequest{
+		ExecsA: []string{"e0", "e2", "e4", "e6"},
+		ExecsB: []string{"e1", "e3", "e5", "e7"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Explanations) == 0 || resp.Explanations[0].Predicate != "compiler = -O0" {
+		t.Fatalf("explanations = %+v", resp.Explanations)
+	}
+	if resp.Ratio == nil || *resp.Ratio != 2 {
+		t.Errorf("ratio = %v, want 2", resp.Ratio)
+	}
+
+	ar, err := c.Attributes(ctx, "comp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Keys) != 1 || ar.Keys[0].Name != "compiler" || ar.Keys[0].Distinct != 2 {
+		t.Errorf("attributes = %+v", ar.Keys)
+	}
+
+	// Typed errors surface through Diagnose like every other call.
+	_, err = c.Diagnose(ctx, server.DiagnoseRequest{ExecA: "ghost", ExecB: "e0"})
+	if !errors.Is(err, datastore.ErrNotFound) {
+		t.Errorf("unknown exec: err = %v, want ErrNotFound", err)
+	}
+	_, err = c.Diagnose(ctx, server.DiagnoseRequest{ExecA: "e0"})
+	if !errors.Is(err, datastore.ErrBadSpec) {
+		t.Errorf("missing side: err = %v, want ErrBadSpec", err)
+	}
+}
+
 func TestClientStats(t *testing.T) {
 	c := newAPIServer(t)
 	ctx := context.Background()

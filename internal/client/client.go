@@ -366,6 +366,33 @@ func (c *Client) Compare(ctx context.Context, execA, execB string, opts CompareO
 	return out, err
 }
 
+// Diagnose runs an automated multi-execution diagnosis on the server
+// (POST /v1/diagnose) and returns the ranked explanations. The request
+// is idempotent, so transient failures retry like any other call; an
+// unknown execution unwraps to datastore.ErrNotFound and a malformed
+// spec to datastore.ErrBadSpec.
+func (c *Client) Diagnose(ctx context.Context, req server.DiagnoseRequest) (server.DiagnoseResponse, error) {
+	var out server.DiagnoseResponse
+	err := c.postJSON(ctx, "/v1/diagnose", req, &out)
+	return out, err
+}
+
+// Attributes lists attribute keys and their value domains
+// (GET /v1/attributes), optionally filtered by name prefix.
+func (c *Client) Attributes(ctx context.Context, prefix string) (server.AttributesResponse, error) {
+	q := url.Values{}
+	if prefix != "" {
+		q.Set("prefix", prefix)
+	}
+	path := "/v1/attributes"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out server.AttributesResponse
+	err := c.do(ctx, http.MethodGet, path, "", nil, &out)
+	return out, err
+}
+
 // BatchDoc names one PTdf document for LoadBatch.
 type BatchDoc struct {
 	Name string

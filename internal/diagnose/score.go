@@ -1,0 +1,336 @@
+package diagnose
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Enumeration bounds. Equality predicates are only generated over small
+// value domains (larger categorical domains — timestamps, run IDs —
+// cannot generalize and would flood the candidate list); numeric domains
+// of any size are covered by at most maxThresholds threshold predicates
+// drawn from the midpoints between adjacent distinct values.
+const (
+	maxEqDomain   = 12
+	maxThresholds = 15
+	matchedSample = 5
+)
+
+// Predicate is one candidate explanation over a single attribute:
+// an equality test ("compiler = -O0") or a numeric threshold test
+// ("clock MHz <= 937.5"). A predicate holds for an execution when any
+// resource in the execution's footprint carries a satisfying effective
+// value; it is undefined for executions whose footprint lacks the
+// attribute (or, for numeric ops, lacks a parseable value).
+type Predicate struct {
+	Attr  string
+	Op    string // "=", "!=", "<=", ">"
+	Value string
+
+	threshold float64 // parsed Value for numeric ops
+}
+
+func (p Predicate) String() string {
+	return fmt.Sprintf("%s %s %s", p.Attr, p.Op, p.Value)
+}
+
+// Holds evaluates the predicate over one execution's values for the
+// attribute, reporting (holds, defined).
+func (p Predicate) Holds(vals []string) (bool, bool) {
+	if len(vals) == 0 {
+		return false, false
+	}
+	switch p.Op {
+	case "=":
+		for _, v := range vals {
+			if v == p.Value {
+				return true, true
+			}
+		}
+		return false, true
+	case "!=":
+		for _, v := range vals {
+			if v == p.Value {
+				return false, true
+			}
+		}
+		return true, true
+	case "<=", ">":
+		defined := false
+		for _, v := range vals {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				continue
+			}
+			defined = true
+			if (p.Op == "<=") == (f <= p.threshold) {
+				return true, true
+			}
+		}
+		return false, defined
+	}
+	return false, false
+}
+
+// negate flips the predicate to its complement over defined executions,
+// so that a candidate that characterizes the fast side is reported as its
+// mirror image characterizing the slow side.
+func (p Predicate) negate() Predicate {
+	switch p.Op {
+	case "=":
+		p.Op = "!="
+	case "!=":
+		p.Op = "="
+	case "<=":
+		p.Op = ">"
+	case ">":
+		p.Op = "<="
+	}
+	return p
+}
+
+// Explanation is one scored candidate explanation for the slowdown.
+type Explanation struct {
+	Pred Predicate
+	// Score = Effect × Coverage, the PerfXplain-style ranking key.
+	Score float64
+	// Effect is the separation the predicate achieves: the fraction of
+	// defined slow-side (B) executions it matches minus the fraction of
+	// defined fast-side (A) executions it matches. Candidates are oriented
+	// (negated if needed) so Effect ≥ 0; it is 0 whenever either side has
+	// no defined executions (a zero-baseline predicate cannot explain a
+	// difference between the sides).
+	Effect float64
+	// Coverage is the fraction of all selected executions for which the
+	// predicate is defined.
+	Coverage         float64
+	MatchA, DefinedA int
+	MatchB, DefinedB int
+	// MeanHold/MeanNot are the mean perf of defined executions the
+	// predicate matches / does not match; Delta = MeanHold - MeanNot and
+	// Ratio = MeanHold / MeanNot. All are NaN when a group is empty (and
+	// Ratio when MeanNot is 0); the wire layer encodes NaN as null.
+	MeanHold, MeanNot float64
+	Delta, Ratio      float64
+	// MatchedB/MatchedA sample execution names matching the predicate.
+	MatchedB, MatchedA []string
+
+	// sig fingerprints which executions the predicate matches, so ranking
+	// can collapse predicates that select the identical population (e.g.
+	// `x != a` mirrors `x = b` over a two-value domain).
+	sig string
+}
+
+// enumerate generates the candidate predicates for one attribute from the
+// per-execution value matrix. It returns the candidates and, when the
+// attribute is skipped, the reason (for -explain traces).
+func enumerate(attr string, matrix [][]string, minCoverage float64) ([]Predicate, string) {
+	defined := 0
+	domain := make(map[string]bool)
+	for _, vals := range matrix {
+		if len(vals) > 0 {
+			defined++
+		}
+		for _, v := range vals {
+			domain[v] = true
+		}
+	}
+	if len(matrix) == 0 || defined == 0 {
+		return nil, "no executions carry it"
+	}
+	if cov := float64(defined) / float64(len(matrix)); cov < minCoverage {
+		return nil, fmt.Sprintf("coverage %.2f below minimum %.2f", cov, minCoverage)
+	}
+	if len(domain) < 2 {
+		return nil, "constant value (nothing to discriminate)"
+	}
+	values := make([]string, 0, len(domain))
+	for v := range domain {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+
+	nums := make([]float64, 0, len(values))
+	numeric := true
+	for _, v := range values {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			numeric = false
+			break
+		}
+		nums = append(nums, f)
+	}
+	var preds []Predicate
+	if len(values) <= maxEqDomain {
+		for _, v := range values {
+			preds = append(preds, Predicate{Attr: attr, Op: "=", Value: v})
+		}
+	} else if !numeric {
+		return nil, fmt.Sprintf("categorical domain of %d values exceeds %d", len(domain), maxEqDomain)
+	}
+	if numeric && len(nums) >= 2 {
+		sort.Float64s(nums)
+		mids := make([]float64, 0, len(nums)-1)
+		for i := 1; i < len(nums); i++ {
+			mids = append(mids, (nums[i-1]+nums[i])/2)
+		}
+		// Cap thresholds by sampling the midpoints evenly.
+		step := 1
+		if len(mids) > maxThresholds {
+			step = (len(mids) + maxThresholds - 1) / maxThresholds
+		}
+		for i := 0; i < len(mids); i += step {
+			t := mids[i]
+			preds = append(preds, Predicate{
+				Attr: attr, Op: "<=",
+				Value:     strconv.FormatFloat(t, 'g', -1, 64),
+				threshold: t,
+			})
+		}
+	}
+	return preds, ""
+}
+
+// scoreCandidate evaluates one predicate over every selected execution.
+// profiles and matrix are index-aligned; profiles[i].slow marks side B.
+func scoreCandidate(pred Predicate, matrix [][]string, profiles []profile) Explanation {
+	matchA, defA, matchB, defB := 0, 0, 0, 0
+	for i, vals := range matrix {
+		holds, defined := pred.Holds(vals)
+		if !defined {
+			continue
+		}
+		if profiles[i].slow {
+			defB++
+			if holds {
+				matchB++
+			}
+		} else {
+			defA++
+			if holds {
+				matchA++
+			}
+		}
+	}
+	effect := 0.0
+	if defA > 0 && defB > 0 {
+		effect = float64(matchB)/float64(defB) - float64(matchA)/float64(defA)
+	}
+	if effect < 0 {
+		pred = pred.negate()
+		matchA, matchB = defA-matchA, defB-matchB
+		effect = -effect
+	}
+	ex := Explanation{
+		Pred:     pred,
+		Effect:   effect,
+		Coverage: float64(defA+defB) / float64(len(profiles)),
+		MatchA:   matchA, DefinedA: defA,
+		MatchB: matchB, DefinedB: defB,
+	}
+	ex.Score = ex.Effect * ex.Coverage
+	// Second pass with the oriented predicate: perf split, samples, and
+	// the match-set fingerprint.
+	sumHold, nHold, sumNot, nNot := 0.0, 0, 0.0, 0
+	sig := make([]byte, len(matrix))
+	for i, vals := range matrix {
+		holds, defined := pred.Holds(vals)
+		switch {
+		case !defined:
+			sig[i] = 'u'
+		case holds:
+			sig[i] = 'h'
+		default:
+			sig[i] = 'n'
+		}
+		if !defined {
+			continue
+		}
+		if holds {
+			if profiles[i].slow && len(ex.MatchedB) < matchedSample {
+				ex.MatchedB = append(ex.MatchedB, profiles[i].name)
+			}
+			if !profiles[i].slow && len(ex.MatchedA) < matchedSample {
+				ex.MatchedA = append(ex.MatchedA, profiles[i].name)
+			}
+		}
+		if !profiles[i].perfOK {
+			continue
+		}
+		if holds {
+			sumHold += profiles[i].perf
+			nHold++
+		} else {
+			sumNot += profiles[i].perf
+			nNot++
+		}
+	}
+	ex.MeanHold, ex.MeanNot = math.NaN(), math.NaN()
+	if nHold > 0 {
+		ex.MeanHold = sumHold / float64(nHold)
+	}
+	if nNot > 0 {
+		ex.MeanNot = sumNot / float64(nNot)
+	}
+	ex.Delta = ex.MeanHold - ex.MeanNot
+	if ex.MeanNot == 0 {
+		ex.Ratio = math.NaN()
+	} else {
+		ex.Ratio = ex.MeanHold / ex.MeanNot
+	}
+	ex.sig = string(sig)
+	return ex
+}
+
+// opRank orders predicate forms at equal score: direct forms before
+// negations, so `compiler = -O0` outranks its mirror `compiler != -O2`.
+func opRank(op string) int {
+	switch op {
+	case "=":
+		return 0
+	case "<=":
+		return 1
+	case ">":
+		return 2
+	default:
+		return 3
+	}
+}
+
+// rankExplanations sorts scored candidates best-first and drops
+// duplicates (a negated equality over a two-value domain mirrors the
+// other value's predicate) and zero-score candidates.
+func rankExplanations(exs []Explanation) []Explanation {
+	sort.Slice(exs, func(i, j int) bool {
+		a, b := exs[i], exs[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Effect != b.Effect {
+			return a.Effect > b.Effect
+		}
+		if a.MatchB != b.MatchB {
+			return a.MatchB > b.MatchB
+		}
+		if ra, rb := opRank(a.Pred.Op), opRank(b.Pred.Op); ra != rb {
+			return ra < rb
+		}
+		return a.Pred.String() < b.Pred.String()
+	})
+	seen := make(map[string]bool, len(exs))
+	out := exs[:0]
+	for _, ex := range exs {
+		if ex.Score <= 0 {
+			continue
+		}
+		key := ex.Pred.Attr + "\x00" + ex.sig
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, ex)
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package diagnose
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPredicateHolds(t *testing.T) {
+	tests := []struct {
+		name          string
+		pred          Predicate
+		vals          []string
+		holds, defind bool
+	}{
+		{"eq match", Predicate{Attr: "c", Op: "=", Value: "-O0"}, []string{"-O0"}, true, true},
+		{"eq miss", Predicate{Attr: "c", Op: "=", Value: "-O0"}, []string{"-O2"}, false, true},
+		{"eq any-of", Predicate{Attr: "c", Op: "=", Value: "-O0"}, []string{"-O2", "-O0"}, true, true},
+		{"eq undefined", Predicate{Attr: "c", Op: "=", Value: "-O0"}, nil, false, false},
+		{"neq holds", Predicate{Attr: "c", Op: "!=", Value: "-O0"}, []string{"-O2"}, true, true},
+		{"neq miss", Predicate{Attr: "c", Op: "!=", Value: "-O0"}, []string{"-O2", "-O0"}, false, true},
+		{"neq undefined", Predicate{Attr: "c", Op: "!=", Value: "-O0"}, nil, false, false},
+		{"le match", Predicate{Attr: "n", Op: "<=", threshold: 48}, []string{"32"}, true, true},
+		{"le miss", Predicate{Attr: "n", Op: "<=", threshold: 48}, []string{"64"}, false, true},
+		{"le any-of", Predicate{Attr: "n", Op: "<=", threshold: 48}, []string{"64", "32"}, true, true},
+		{"le unparsable", Predicate{Attr: "n", Op: "<=", threshold: 48}, []string{"small"}, false, false},
+		{"le mixed", Predicate{Attr: "n", Op: "<=", threshold: 48}, []string{"small", "64"}, false, true},
+		{"gt match", Predicate{Attr: "n", Op: ">", threshold: 48}, []string{"64"}, true, true},
+		{"gt miss", Predicate{Attr: "n", Op: ">", threshold: 48}, []string{"32"}, false, true},
+	}
+	for _, tt := range tests {
+		holds, defined := tt.pred.Holds(tt.vals)
+		if holds != tt.holds || defined != tt.defind {
+			t.Errorf("%s: Holds(%v) = (%v, %v), want (%v, %v)",
+				tt.name, tt.vals, holds, defined, tt.holds, tt.defind)
+		}
+	}
+}
+
+func TestPredicateNegate(t *testing.T) {
+	for _, tt := range []struct{ op, want string }{
+		{"=", "!="}, {"!=", "="}, {"<=", ">"}, {">", "<="},
+	} {
+		if got := (Predicate{Op: tt.op}).negate().Op; got != tt.want {
+			t.Errorf("negate(%s) = %s, want %s", tt.op, got, tt.want)
+		}
+	}
+}
+
+// mkProfiles builds nFast fast profiles followed by nSlow slow ones, with
+// the given perf values (NaN perf marks the execution unmeasured).
+func mkProfiles(fastPerf, slowPerf []float64) []profile {
+	var out []profile
+	for i, v := range fastPerf {
+		p := profile{name: "fast-" + string(rune('a'+i)), perf: v, perfOK: !math.IsNaN(v)}
+		out = append(out, p)
+	}
+	for i, v := range slowPerf {
+		p := profile{name: "slow-" + string(rune('a'+i)), slow: true, perf: v, perfOK: !math.IsNaN(v)}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestScoreCandidatePerfectSeparation(t *testing.T) {
+	profiles := mkProfiles([]float64{10, 10}, []float64{20, 20})
+	matrix := [][]string{{"-O2"}, {"-O2"}, {"-O0"}, {"-O0"}}
+	ex := scoreCandidate(Predicate{Attr: "compiler", Op: "=", Value: "-O0"}, matrix, profiles)
+	if ex.Effect != 1 || ex.Coverage != 1 || ex.Score != 1 {
+		t.Fatalf("effect/coverage/score = %v/%v/%v, want 1/1/1", ex.Effect, ex.Coverage, ex.Score)
+	}
+	if ex.MatchB != 2 || ex.MatchA != 0 || ex.DefinedA != 2 || ex.DefinedB != 2 {
+		t.Fatalf("counts = %+v", ex)
+	}
+	if ex.MeanHold != 20 || ex.MeanNot != 10 || ex.Delta != 10 || ex.Ratio != 2 {
+		t.Fatalf("delta summary = hold %v not %v delta %v ratio %v", ex.MeanHold, ex.MeanNot, ex.Delta, ex.Ratio)
+	}
+}
+
+func TestScoreCandidateOrientsTowardSlowSide(t *testing.T) {
+	// The candidate characterizes the fast side; scoring must flip it.
+	profiles := mkProfiles([]float64{10, 10}, []float64{20, 20})
+	matrix := [][]string{{"-O2"}, {"-O2"}, {"-O0"}, {"-O0"}}
+	ex := scoreCandidate(Predicate{Attr: "compiler", Op: "=", Value: "-O2"}, matrix, profiles)
+	if ex.Pred.Op != "!=" || ex.Pred.Value != "-O2" {
+		t.Fatalf("predicate not negated: %v", ex.Pred)
+	}
+	if ex.Effect != 1 || ex.MatchB != 2 || ex.MatchA != 0 {
+		t.Fatalf("flipped counts wrong: %+v", ex)
+	}
+}
+
+func TestScoreCandidateZeroBaseline(t *testing.T) {
+	// Attribute defined only on the slow side: no baseline to compare
+	// against, so the effect (and score) must be zero, not NaN or 1.
+	profiles := mkProfiles([]float64{10}, []float64{20, 20})
+	matrix := [][]string{nil, {"x"}, {"x"}}
+	ex := scoreCandidate(Predicate{Attr: "a", Op: "=", Value: "x"}, matrix, profiles)
+	if ex.Effect != 0 || ex.Score != 0 {
+		t.Fatalf("zero-baseline effect/score = %v/%v, want 0/0", ex.Effect, ex.Score)
+	}
+	if ex.Coverage <= 0.66 || ex.Coverage >= 0.67 {
+		t.Fatalf("coverage = %v, want 2/3", ex.Coverage)
+	}
+}
+
+func TestScoreCandidateNaNAndInfPerf(t *testing.T) {
+	// Unmeasured executions (NaN) are excluded from the delta summary;
+	// infinite measurements propagate without panicking.
+	profiles := mkProfiles([]float64{math.NaN()}, []float64{math.Inf(1)})
+	matrix := [][]string{{"fast"}, {"slow"}}
+	ex := scoreCandidate(Predicate{Attr: "k", Op: "=", Value: "slow"}, matrix, profiles)
+	if !math.IsInf(ex.MeanHold, 1) {
+		t.Fatalf("MeanHold = %v, want +Inf", ex.MeanHold)
+	}
+	if !math.IsNaN(ex.MeanNot) || !math.IsNaN(ex.Delta) || !math.IsNaN(ex.Ratio) {
+		t.Fatalf("NaN propagation: not %v delta %v ratio %v", ex.MeanNot, ex.Delta, ex.Ratio)
+	}
+}
+
+func TestScoreCandidateZeroDenominatorRatio(t *testing.T) {
+	profiles := mkProfiles([]float64{0, 0}, []float64{5, 5})
+	matrix := [][]string{{"f"}, {"f"}, {"s"}, {"s"}}
+	ex := scoreCandidate(Predicate{Attr: "k", Op: "=", Value: "s"}, matrix, profiles)
+	if !math.IsNaN(ex.Ratio) {
+		t.Fatalf("Ratio with zero MeanNot = %v, want NaN", ex.Ratio)
+	}
+	if ex.Delta != 5 {
+		t.Fatalf("Delta = %v, want 5", ex.Delta)
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	tests := []struct {
+		name     string
+		matrix   [][]string
+		minCov   float64
+		nPreds   int
+		skipPart string
+	}{
+		{"empty", nil, 0.25, 0, "no executions"},
+		{"undefined", [][]string{nil, nil}, 0.25, 0, "no executions"},
+		{"low coverage", [][]string{{"a"}, nil, nil, nil, {"b"}}, 0.5, 0, "coverage"},
+		{"constant", [][]string{{"a"}, {"a"}}, 0.25, 0, "constant"},
+		{"small categorical", [][]string{{"a"}, {"b"}, {"c"}}, 0.25, 3, ""},
+		{"numeric small", [][]string{{"1"}, {"2"}, {"4"}}, 0.25, 5, ""}, // 3 eq + 2 thresholds
+	}
+	for _, tt := range tests {
+		preds, skip := enumerate("k", tt.matrix, tt.minCov)
+		if tt.skipPart != "" {
+			if skip == "" || !strings.Contains(skip, tt.skipPart) {
+				t.Errorf("%s: skip = %q, want containing %q", tt.name, skip, tt.skipPart)
+			}
+			continue
+		}
+		if skip != "" {
+			t.Errorf("%s: unexpected skip %q", tt.name, skip)
+			continue
+		}
+		if len(preds) != tt.nPreds {
+			t.Errorf("%s: %d predicates %v, want %d", tt.name, len(preds), preds, tt.nPreds)
+		}
+	}
+
+	// Large categorical domains are rejected outright.
+	big := make([][]string, maxEqDomain+2)
+	for i := range big {
+		big[i] = []string{"v" + strings.Repeat("x", i)}
+	}
+	if _, skip := enumerate("k", big, 0); !strings.Contains(skip, "categorical domain") {
+		t.Errorf("big categorical skip = %q", skip)
+	}
+
+	// Large numeric domains fall back to capped thresholds.
+	bigNum := make([][]string, 40)
+	for i := range bigNum {
+		bigNum[i] = []string{string(rune('0'+i/10)) + string(rune('0'+i%10))} // "00".."39"
+	}
+	preds, skip := enumerate("k", bigNum, 0)
+	if skip != "" {
+		t.Fatalf("numeric domain skipped: %q", skip)
+	}
+	if len(preds) == 0 || len(preds) > maxThresholds {
+		t.Fatalf("threshold cap: got %d predicates, want 1..%d", len(preds), maxThresholds)
+	}
+	for _, p := range preds {
+		if p.Op != "<=" {
+			t.Fatalf("expected only threshold predicates, got %v", p)
+		}
+	}
+}
+
+func TestRankExplanationsPrefersEqualityAndDedups(t *testing.T) {
+	profiles := mkProfiles([]float64{10, 10}, []float64{20, 20})
+	matrix := [][]string{{"-O2"}, {"-O2"}, {"-O0"}, {"-O0"}}
+	// Score both equality candidates: "= -O0" survives as-is, "= -O2"
+	// orients into "!= -O2" with the identical match set.
+	exs := []Explanation{
+		scoreCandidate(Predicate{Attr: "compiler", Op: "=", Value: "-O0"}, matrix, profiles),
+		scoreCandidate(Predicate{Attr: "compiler", Op: "=", Value: "-O2"}, matrix, profiles),
+	}
+	ranked := rankExplanations(exs)
+	if len(ranked) != 1 {
+		t.Fatalf("expected mirror predicates to dedup, got %d: %v", len(ranked), ranked)
+	}
+	if got := ranked[0].Pred.String(); got != "compiler = -O0" {
+		t.Fatalf("kept %q, want the equality form", got)
+	}
+
+	// Zero-score explanations are dropped.
+	flat := [][]string{{"x"}, {"x"}, {"x"}, {"x"}}
+	exs = []Explanation{scoreCandidate(Predicate{Attr: "k", Op: "=", Value: "x"}, flat, profiles)}
+	if got := rankExplanations(exs); len(got) != 0 {
+		t.Fatalf("zero-score explanation survived: %v", got)
+	}
+}

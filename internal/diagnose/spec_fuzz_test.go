@@ -1,0 +1,37 @@
+package diagnose
+
+import (
+	"errors"
+	"testing"
+
+	"perftrack/internal/datastore"
+)
+
+// FuzzDiagnoseSpec fuzzes the /v1/diagnose request parser: any input must
+// either parse into a Spec that re-validates cleanly or fail with
+// ErrBadSpec — never panic, never return a half-valid spec.
+func FuzzDiagnoseSpec(f *testing.F) {
+	f.Add(`{"exec_a":"a","exec_b":"b"}`)
+	f.Add(`{"execs_a":["a","b"],"execs_b":["c"],"metric":"time","top":5}`)
+	f.Add(`{"families_a":["type=application"],"families_b":["attr=compiler=-O0"],"min_coverage":0.5}`)
+	f.Add(`{"exec_a":"a","exec_b":"b","explain":true}`)
+	f.Add(`{"exec_a":"a","exec_b":"b","top":-1}`)
+	f.Add(`{"exec_a":"a"}`)
+	f.Add(`{"unknown":true}`)
+	f.Add(`{"exec_a":"a","exec_b":"b"}{"trailing":1}`)
+	f.Add(`[]`)
+	f.Add(`null`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, data string) {
+		sp, err := ParseRequest([]byte(data))
+		if err != nil {
+			if !errors.Is(err, datastore.ErrBadSpec) {
+				t.Fatalf("non-ErrBadSpec parse error: %v", err)
+			}
+			return
+		}
+		if verr := sp.Validate(); verr != nil {
+			t.Fatalf("accepted spec fails validation: %+v: %v", sp, verr)
+		}
+	})
+}

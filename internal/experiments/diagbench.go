@@ -1,0 +1,77 @@
+package experiments
+
+// Timing harness behind BenchmarkDiagnose and `ptbench -benchjson`'s
+// BENCH_diagnose.json artifact: a synthetic fleet with one planted
+// discriminating attribute, diagnosed end to end (side selection,
+// feature extraction, predicate enumeration, scoring).
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"perftrack/internal/datastore"
+	"perftrack/internal/diagnose"
+	"perftrack/internal/gen"
+	"perftrack/internal/reldb"
+)
+
+// SeedFleetStore builds the standard diagnosis fleet (execs executions,
+// planted compiler=-O0 2x slowdown) in a fresh in-memory store.
+func SeedFleetStore(execs int, seed int64) (*datastore.Store, *gen.Fleet, error) {
+	fleet, err := gen.FleetRecords(gen.FleetSpec{Execs: execs, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := datastore.Open(reldb.NewMem())
+	if err != nil {
+		return nil, nil, err
+	}
+	batch := s.NewBatch()
+	for _, rec := range fleet.Records {
+		batch.Stage(rec)
+	}
+	if _, err := batch.Commit(); err != nil {
+		return nil, nil, err
+	}
+	return s, fleet, nil
+}
+
+// DiagnoseBenchmark times a full set-vs-set diagnosis over a synthetic
+// fleet, averaging iters runs. workers=1 is the serial path; workers=0
+// lets the diagnoser fan out over GOMAXPROCS. The Engine column carries
+// the mode so serial and parallel rows are comparable in one artifact;
+// Rows is the fleet size.
+func DiagnoseBenchmark(execs, iters, workers int) (BenchResult, error) {
+	mode := "parallel"
+	if workers == 1 {
+		mode = "serial"
+	}
+	res := BenchResult{Op: "diagnose", Engine: mode, Rows: execs,
+		Date: time.Now().UTC().Format("2006-01-02")}
+	s, fleet, err := SeedFleetStore(execs, 7)
+	if err != nil {
+		return res, err
+	}
+	spec := diagnose.Spec{ExecsA: fleet.Fast, ExecsB: fleet.Slow, Workers: workers}
+	// Warm-up run, also validating the planted predicate is recovered so
+	// the timing numbers describe a working diagnosis.
+	out, err := diagnose.Run(context.Background(), s, spec)
+	if err != nil {
+		return res, err
+	}
+	if len(out.Explanations) == 0 || out.Explanations[0].Pred.String() != "compiler = -O0" {
+		return res, fmt.Errorf("diagnosis missed the planted predicate: %+v", out.Explanations)
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := diagnose.Run(context.Background(), s, spec); err != nil {
+			return res, err
+		}
+	}
+	res.NsPerOp = float64(time.Since(start).Nanoseconds()) / float64(iters)
+	return res, nil
+}

@@ -1,0 +1,152 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"perftrack/internal/core"
+	"perftrack/internal/ptdf"
+)
+
+// PlantedAttr describes the discriminating attribute a synthetic fleet
+// plants: executions built with SlowValue run Factor times slower than
+// those built with FastValue. The diagnose subsystem's acceptance test is
+// recovering this attribute from the data alone.
+type PlantedAttr struct {
+	Attr      string  // attribute name, e.g. "compiler"
+	FastValue string  // value on the fast executions, e.g. "-O2"
+	SlowValue string  // value on the slow executions, e.g. "-O0"
+	Factor    float64 // time multiplier for slow executions, e.g. 2.0
+	SlowFrac  float64 // fraction of executions planted slow, e.g. 0.5
+}
+
+// FleetSpec parameterizes a synthetic diagnosis fleet: Execs executions
+// of one application spread round-robin over catalog machines, each
+// carrying the planted attribute plus uncorrelated decoy attributes
+// (nprocs, input deck, an environment variable), with time-like
+// performance results scaled by the planted slowdown.
+type FleetSpec struct {
+	App      string   // default "smg2000"
+	Execs    int      // default 100
+	Machines []string // catalog machine names; default {"MCR", "Frost"}
+	Planted  PlantedAttr
+	Seed     int64
+}
+
+// Fleet is the generated corpus with its ground truth.
+type Fleet struct {
+	Records []ptdf.Record
+	Fast    []string // executions planted with FastValue
+	Slow    []string // executions planted with SlowValue
+}
+
+func (fs *FleetSpec) defaults() {
+	if fs.App == "" {
+		fs.App = "smg2000"
+	}
+	if fs.Execs <= 0 {
+		fs.Execs = 100
+	}
+	if len(fs.Machines) == 0 {
+		fs.Machines = []string{"MCR", "Frost"}
+	}
+	if fs.Planted.Attr == "" {
+		fs.Planted = PlantedAttr{
+			Attr: "compiler", FastValue: "-O2", SlowValue: "-O0",
+			Factor: 2.0, SlowFrac: 0.5,
+		}
+	}
+	if fs.Planted.Factor <= 0 {
+		fs.Planted.Factor = 2.0
+	}
+	if fs.Planted.SlowFrac <= 0 || fs.Planted.SlowFrac >= 1 {
+		fs.Planted.SlowFrac = 0.5
+	}
+}
+
+// FleetRecords generates a deterministic fleet for the given spec. The
+// slow/fast assignment is shuffled so it is statistically independent of
+// execution order, machine, and every decoy attribute — the planted
+// attribute is the only thing that separates the two populations.
+func FleetRecords(spec FleetSpec) (*Fleet, error) {
+	spec.defaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	machines := make([]Machine, len(spec.Machines))
+	for i, name := range spec.Machines {
+		m, err := MachineByName(name)
+		if err != nil {
+			return nil, err
+		}
+		machines[i] = m
+	}
+	fleet := &Fleet{}
+	fleet.Records = append(fleet.Records, ptdf.ApplicationRec{Name: spec.App})
+	// One grid hierarchy per machine (2 nodes each is enough to carry the
+	// processor-level attributes like clock MHz).
+	for _, m := range machines {
+		fleet.Records = append(fleet.Records, m.ToPTdf(2)...)
+	}
+	// Exact slow/fast split, shuffled.
+	slowN := int(float64(spec.Execs)*spec.Planted.SlowFrac + 0.5)
+	slow := make([]bool, spec.Execs)
+	for i := 0; i < slowN; i++ {
+		slow[i] = true
+	}
+	rng.Shuffle(len(slow), func(i, j int) { slow[i], slow[j] = slow[j], slow[i] })
+
+	decks := []string{"std.deck", "large.deck"}
+	nprocs := []int{32, 64}
+	threads := []string{"1", "2"}
+	for i := 0; i < spec.Execs; i++ {
+		execName := fmt.Sprintf("%s-fleet-%03d", spec.App, i)
+		m := machines[i%len(machines)]
+		fleet.Records = append(fleet.Records, ptdf.ExecutionRec{Name: execName, App: spec.App})
+		execRes := core.ResourceName("/" + execName)
+		fleet.Records = append(fleet.Records, ptdf.ResourceRec{
+			Name: execRes, Type: "execution", Exec: execName,
+		})
+		attr := func(name, value string) {
+			fleet.Records = append(fleet.Records, ptdf.ResourceAttributeRec{
+				Resource: execRes, Attr: name, Value: value, AttrType: "string",
+			})
+		}
+		planted := spec.Planted.FastValue
+		factor := 1.0
+		if slow[i] {
+			planted = spec.Planted.SlowValue
+			factor = spec.Planted.Factor
+			fleet.Slow = append(fleet.Slow, execName)
+		} else {
+			fleet.Fast = append(fleet.Fast, execName)
+		}
+		attr(spec.Planted.Attr, planted)
+		attr("nprocs", strconv.Itoa(nprocs[rng.Intn(len(nprocs))]))
+		attr("input deck", decks[rng.Intn(len(decks))])
+		attr("env OMP_NUM_THREADS", threads[rng.Intn(len(threads))])
+
+		ctx := []ptdf.ResourceSet{{
+			Names: []core.ResourceName{execRes, m.Res()},
+			Type:  core.FocusPrimary,
+		}}
+		jitter := func() float64 { return 1 + 0.05*(rng.Float64()-0.5) }
+		fleet.Records = append(fleet.Records,
+			ptdf.PerfResultRec{
+				Exec: execName, Sets: ctx, Tool: "gen",
+				Metric: "wall clock time", Units: "seconds",
+				Value: 100 * factor * jitter(),
+			},
+			ptdf.PerfResultRec{
+				Exec: execName, Sets: ctx, Tool: "gen",
+				Metric: "MPI time", Units: "seconds",
+				Value: 20 * factor * jitter(),
+			},
+			ptdf.PerfResultRec{
+				Exec: execName, Sets: ctx, Tool: "gen",
+				Metric: "iteration count", Units: "unitless",
+				Value: float64(40 + rng.Intn(3)),
+			},
+		)
+	}
+	return fleet, nil
+}

@@ -1,0 +1,87 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"perftrack/internal/ptdf"
+)
+
+func TestFleetRecordsSplitAndDeterminism(t *testing.T) {
+	fleet, err := FleetRecords(FleetSpec{Execs: 40, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.Fast) != 20 || len(fleet.Slow) != 20 {
+		t.Fatalf("split = %d fast / %d slow, want 20/20", len(fleet.Fast), len(fleet.Slow))
+	}
+	again, err := FleetRecords(FleetSpec{Execs: 40, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fleet, again) {
+		t.Fatal("same seed produced different fleets")
+	}
+	other, err := FleetRecords(FleetSpec{Execs: 40, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(fleet.Slow, other.Slow) {
+		t.Fatal("different seeds produced identical slow assignment")
+	}
+}
+
+func TestFleetRecordsPlantedAttributeAndResults(t *testing.T) {
+	fleet, err := FleetRecords(FleetSpec{Execs: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := make(map[string]bool)
+	for _, name := range fleet.Slow {
+		slow[name] = true
+	}
+	// Index planted compiler values by execution resource ("/<exec>").
+	compiler := make(map[string]string)
+	var nExecs, nResults int
+	for _, rec := range fleet.Records {
+		switch r := rec.(type) {
+		case ptdf.ResourceAttributeRec:
+			if r.Attr == "compiler" {
+				compiler[string(r.Resource)] = r.Value
+			}
+		case ptdf.ExecutionRec:
+			nExecs++
+		case ptdf.PerfResultRec:
+			nResults++
+			if r.Metric != "wall clock time" {
+				continue
+			}
+			base := 100.0
+			if slow[r.Exec] {
+				base = 200.0
+			}
+			if r.Value < base*0.97 || r.Value > base*1.03 {
+				t.Errorf("%s wall clock = %v, want ~%v", r.Exec, r.Value, base)
+			}
+		}
+	}
+	if nExecs != 10 || nResults != 30 {
+		t.Fatalf("%d executions, %d results, want 10/30", nExecs, nResults)
+	}
+	for _, name := range fleet.Slow {
+		if got := compiler["/"+name]; got != "-O0" {
+			t.Errorf("slow %s compiler = %q, want -O0", name, got)
+		}
+	}
+	for _, name := range fleet.Fast {
+		if got := compiler["/"+name]; got != "-O2" {
+			t.Errorf("fast %s compiler = %q, want -O2", name, got)
+		}
+	}
+}
+
+func TestFleetRecordsUnknownMachine(t *testing.T) {
+	if _, err := FleetRecords(FleetSpec{Machines: []string{"NoSuchMachine"}}); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}

@@ -168,6 +168,8 @@ func (s *Server) Handler() http.Handler {
 	s.route(mux, "POST /v1/results", "/v1/results", true, false, true, http.HandlerFunc(s.handleResults))
 	s.route(mux, "GET /v1/stats", "/v1/stats", true, true, true, http.HandlerFunc(s.handleStats))
 	s.route(mux, "GET /v1/compare", "/v1/compare", true, true, true, http.HandlerFunc(s.handleCompare))
+	s.route(mux, "POST /v1/diagnose", "/v1/diagnose", true, true, true, http.HandlerFunc(s.handleDiagnose))
+	s.route(mux, "GET /v1/attributes", "/v1/attributes", true, true, true, http.HandlerFunc(s.handleAttributes))
 	s.route(mux, "GET /v1/reports/{name}", "/v1/reports", true, true, true, http.HandlerFunc(s.handleReport))
 	// Debug surface: untraced (reading traces must not write traces) and
 	// unlimited, so diagnosis works while the API sheds load.

@@ -3,7 +3,8 @@
 # ptserved over a fresh store, then drive the full workflow remotely —
 # generate data, ingest it over HTTP with ptload -remote, and query it
 # back with ptquery -remote. Exercises startup, ingest, query, reports,
-# health, metrics, and graceful SIGTERM shutdown (drain + checkpoint).
+# health, metrics, remote and local ptdiagnose (including the not-found
+# hint), and graceful SIGTERM shutdown (drain + checkpoint).
 # A second pass boots the columnar segment engine, forces compaction,
 # kills the server without a checkpoint, and verifies that recovery
 # loses nothing.
@@ -69,6 +70,10 @@ bin/ptquery -remote "$base" -family 'type=application' -sort value -limit 5
 bin/ptquery -remote "$base" -report executions | grep -q smg-bgl-000
 bin/ptquery -remote "$base" -report stats
 
+echo "== remote diagnosis"
+bin/ptdiagnose -remote "$base" -a smg-bgl-000 -b smg-bgl-001 | grep -q 'diagnosing smg-bgl-000'
+bin/ptdiagnose -remote "$base" -attrs | grep -q 'attribute'
+
 echo "== health and metrics"
 if command -v curl >/dev/null; then
     curl -fsS "$base/healthz" > health.json
@@ -105,6 +110,15 @@ echo "== local ptquery sees the served store"
 final=$(bin/ptquery -db store -family 'type=application' -count 2>&1 |
     sed -n 's/^pr-filter matches \([0-9]*\) performance results$/\1/p')
 [ "$final" = "$count" ] || { echo "post-shutdown count $final != served count $count" >&2; exit 1; }
+
+echo "== local diagnosis and the not-found hint"
+bin/ptdiagnose -db store -a smg-bgl-000 -b smg-bgl-001 >diag.txt
+grep -q 'diagnosing smg-bgl-000' diag.txt
+if bin/ptdiagnose -db store -a smg-bgl-000 -b nope >notfound.txt 2>&1; then
+    echo "ptdiagnose with a bogus execution should exit non-zero" >&2
+    exit 1
+fi
+grep -q 'execution "nope" not found' notfound.txt
 
 echo "== segment engine: load, compact, crash, recover"
 bin/ptinit -db segstore -storage segment -machines >/dev/null
