@@ -12,10 +12,11 @@
 //	ptbench -basetypes          print the Figure 2 base types
 //	ptbench -fig10 -fig11       print the Paradyn hierarchy and mapping
 //	ptbench -benchjson [-bench-rows N] [-bench-execs N] [-bench-out DIR]
-//	                            measure materialize and bulk-load per
-//	                            storage engine plus serial/parallel
-//	                            diagnosis, writing BENCH_materialize.json,
-//	                            BENCH_bulkload.json, and BENCH_diagnose.json
+//	                            measure materialize, bulk-load, and
+//	                            planned-vs-naive SQL per storage engine
+//	                            plus serial/parallel diagnosis, writing
+//	                            BENCH_materialize.json, BENCH_bulkload.json,
+//	                            BENCH_sql.json, and BENCH_diagnose.json
 package main
 
 import (
@@ -168,7 +169,7 @@ func runBenchJSON(rows, iters, execs int, outDir string) error {
 		return err
 	}
 	defer os.RemoveAll(work)
-	var mat, bulk []experiments.BenchResult
+	var mat, bulk, sql []experiments.BenchResult
 	for _, kind := range engines {
 		fmt.Fprintf(os.Stderr, "ptbench: materialize on %s (%d rows)...\n", kind, rows)
 		m, err := experiments.MaterializeBenchmark(kind, filepath.Join(work, "mat-"+kind), rows, iters)
@@ -182,11 +183,20 @@ func runBenchJSON(rows, iters, execs int, outDir string) error {
 			return fmt.Errorf("bulk load on %s: %w", kind, err)
 		}
 		bulk = append(bulk, l)
+		fmt.Fprintf(os.Stderr, "ptbench: sql planned vs naive on %s (%d rows)...\n", kind, rows)
+		q, err := experiments.SQLBenchmark(kind, filepath.Join(work, "sql-"+kind), rows, iters)
+		if err != nil {
+			return fmt.Errorf("sql on %s: %w", kind, err)
+		}
+		sql = append(sql, q...)
 	}
 	if err := writeBenchArtifact(filepath.Join(outDir, "BENCH_materialize.json"), mat); err != nil {
 		return err
 	}
 	if err := writeBenchArtifact(filepath.Join(outDir, "BENCH_bulkload.json"), bulk); err != nil {
+		return err
+	}
+	if err := writeBenchArtifact(filepath.Join(outDir, "BENCH_sql.json"), sql); err != nil {
 		return err
 	}
 	var diag []experiments.BenchResult
@@ -212,6 +222,14 @@ func runBenchJSON(rows, iters, execs int, outDir string) error {
 	for _, r := range bulk {
 		fmt.Printf("bulkload    %-8s %8d rows  %12.0f ns/op  %8.1f MB/s\n",
 			r.Engine, r.Rows, r.NsPerOp, r.MBPerSec)
+	}
+	for i := 0; i+1 < len(sql); i += 2 {
+		speedup := 0.0
+		if sql[i].NsPerOp > 0 {
+			speedup = sql[i+1].NsPerOp / sql[i].NsPerOp
+		}
+		fmt.Printf("sql         %-8s %8d rows  %12.0f ns/op planned  %12.0f ns/op naive  %5.1fx\n",
+			sql[i].Engine, sql[i].Rows, sql[i].NsPerOp, sql[i+1].NsPerOp, speedup)
 	}
 	for _, r := range diag {
 		fmt.Printf("diagnose    %-8s %8d execs %12.0f ns/op\n",

@@ -37,6 +37,7 @@ import (
 	"perftrack/internal/client"
 	"perftrack/internal/core"
 	"perftrack/internal/datastore"
+	"perftrack/internal/planner"
 	"perftrack/internal/query"
 	"perftrack/internal/reldb"
 	"perftrack/internal/server"
@@ -56,7 +57,7 @@ func main() {
 	var families stringList
 	flag.Var(&families, "family", "resource-filter spec (repeatable)")
 	countOnly := flag.Bool("count", false, "print match counts only (Figure 3 live counts)")
-	explain := flag.Bool("explain", false, "print query-engine statistics (generation, match-cache hits) to stderr")
+	explain := flag.Bool("explain", false, "print the access-path plan and query-engine statistics to stderr")
 	report := flag.String("report", "", "report: executions, metrics, applications, tools, stats, free")
 	sqlQuery := flag.String("sql", "", "run a raw SQL query against the store")
 	detail := flag.String("detail", "", "print the detail report for one execution")
@@ -177,6 +178,7 @@ func main() {
 		st := store.QueryEngineStats()
 		fmt.Fprintf(os.Stderr, "query engine: generation %d, cache %d hits / %d misses, %d entries\n",
 			st.Generation, st.CacheHits, st.CacheMisses, st.CacheEntries)
+		fmt.Fprint(os.Stderr, planner.Format(planner.PRFilterPlan(store, nil, families, total)))
 	}
 	if *countOnly {
 		return
@@ -291,7 +293,7 @@ func runRemote(baseURL string, q remoteQuery) {
 		return
 	}
 
-	qr, err := c.Query(ctx, q.families)
+	qr, err := c.QueryWith(ctx, server.QueryRequest{Families: q.families, Explain: q.explain})
 	if err != nil {
 		fatal(err)
 	}
@@ -303,6 +305,7 @@ func runRemote(baseURL string, q remoteQuery) {
 	if q.explain {
 		fmt.Fprintf(os.Stderr, "query engine: generation %d, cache %d hits / %d misses\n",
 			qr.Generation, qr.CacheHits, qr.CacheMisses)
+		fmt.Fprint(os.Stderr, planner.Format(qr.Plan))
 	}
 	if q.countOnly {
 		return

@@ -236,8 +236,23 @@ func (c *Client) Load(ctx context.Context, r io.Reader) (server.LoadResponse, er
 // Query evaluates a pr-filter (one spec per family) and returns the
 // match counts.
 func (c *Client) Query(ctx context.Context, families []string) (server.QueryResponse, error) {
+	return c.QueryWith(ctx, server.QueryRequest{Families: families})
+}
+
+// QueryWith is Query over the full request shape: the unified selection
+// (families plus execution restriction) and the explain flag.
+func (c *Client) QueryWith(ctx context.Context, req server.QueryRequest) (server.QueryResponse, error) {
 	var out server.QueryResponse
-	err := c.postJSON(ctx, "/v1/query", server.QueryRequest{Families: families}, &out)
+	err := c.postJSON(ctx, "/v1/query", req, &out)
+	return out, err
+}
+
+// SQL runs one SELECT on the server's cost-based planner
+// (POST /v1/sql). A malformed or unsupported statement unwraps to
+// datastore.ErrBadSpec.
+func (c *Client) SQL(ctx context.Context, req server.SQLRequest) (server.SQLResponse, error) {
+	var out server.SQLResponse
+	err := c.postJSON(ctx, "/v1/sql", req, &out)
 	return out, err
 }
 
@@ -380,9 +395,22 @@ func (c *Client) Diagnose(ctx context.Context, req server.DiagnoseRequest) (serv
 // Attributes lists attribute keys and their value domains
 // (GET /v1/attributes), optionally filtered by name prefix.
 func (c *Client) Attributes(ctx context.Context, prefix string) (server.AttributesResponse, error) {
+	return c.AttributesPage(ctx, prefix, 0, "")
+}
+
+// AttributesPage is Attributes with pagination: limit bounds the page
+// (0 = everything) and cursor resumes from a prior page's NextCursor.
+// The response carries the next cursor while keys remain.
+func (c *Client) AttributesPage(ctx context.Context, prefix string, limit int, cursor string) (server.AttributesResponse, error) {
 	q := url.Values{}
 	if prefix != "" {
 		q.Set("prefix", prefix)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if cursor != "" {
+		q.Set("cursor", cursor)
 	}
 	path := "/v1/attributes"
 	if len(q) > 0 {

@@ -1,0 +1,303 @@
+package datastore
+
+import (
+	"fmt"
+	"sort"
+
+	"perftrack/internal/reldb"
+)
+
+// Planner statistics. The cost-based planner (internal/planner) chooses
+// between attribute-index scans, cached ID-set intersection, zone-map
+// segment scans, and full scans using row counts, distinct-value
+// estimates, and segment coverage. The live numbers come from the name
+// caches the store already maintains; they are persisted to the
+// table_statistics table at batch-commit time so a restarted store can
+// warm-start its cost model, and served over the wire via GET /v1/stats.
+
+// maxAttrStatValues caps the per-attribute distinct-value set. Past the
+// cap the count becomes a lower-bound estimate, which is all the cost
+// model needs (it only distinguishes selective from unselective keys).
+const maxAttrStatValues = 1024
+
+// attrStat accumulates one attribute name's statistics. Maintained under
+// s.mu by the sole resource_attribute insert path and rebuilt with the
+// other caches on warm start and rollback.
+type attrStat struct {
+	rows     int64
+	vals     map[string]struct{}
+	overflow bool
+}
+
+// noteAttrLocked folds one resource_attribute row into the statistics.
+// Callers hold s.mu.
+func (s *Store) noteAttrLocked(attr, value string) {
+	st := s.attrStats[attr]
+	if st == nil {
+		st = &attrStat{vals: make(map[string]struct{})}
+		s.attrStats[attr] = st
+	}
+	st.rows++
+	if !st.overflow {
+		st.vals[value] = struct{}{}
+		if len(st.vals) > maxAttrStatValues {
+			st.overflow = true
+		}
+	}
+}
+
+// TableStat describes one schema table for the planner: total rows, the
+// number of distinct logical keys (names, for the interned dictionary
+// tables), and how many rows are resident in flushed columnar segments.
+type TableStat struct {
+	Table        string `json:"table"`
+	Rows         int64  `json:"rows"`
+	DistinctKeys int64  `json:"distinct_keys,omitempty"`
+	SegmentRows  int64  `json:"segment_rows,omitempty"`
+}
+
+// AttributeStat describes one attribute name: how many resource_attribute
+// rows carry it and (a lower bound on) its distinct values.
+type AttributeStat struct {
+	Name     string `json:"name"`
+	Rows     int64  `json:"rows"`
+	Distinct int64  `json:"distinct"`
+}
+
+// TableStatistics is a planner-facing statistics snapshot.
+type TableStatistics struct {
+	Generation uint64          `json:"generation"`
+	Tables     []TableStat     `json:"tables"`
+	Attributes []AttributeStat `json:"attributes,omitempty"`
+}
+
+// TableStat returns one table's entry, or a zero value when absent.
+func (ts TableStatistics) TableStat(name string) TableStat {
+	for _, t := range ts.Tables {
+		if t.Table == name {
+			return t
+		}
+	}
+	return TableStat{}
+}
+
+// AttributeStat returns one attribute's entry and whether it is known.
+func (ts TableStatistics) AttributeStat(name string) (AttributeStat, bool) {
+	for _, a := range ts.Attributes {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return AttributeStat{}, false
+}
+
+// TableStatistics snapshots the live planner statistics: engine row
+// counts, distinct-key counts from the name caches, per-attribute
+// statistics, and segment-resident rows from the compaction state.
+func (s *Store) TableStatistics() TableStatistics {
+	s.mu.Lock()
+	distinct := map[string]int64{
+		"application":        int64(len(s.appIDs)),
+		"execution":          int64(len(s.execIDs)),
+		"focus_framework":    int64(len(s.typeIDs)),
+		"resource_item":      int64(len(s.resIDs)),
+		"resource_attribute": int64(len(s.attrStats)),
+		"metric":             int64(len(s.metricID)),
+		"performance_tool":   int64(len(s.toolID)),
+		"units":              int64(len(s.unitsID)),
+		"focus":              int64(len(s.focusIDs)),
+	}
+	attrs := make([]AttributeStat, 0, len(s.attrStats))
+	for name, st := range s.attrStats {
+		attrs = append(attrs, AttributeStat{
+			Name: name, Rows: st.rows, Distinct: int64(len(st.vals)),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
+
+	segRows := map[string]int64{}
+	if sv, ok := s.eng.(interface{ SegmentStats() reldb.SegmentStats }); ok {
+		for _, t := range sv.SegmentStats().Tables {
+			segRows[t.Table] = t.Rows
+		}
+	}
+	out := TableStatistics{Generation: s.gen.Load(), Attributes: attrs}
+	for _, name := range tableNames {
+		if name == "table_statistics" {
+			continue
+		}
+		tab, ok := s.eng.Table(name)
+		if !ok {
+			continue
+		}
+		out.Tables = append(out.Tables, TableStat{
+			Table:        name,
+			Rows:         int64(tab.Len()),
+			DistinctKeys: distinct[name],
+			SegmentRows:  segRows[name],
+		})
+	}
+	return out
+}
+
+// persistStatistics rewrites the table_statistics rows from a fresh
+// snapshot. It runs on the batch-commit path with wmu held (and s.mu
+// released), after the data transaction committed and before the WAL
+// group flush, so the statistics ride the same flush as the batch. The
+// rows are advisory: a crash between delete and reinsert only costs the
+// warm start, never correctness.
+func (s *Store) persistStatistics() error {
+	tab, ok := s.eng.Table("table_statistics")
+	if !ok {
+		return nil
+	}
+	snap := s.TableStatistics()
+	var stale []int64
+	tab.Scan(func(id int64, _ reldb.Row) bool {
+		stale = append(stale, id)
+		return true
+	})
+	for _, id := range stale {
+		if err := s.eng.Delete("table_statistics", id); err != nil {
+			return err
+		}
+	}
+	gen := reldb.Int(int64(snap.Generation))
+	for _, t := range snap.Tables {
+		if _, err := s.eng.Insert("table_statistics", reldb.Row{
+			reldb.Null(), reldb.Str("table"), reldb.Str(t.Table),
+			reldb.Int(t.Rows), reldb.Int(t.DistinctKeys), reldb.Int(t.SegmentRows), gen,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, a := range snap.Attributes {
+		if _, err := s.eng.Insert("table_statistics", reldb.Row{
+			reldb.Null(), reldb.Str("attribute"), reldb.Str(a.Name),
+			reldb.Int(a.Rows), reldb.Int(a.Distinct), reldb.Int(0), gen,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PersistedStatistics reads back the statistics written by the last
+// batch commit. A store that has committed nothing since opening returns
+// an empty snapshot.
+func (s *Store) PersistedStatistics() (TableStatistics, error) {
+	tab, ok := s.eng.Table("table_statistics")
+	if !ok {
+		return TableStatistics{}, fmt.Errorf("datastore: no table_statistics table: %w", ErrNotFound)
+	}
+	var out TableStatistics
+	tab.Scan(func(_ int64, row reldb.Row) bool {
+		gen := uint64(row[6].Int64())
+		if gen > out.Generation {
+			out.Generation = gen
+		}
+		switch row[1].Text() {
+		case "table":
+			out.Tables = append(out.Tables, TableStat{
+				Table:        row[2].Text(),
+				Rows:         row[3].Int64(),
+				DistinctKeys: row[4].Int64(),
+				SegmentRows:  row[5].Int64(),
+			})
+		case "attribute":
+			out.Attributes = append(out.Attributes, AttributeStat{
+				Name:     row[2].Text(),
+				Rows:     row[3].Int64(),
+				Distinct: row[4].Int64(),
+			})
+		}
+		return true
+	})
+	sort.Slice(out.Tables, func(i, j int) bool { return out.Tables[i].Table < out.Tables[j].Table })
+	sort.Slice(out.Attributes, func(i, j int) bool { return out.Attributes[i].Name < out.Attributes[j].Name })
+	return out, nil
+}
+
+// --- planner access-path surface ---
+
+// Table exposes one engine table for read-only planner access paths
+// (point lookups, index scans, PK-range scans). Writers must go through
+// the record-load path; the planner only reads.
+func (s *Store) Table(name string) (*reldb.Table, bool) {
+	return s.eng.Table(name)
+}
+
+// DictNames loads an ID → name dictionary table (execution, metric,
+// performance_tool, units, application) into a map in one scan.
+func (s *Store) DictNames(table string) (map[int64]string, error) {
+	return s.dictNames(table)
+}
+
+// LookupDict resolves a name in one of the interned dictionary caches
+// without touching the engine. ok is false for unknown names and
+// non-dictionary tables.
+func (s *Store) LookupDict(table, name string) (id int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var cache map[string]int64
+	switch table {
+	case "application":
+		cache = s.appIDs
+	case "execution":
+		cache = s.execIDs
+	case "metric":
+		cache = s.metricID
+	case "performance_tool":
+		cache = s.toolID
+	case "units":
+		cache = s.unitsID
+	default:
+		return 0, false
+	}
+	id, ok = cache[name]
+	return id, ok
+}
+
+// ExecutionResultIDs returns the sorted performance_result IDs of one
+// execution via the execution_id index.
+func (s *Store) ExecutionResultIDs(exec string) ([]int64, error) {
+	id, ok := s.LookupDict("execution", exec)
+	if !ok {
+		return nil, fmt.Errorf("datastore: execution %q not found: %w", exec, ErrNotFound)
+	}
+	tab, ok := s.eng.Table("performance_result")
+	if !ok {
+		return nil, fmt.Errorf("datastore: no performance_result table: %w", ErrNotFound)
+	}
+	var ids []int64
+	if err := tab.IndexScan("performance_result_exec", []reldb.Value{reldb.Int(id)},
+		func(rid int64, _ reldb.Row) bool {
+			ids = append(ids, rid)
+			return true
+		}); err != nil {
+		return nil, err
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// ResultSegmentView returns the columnar segment view of the
+// performance_result table when the engine keeps one and the scan path
+// is enabled.
+func (s *Store) ResultSegmentView() (*reldb.SegView, bool) {
+	sv, ok := s.eng.(segmentViewer)
+	if !ok {
+		return nil, false
+	}
+	return sv.SegmentView("performance_result")
+}
+
+// NoteSegmentScan records one planner-driven segment range scan in the
+// store telemetry, mirroring the materializer's accounting.
+func (s *Store) NoteSegmentScan(rows, pruned int, bytes int64) {
+	s.tel.segmentScans.Add(1)
+	s.tel.segmentRowsScanned.Add(uint64(rows))
+	s.tel.zoneMapPrunes.Add(uint64(pruned))
+	s.scanBytes.Observe(float64(bytes))
+}

@@ -58,6 +58,10 @@ type Store struct {
 	unitsID  map[string]int64
 	focusIDs map[string]int64 // signature -> focus id
 
+	// attrStats tracks per-attribute-name row counts and distinct-value
+	// estimates for the query planner's cost model; see stats.go.
+	attrStats map[string]*attrStat
+
 	// tel counts store operations for the observability layer; see
 	// telemetry.go.
 	tel telemetry
@@ -117,6 +121,7 @@ func Open(eng reldb.Engine) (*Store, error) {
 		toolID:           make(map[string]int64),
 		unitsID:          make(map[string]int64),
 		focusIDs:         make(map[string]int64),
+		attrStats:        make(map[string]*attrStat),
 	}
 	s.scratch.New = func() any { return new(matScratch) }
 	if !schemaExists(eng) {
@@ -201,6 +206,7 @@ func (s *Store) resetCachesLocked() error {
 	s.toolID = make(map[string]int64)
 	s.unitsID = make(map[string]int64)
 	s.focusIDs = make(map[string]int64)
+	s.attrStats = make(map[string]*attrStat)
 	return s.warmCaches()
 }
 
@@ -252,6 +258,11 @@ func (s *Store) warmCaches() error {
 	fTab, _ := s.eng.Table("focus")
 	fTab.Scan(func(_ int64, row reldb.Row) bool {
 		s.focusIDs[row[2].Text()] = row[0].Int64()
+		return true
+	})
+	raTab, _ := s.eng.Table("resource_attribute")
+	raTab.Scan(func(_ int64, row reldb.Row) bool {
+		s.noteAttrLocked(row[2].Text(), row[3].Text())
 		return true
 	})
 	return nil
@@ -474,6 +485,9 @@ func (s *Store) setResourceAttributeLocked(name core.ResourceName, attr, value s
 	_, err := s.insert("resource_attribute", reldb.Row{
 		reldb.Null(), reldb.Int(id), reldb.Str(attr), reldb.Str(value), reldb.Str("string"),
 	})
+	if err == nil {
+		s.noteAttrLocked(attr, value)
+	}
 	return err
 }
 

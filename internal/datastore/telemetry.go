@@ -19,6 +19,9 @@ type telemetry struct {
 	segmentScans       atomic.Uint64
 	segmentRowsScanned atomic.Uint64
 	zoneMapPrunes      atomic.Uint64
+
+	statsRefreshes     atomic.Uint64
+	statsRefreshErrors atomic.Uint64
 }
 
 // Telemetry is a point-in-time snapshot of the store's operation
@@ -40,6 +43,9 @@ type Telemetry struct {
 	SegmentScans       uint64 // columnar segment range scans run
 	SegmentRowsScanned uint64 // rows visited by segment scans
 	ZoneMapPrunes      uint64 // segments skipped by zone-map bounds
+
+	StatsRefreshes     uint64 // planner statistics rewrites at batch commit
+	StatsRefreshErrors uint64 // statistics rewrites that failed (advisory)
 }
 
 // Telemetry snapshots the store's operation counters.
@@ -59,5 +65,8 @@ func (s *Store) Telemetry() Telemetry {
 		SegmentScans:       s.tel.segmentScans.Load(),
 		SegmentRowsScanned: s.tel.segmentRowsScanned.Load(),
 		ZoneMapPrunes:      s.tel.zoneMapPrunes.Load(),
+
+		StatsRefreshes:     s.tel.statsRefreshes.Load(),
+		StatsRefreshErrors: s.tel.statsRefreshErrors.Load(),
 	}
 }

@@ -1,0 +1,37 @@
+package planner
+
+import (
+	"context"
+	"testing"
+
+	"perftrack/internal/reldb"
+)
+
+// FuzzSQLPlanner feeds arbitrary SQL through parse → plan → execute and
+// holds two invariants: the planner never panics, and whenever a query
+// runs at all, the cost-based execution returns exactly what the naive
+// (no pushdown, full-scan) execution returns.
+func FuzzSQLPlanner(f *testing.F) {
+	st := seedStore(f, reldb.NewMem(), 64)
+	planned := New(st)
+	naive := New(st)
+	naive.Naive = true
+	for _, q := range differentialQueries {
+		f.Add(q)
+	}
+	f.Add("SELECT count(*) FROM performance_result WHERE family = 'attr=clock<=3'")
+	f.Add("SELECT tool, units, sum(id) FROM performance_result GROUP BY tool, units")
+	f.Fuzz(func(t *testing.T, q string) {
+		pres, _, perr := planned.Query(context.Background(), q)
+		nres, _, nerr := naive.Query(context.Background(), q)
+		if (perr != nil) != (nerr != nil) {
+			t.Fatalf("%q: planned err = %v, naive err = %v", q, perr, nerr)
+		}
+		if perr != nil {
+			return
+		}
+		if got, want := renderResult(pres), renderResult(nres); got != want {
+			t.Fatalf("%q: planned and naive diverge:\n%s\nvs\n%s", q, got, want)
+		}
+	})
+}

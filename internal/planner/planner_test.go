@@ -1,0 +1,278 @@
+package planner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"perftrack/internal/core"
+	"perftrack/internal/datastore"
+	"perftrack/internal/ptdf"
+	"perftrack/internal/reldb"
+	"perftrack/internal/sqldb"
+)
+
+// testRecords builds a corpus with two executions, eight processors (one
+// carrying a rare attribute value), four metrics, and n results.
+func testRecords(n int) []ptdf.Record {
+	recs := []ptdf.Record{
+		ptdf.ApplicationRec{Name: "app"},
+		ptdf.ExecutionRec{Name: "exec-a", App: "app"},
+		ptdf.ExecutionRec{Name: "exec-b", App: "app"},
+		ptdf.ResourceRec{Name: "/app", Type: "application"},
+	}
+	for p := 0; p < 8; p++ {
+		name := core.ResourceName(fmt.Sprintf("/SG/SM/batch/n0/p%d", p))
+		recs = append(recs, ptdf.ResourceRec{Name: name, Type: "grid/machine/partition/node/processor"})
+		clock := "slow"
+		if p == 0 {
+			clock = "fast"
+		}
+		recs = append(recs, ptdf.ResourceAttributeRec{
+			Resource: name, Attr: "clock", Value: clock, AttrType: "string",
+		})
+	}
+	for i := 0; i < n; i++ {
+		exec := "exec-a"
+		if i%2 == 1 {
+			exec = "exec-b"
+		}
+		recs = append(recs, ptdf.PerfResultRec{
+			Exec: exec,
+			Sets: []ptdf.ResourceSet{{
+				Names: []core.ResourceName{"/app", core.ResourceName(fmt.Sprintf("/SG/SM/batch/n0/p%d", i%8))},
+				Type:  core.FocusPrimary,
+			}},
+			Tool: "tool", Metric: fmt.Sprintf("metric-%d", i%4),
+			Value: float64(i) * 0.5, Units: "seconds",
+		})
+	}
+	return recs
+}
+
+func seedStore(t testing.TB, eng reldb.Engine, n int) *datastore.Store {
+	t.Helper()
+	s, err := datastore.Open(eng)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	b := s.NewBatch()
+	for _, rec := range testRecords(n) {
+		b.Stage(rec)
+	}
+	if _, err := b.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	return s
+}
+
+func renderResult(res *sqldb.Result) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(res.Columns, "|"))
+	for _, row := range res.Rows {
+		b.WriteString("\n")
+		b.WriteString(string(reldb.EncodeKey(nil, row...)))
+	}
+	return b.String()
+}
+
+// fastAttrFamily selects processor p0 — the only one with clock=fast —
+// through an attribute predicate.
+const fastAttrFamily = "type=grid/machine/partition/node/processor;attr=clock=fast"
+
+var differentialQueries = []string{
+	"SELECT id, execution, metric, value FROM performance_result WHERE metric = 'metric-1' AND value > 10 ORDER BY id LIMIT 20",
+	"SELECT execution, count(*), avg(value) FROM performance_result GROUP BY execution",
+	"SELECT metric, min(value), max(value) FROM performance_result WHERE execution = 'exec-a' GROUP BY metric ORDER BY metric",
+	"SELECT count(*) FROM performance_result WHERE family = '" + fastAttrFamily + "'",
+	"SELECT avg(value) FROM performance_result WHERE family = '" + fastAttrFamily + "' AND metric = 'metric-0'",
+	"SELECT * FROM performance_result WHERE id <= 10",
+	"SELECT count(*) FROM performance_result WHERE execution = 'no-such-exec'",
+	"SELECT DISTINCT units FROM performance_result",
+	"SELECT metric, avg(value) FROM performance_result WHERE value < 100 GROUP BY metric HAVING count(*) > 0 ORDER BY metric",
+	"SELECT metric, count(DISTINCT execution) FROM performance_result GROUP BY metric ORDER BY metric",
+	"SELECT value + 1 FROM performance_result WHERE 40 <= id AND id < 44",
+	"SELECT name, application FROM execution ORDER BY name",
+	"SELECT name, type FROM resource WHERE base_name = 'p1'",
+	"SELECT name, execution FROM resource WHERE name = '/app'",
+	"SELECT resource, name, value FROM attribute WHERE name = 'clock' ORDER BY resource",
+	// Raw-executor fallbacks: physical columns and tables.
+	"SELECT count(*) FROM metric",
+	"SELECT execution_id, count(*) FROM performance_result GROUP BY execution_id ORDER BY execution_id",
+}
+
+// TestPlannedMatchesNaive is the differential oracle: every query must
+// produce byte-identical results with the cost-based machinery on and
+// off.
+func TestPlannedMatchesNaive(t *testing.T) {
+	st := seedStore(t, reldb.NewMem(), 400)
+	planned := New(st)
+	naive := New(st)
+	naive.Naive = true
+	for _, q := range differentialQueries {
+		pres, _, perr := planned.Query(context.Background(), q)
+		nres, _, nerr := naive.Query(context.Background(), q)
+		if (perr != nil) != (nerr != nil) {
+			t.Fatalf("%s: planned err %v, naive err %v", q, perr, nerr)
+		}
+		if perr != nil {
+			continue
+		}
+		if got, want := renderResult(pres), renderResult(nres); got != want {
+			t.Errorf("%s:\nplanned: %s\nnaive:   %s", q, got, want)
+		}
+	}
+}
+
+// TestAttrIndexStrategy checks the acceptance criterion: a selective
+// attribute predicate routes through the attribute-index path.
+func TestAttrIndexStrategy(t *testing.T) {
+	st := seedStore(t, reldb.NewMem(), 400)
+	p := New(st)
+	res, plan, err := p.Query(context.Background(),
+		"SELECT count(*) FROM performance_result WHERE family = '"+fastAttrFamily+"'")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if plan.Strategy != StrategyAttrIndex {
+		t.Fatalf("strategy = %q, want %q (plan: %s)", plan.Strategy, StrategyAttrIndex, plan.Text())
+	}
+	// p0 owns every 8th result.
+	if got := res.Rows[0][0].Int64(); got != 50 {
+		t.Fatalf("count = %d, want 50", got)
+	}
+	if plan.ActualRows != 50 {
+		t.Fatalf("actual_rows = %d, want 50", plan.ActualRows)
+	}
+	if plan.EstRows < 1 || plan.EstRows >= 400 {
+		t.Fatalf("est_rows = %d, want selective estimate in [1, 400)", plan.EstRows)
+	}
+}
+
+// TestAggregatePushdown checks that grouped aggregation over dimension
+// keys runs without materializing result rows.
+func TestAggregatePushdown(t *testing.T) {
+	st := seedStore(t, reldb.NewMem(), 400)
+	p := New(st)
+	res, plan, err := p.Query(context.Background(),
+		"SELECT metric, avg(value) FROM performance_result GROUP BY metric ORDER BY metric")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if !plan.Aggregate || plan.Materialized != 0 {
+		t.Fatalf("aggregate=%v materialized=%d, want pushed aggregation with 0 rows built (plan: %s)",
+			plan.Aggregate, plan.Materialized, plan.Text())
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d, want 4", len(res.Rows))
+	}
+
+	// A selective dimension equality should drive the index path.
+	_, plan, err = p.Query(context.Background(),
+		"SELECT avg(value) FROM performance_result WHERE metric = 'metric-2' GROUP BY metric")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if plan.Strategy != StrategyIndex {
+		t.Fatalf("strategy = %q, want %q (plan: %s)", plan.Strategy, StrategyIndex, plan.Text())
+	}
+	if plan.ActualRows != 100 {
+		t.Fatalf("actual_rows = %d, want 100", plan.ActualRows)
+	}
+}
+
+// TestZoneMapStrategy checks that on a segment engine with flushed
+// columnar segments, unselective scans choose zone-map pruning and still
+// match naive results.
+func TestZoneMapStrategy(t *testing.T) {
+	eng, err := reldb.Open(reldb.KindSegment, t.TempDir())
+	if err != nil {
+		t.Fatalf("open engine: %v", err)
+	}
+	st := seedStore(t, eng, 400)
+	if err := eng.(*reldb.FileEngine).CompactSegments(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	p := New(st)
+	q := "SELECT metric, sum(value) FROM performance_result WHERE value >= 0 GROUP BY metric ORDER BY metric"
+	res, plan, err := p.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if plan.Strategy != StrategyZoneMap {
+		t.Fatalf("strategy = %q, want %q (plan: %s)", plan.Strategy, StrategyZoneMap, plan.Text())
+	}
+	naive := New(st)
+	naive.Naive = true
+	nres, _, err := naive.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("naive: %v", err)
+	}
+	if renderResult(res) != renderResult(nres) {
+		t.Fatalf("zone-map result diverges from naive:\n%s\nvs\n%s", renderResult(res), renderResult(nres))
+	}
+	tel := st.Telemetry()
+	if tel.SegmentScans == 0 {
+		t.Fatalf("segment scan not recorded in telemetry")
+	}
+}
+
+// TestPlannerErrors checks error mapping: parse errors and pseudo-column
+// misuse surface as bad-spec errors.
+func TestPlannerErrors(t *testing.T) {
+	st := seedStore(t, reldb.NewMem(), 16)
+	p := New(st)
+	for _, q := range []string{
+		"SELEC nope",
+		"SELECT family FROM performance_result",
+		"SELECT * FROM performance_result WHERE family = 'type=' OR metric = 'm'",
+		"CREATE TABLE x (id INTEGER PRIMARY KEY)",
+	} {
+		if _, _, err := p.Query(context.Background(), q); !errors.Is(err, datastore.ErrBadSpec) {
+			t.Errorf("%s: err = %v, want ErrBadSpec", q, err)
+		}
+	}
+}
+
+// TestLargeAggregateNeverMaterializes is the 100k-row acceptance check:
+// SELECT avg(value) ... GROUP BY metric over a 100k-row store builds no
+// result rows and reads none through the materializer.
+func TestLargeAggregateNeverMaterializes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-row corpus; skipped in -short")
+	}
+	st := seedStore(t, reldb.NewMem(), 100_000)
+	before := st.Telemetry().ResultsRead
+	p := New(st)
+	res, plan, err := p.Query(context.Background(),
+		"SELECT metric, avg(value) FROM performance_result GROUP BY metric ORDER BY metric")
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if !plan.Aggregate || plan.Materialized != 0 {
+		t.Fatalf("materialized %d rows (aggregate=%v), want 0 (plan: %s)",
+			plan.Materialized, plan.Aggregate, plan.Text())
+	}
+	if plan.ActualRows != 100_000 {
+		t.Fatalf("actual_rows = %d, want 100000", plan.ActualRows)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d, want 4", len(res.Rows))
+	}
+	if after := st.Telemetry().ResultsRead; after != before {
+		t.Fatalf("materializer read %d results during pushed aggregation", after-before)
+	}
+
+	// The selective attribute predicate on the same store picks the
+	// attribute-index path.
+	_, plan, err = p.Query(context.Background(),
+		"SELECT avg(value) FROM performance_result WHERE family = '"+fastAttrFamily+"'")
+	if err != nil {
+		t.Fatalf("attr query: %v", err)
+	}
+	if plan.Strategy != StrategyAttrIndex {
+		t.Fatalf("strategy = %q, want %q (plan: %s)", plan.Strategy, StrategyAttrIndex, plan.Text())
+	}
+}

@@ -1,0 +1,44 @@
+package query
+
+// Selection is the unified execution/family selection spec shared by the
+// v1 API: /v1/query, /v1/results, /v1/compare, and /v1/diagnose all
+// select the same way — zero or more pr-filter family specs (see
+// ParseFilterSpec) intersected, optionally restricted to one or more
+// named executions. Older per-endpoint field spellings (top-level
+// "families", diagnose's "a"/"execs_a") keep decoding; handlers merge
+// them into a Selection before evaluation.
+type Selection struct {
+	// Execution restricts the selection to one named execution. It is
+	// shorthand for a single-element Executions list.
+	Execution string `json:"execution,omitempty"`
+	// Executions restricts the selection to the union of the named
+	// executions' results.
+	Executions []string `json:"executions,omitempty"`
+	// Families holds pr-filter family specs; a result matches when every
+	// family matches it (intersection semantics).
+	Families []string `json:"families,omitempty"`
+}
+
+// ExecutionList merges Execution and Executions, preserving order and
+// dropping duplicates and empties.
+func (s *Selection) ExecutionList() []string {
+	if s == nil {
+		return nil
+	}
+	var out []string
+	seen := make(map[string]bool, 1+len(s.Executions))
+	for _, e := range append([]string{s.Execution}, s.Executions...) {
+		if e == "" || seen[e] {
+			continue
+		}
+		seen[e] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+// IsZero reports whether the selection selects everything (no execution
+// restriction and no families).
+func (s *Selection) IsZero() bool {
+	return s == nil || (s.Execution == "" && len(s.Executions) == 0 && len(s.Families) == 0)
+}

@@ -2,6 +2,8 @@ package server
 
 import (
 	"perftrack/internal/datastore"
+	"perftrack/internal/planner"
+	"perftrack/internal/query"
 	"perftrack/internal/reldb"
 )
 
@@ -18,11 +20,29 @@ import (
 // APIVersion is stamped on every v1 response body.
 const APIVersion = "v1"
 
+// Selection is the unified execution/set/family selection spec shared by
+// /v1/query, /v1/results, /v1/compare, and /v1/diagnose: zero or more
+// pr-filter family specs (intersected), optionally restricted to named
+// executions. It is defined in internal/query so the CLIs and the
+// diagnose request reuse the exact wire shape; see that package for
+// field semantics.
+type Selection = query.Selection
+
+// PlanWire is the uniform explain payload: /v1/query and /v1/sql attach
+// exactly this shape when a request sets explain, and ptquery/ptsql
+// render it through planner.Format.
+type PlanWire = planner.PlanWire
+
 // QueryRequest asks for pr-filter match counts (the Figure 3 live
-// counts). Each family is a resource-filter spec in the shared CLI
-// syntax, e.g. "type=application" or "name=/MCRGrid/MCR;rel=D".
+// counts). Select is the unified selection; the top-level Families field
+// is the original spelling and keeps decoding, merged with
+// Select.Families. Each family is a resource-filter spec in the shared
+// CLI syntax, e.g. "type=application" or "name=/MCRGrid/MCR;rel=D".
+// Explain attaches the evaluated access-path plan to the response.
 type QueryRequest struct {
-	Families []string `json:"families"`
+	Families []string   `json:"families,omitempty"`
+	Select   *Selection `json:"select,omitempty"`
+	Explain  bool       `json:"explain,omitempty"`
 }
 
 // FamilyCount reports one family's size and how many performance results
@@ -42,27 +62,38 @@ type QueryResponse struct {
 	Generation  uint64        `json:"generation"`
 	CacheHits   uint64        `json:"cache_hits"`
 	CacheMisses uint64        `json:"cache_misses"`
+	Plan        *PlanWire     `json:"plan,omitempty"` // set when Explain
 }
 
 // ResultsRequest is the two-step retrieval (§3.2): evaluate a pr-filter,
 // then refine the table — metric filter, free-resource columns, attribute
-// columns, sort, and row limit.
+// columns, sort, and row limit. Select is the unified selection; the
+// top-level Families field is the original spelling and keeps decoding,
+// merged with Select.Families. With Limit > 0 the response is one page
+// and carries NextCursor when rows remain; Cursor resumes from a prior
+// page (the request refinements must match the cursor's, else 400). See
+// DESIGN.md §7.
 type ResultsRequest struct {
-	Families      []string `json:"families"`
-	Metric        string   `json:"metric,omitempty"`
-	AddColumns    []string `json:"add_columns,omitempty"`    // resource types
-	AddAttributes []string `json:"add_attributes,omitempty"` // type.attribute
-	SortBy        string   `json:"sort_by,omitempty"`
-	Descending    bool     `json:"descending,omitempty"`
-	Limit         int      `json:"limit,omitempty"` // 0 = all rows
+	Families      []string   `json:"families,omitempty"`
+	Select        *Selection `json:"select,omitempty"`
+	Metric        string     `json:"metric,omitempty"`
+	AddColumns    []string   `json:"add_columns,omitempty"`    // resource types
+	AddAttributes []string   `json:"add_attributes,omitempty"` // type.attribute
+	SortBy        string     `json:"sort_by,omitempty"`
+	Descending    bool       `json:"descending,omitempty"`
+	Limit         int        `json:"limit,omitempty"`  // 0 = all rows
+	Cursor        string     `json:"cursor,omitempty"` // opaque, from NextCursor
 }
 
-// ResultsResponse is the retrieved table in wire form.
+// ResultsResponse is the retrieved table in wire form. NextCursor is set
+// when a Limit-bounded page left rows behind; passing it back in Cursor
+// returns the next page.
 type ResultsResponse struct {
 	APIVersion string     `json:"api_version"`
 	Columns    []string   `json:"columns"`
 	Rows       [][]string `json:"rows"`
 	Total      int        `json:"total"` // rows matched before the limit
+	NextCursor string     `json:"next_cursor,omitempty"`
 }
 
 // ResultStreamLine is one line of the NDJSON response to
@@ -91,6 +122,46 @@ type ResultRow struct {
 	Units     string   `json:"units"`
 	Tool      string   `json:"tool"`
 	Resources []string `json:"resources,omitempty"`
+}
+
+// SQLRequest is the body of POST /v1/sql: one SELECT against the
+// planner's virtual catalog (execution, resource, attribute,
+// performance_result), falling back to the physical schema for anything
+// the catalog cannot express. Explain attaches the chosen plan; Limit
+// caps returned rows (0 = all).
+type SQLRequest struct {
+	SQL     string `json:"sql"`
+	Explain bool   `json:"explain,omitempty"`
+	Limit   int    `json:"limit,omitempty"`
+}
+
+// SQLResponse is the buffered reply to POST /v1/sql. Cells are JSON
+// scalars: strings, numbers, booleans, or null (SQL NULL and non-finite
+// floats). Truncated is set when Limit dropped rows.
+type SQLResponse struct {
+	APIVersion string    `json:"api_version"`
+	Columns    []string  `json:"columns"`
+	Rows       [][]any   `json:"rows"`
+	RowCount   int       `json:"row_count"` // rows produced before Limit
+	Truncated  bool      `json:"truncated,omitempty"`
+	Plan       *PlanWire `json:"plan,omitempty"` // set when Explain
+}
+
+// SQLStreamLine is one line of the NDJSON response to
+// POST /v1/sql?stream=1, for results too large to buffer. The first line
+// carries Columns; each following line one Row; the final line has
+// Done=true with the emitted row count (and the plan, when Explain). A
+// mid-stream failure emits a line with Error and ends the stream.
+type SQLStreamLine struct {
+	APIVersion string   `json:"api_version"`
+	Columns    []string `json:"columns,omitempty"`
+	Row        []any    `json:"row,omitempty"`
+	Error      string   `json:"error,omitempty"`
+
+	// Summary-line fields (Done == true).
+	Done bool      `json:"done,omitempty"`
+	Rows int       `json:"rows,omitempty"`
+	Plan *PlanWire `json:"plan,omitempty"`
 }
 
 // LoadResponse reports one single-document PTdf ingest.
@@ -126,12 +197,14 @@ type ReportResponse struct {
 }
 
 // StatsResponse is the Table 1 style store summary plus query-engine
-// counters and storage-engine footprint (GET /v1/stats).
+// counters, storage-engine footprint, and the planner's table/attribute
+// statistics snapshot (GET /v1/stats).
 type StatsResponse struct {
 	APIVersion string                     `json:"api_version"`
 	Store      datastore.Stats            `json:"store"`
 	Engine     datastore.QueryEngineStats `json:"engine"`
 	Storage    StorageStats               `json:"storage"`
+	Statistics datastore.TableStatistics  `json:"statistics"`
 }
 
 // StorageStats describes the storage engine behind the store: its kind,

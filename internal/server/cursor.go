@@ -1,0 +1,49 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"encoding/base64"
+)
+
+// Opaque pagination cursors (DESIGN.md §7). A cursor is URL-safe base64
+// of "<kind>|<field>|..."; the kind pins the endpoint and format
+// version, and one field is a fingerprint of the request the cursor was
+// minted for, so a cursor replayed against a different query is a 400
+// instead of a silently wrong page. Cursors are positional, not
+// snapshot-consistent: rows ingested between pages may shift results,
+// which the stable sort orders (attribute name; the requested sort_by)
+// keep to appends rather than rescrambles.
+
+// encodeCursor packs cursor fields. The last field may contain the
+// separator; decodeCursor splits with a field count so it survives.
+func encodeCursor(parts ...string) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(strings.Join(parts, "|")))
+}
+
+// decodeCursor unpacks a cursor minted by encodeCursor, checking the
+// kind tag and field count.
+func decodeCursor(cursor, kind string, n int) ([]string, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(cursor)
+	if err != nil {
+		return nil, fmt.Errorf("bad cursor")
+	}
+	parts := strings.SplitN(string(raw), "|", n)
+	if len(parts) != n || parts[0] != kind {
+		return nil, fmt.Errorf("bad cursor")
+	}
+	return parts, nil
+}
+
+// cursorSig fingerprints the request fields a cursor is bound to.
+func cursorSig(fields ...string) string {
+	h := fnv.New64a()
+	for _, f := range fields {
+		h.Write([]byte(f))
+		h.Write([]byte{0})
+	}
+	return strconv.FormatUint(h.Sum64(), 36)
+}

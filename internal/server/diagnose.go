@@ -5,6 +5,8 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"sort"
+	"strconv"
 
 	"perftrack/internal/diagnose"
 )
@@ -112,11 +114,14 @@ type AttributeKey struct {
 }
 
 // AttributesResponse lists attribute keys, optionally filtered by name
-// prefix.
+// prefix. With ?limit= the listing is one page (in name order) and
+// NextCursor is set while keys remain; pass it back as ?cursor= for the
+// next page (same prefix required). See DESIGN.md §7.
 type AttributesResponse struct {
 	APIVersion string         `json:"api_version"`
 	Prefix     string         `json:"prefix,omitempty"`
 	Keys       []AttributeKey `json:"keys"`
+	NextCursor string         `json:"next_cursor,omitempty"`
 }
 
 // NewDiagnoseResponse converts a diagnosis into its wire form. Exported
@@ -205,23 +210,62 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, NewDiagnoseResponse(res))
 }
 
-// handleAttributes is GET /v1/attributes?prefix=: the attribute-key
-// domain listing backing the diagnose predicate space.
+// handleAttributes is GET /v1/attributes?prefix=&limit=&cursor=: the
+// attribute-key domain listing backing the diagnose predicate space,
+// paginated in name order when limit is set.
 func (s *Server) handleAttributes(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	for key := range q {
-		if key != "prefix" {
+		switch key {
+		case "prefix", "limit", "cursor":
+		default:
 			writeErrorString(w, r, http.StatusBadRequest, fmt.Sprintf("unknown query parameter %q", key))
 			return
 		}
 	}
 	prefix := q.Get("prefix")
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			writeErrorString(w, r, http.StatusBadRequest, fmt.Sprintf("bad limit %q, want a positive integer", raw))
+			return
+		}
+		limit = v
+	}
+	after := ""
+	if cursor := q.Get("cursor"); cursor != "" {
+		parts, err := decodeCursor(cursor, "a1", 3)
+		if err != nil {
+			writeErrorString(w, r, http.StatusBadRequest, err.Error())
+			return
+		}
+		if parts[1] != cursorSig(prefix) {
+			writeErrorString(w, r, http.StatusBadRequest, "cursor does not match this prefix")
+			return
+		}
+		after = parts[2]
+	}
 	keys, err := s.store.AttributeKeys(prefix)
 	if err != nil {
 		writeError(w, r, statusOf(err, http.StatusInternalServerError), err)
 		return
 	}
-	resp := AttributesResponse{APIVersion: APIVersion, Prefix: prefix, Keys: make([]AttributeKey, 0, len(keys))}
+	// AttributeKeys returns name-sorted keys, so "after this name" is a
+	// stable resume point even across ingests between pages.
+	if after != "" {
+		i := sort.Search(len(keys), func(i int) bool { return keys[i].Name > after })
+		keys = keys[i:]
+	}
+	next := ""
+	if limit > 0 && len(keys) > limit {
+		keys = keys[:limit]
+		next = encodeCursor("a1", cursorSig(prefix), keys[len(keys)-1].Name)
+	}
+	resp := AttributesResponse{
+		APIVersion: APIVersion, Prefix: prefix,
+		Keys: make([]AttributeKey, 0, len(keys)), NextCursor: next,
+	}
 	for _, k := range keys {
 		ak := AttributeKey{
 			Name: k.Name, Resources: k.Resources, Distinct: k.Distinct,

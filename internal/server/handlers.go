@@ -18,6 +18,7 @@ import (
 	"perftrack/internal/compare"
 	"perftrack/internal/core"
 	"perftrack/internal/datastore"
+	"perftrack/internal/planner"
 	"perftrack/internal/query"
 )
 
@@ -235,31 +236,118 @@ func (s *Server) buildPRFilter(ctx context.Context, specs []string) (core.PRFilt
 	return prf, counts, nil
 }
 
+// selectionParts merges the unified Select spec with an endpoint's
+// legacy top-level families list: the full family-spec list plus the
+// execution restriction. Every selection-taking handler converges here,
+// so the old and new spellings cannot drift apart.
+func selectionParts(sel *Selection, legacyFamilies []string) (families, executions []string) {
+	families = append(families, legacyFamilies...)
+	if sel != nil {
+		families = append(families, sel.Families...)
+	}
+	return families, sel.ExecutionList()
+}
+
+// executionResultIDs unions the sorted result-ID lists of the named
+// executions. An unknown execution is ErrNotFound (404 on the wire).
+func (s *Server) executionResultIDs(execs []string) ([]int64, error) {
+	var out []int64
+	for _, e := range execs {
+		ids, err := s.store.ExecutionResultIDs(e)
+		if err != nil {
+			return nil, err
+		}
+		out = unionSorted(out, ids)
+	}
+	return out, nil
+}
+
+// unionSorted merges two ascending ID lists, dropping duplicates.
+func unionSorted(a, b []int64) []int64 {
+	out := make([]int64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// intersectSorted intersects two ascending ID lists.
+func intersectSorted(a, b []int64) []int64 {
+	var out []int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	prf, counts, err := s.buildPRFilter(r.Context(), req.Families)
+	families, execs := selectionParts(req.Select, req.Families)
+	prf, counts, err := s.buildPRFilter(r.Context(), families)
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
-	total, err := s.store.CountMatchesCtx(r.Context(), prf)
-	if err != nil {
-		writeError(w, r, http.StatusInternalServerError, err)
-		return
+	var total int
+	if len(execs) == 0 {
+		total, err = s.store.CountMatchesCtx(r.Context(), prf)
+		if err != nil {
+			writeError(w, r, http.StatusInternalServerError, err)
+			return
+		}
+	} else {
+		ids, err := s.store.MatchingResultIDsCtx(r.Context(), prf)
+		if err != nil {
+			writeError(w, r, statusOf(err, http.StatusInternalServerError), err)
+			return
+		}
+		restrict, err := s.executionResultIDs(execs)
+		if err != nil {
+			writeError(w, r, statusOf(err, http.StatusInternalServerError), err)
+			return
+		}
+		total = len(intersectSorted(ids, restrict))
 	}
 	es := s.store.QueryEngineStats()
-	writeJSON(w, http.StatusOK, QueryResponse{
+	resp := QueryResponse{
 		APIVersion:  APIVersion,
 		Families:    counts,
 		Matches:     total,
 		Generation:  es.Generation,
 		CacheHits:   es.CacheHits,
 		CacheMisses: es.CacheMisses,
-	})
+	}
+	if req.Explain {
+		resp.Plan = planner.PRFilterPlan(s.store, execs, families, total)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
@@ -272,11 +360,16 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		writeErrorString(w, r, http.StatusBadRequest, "limit must be >= 0")
 		return
 	}
+	families, execs := selectionParts(req.Select, req.Families)
 	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
-		s.handleResultsStream(w, r, req)
+		s.handleResultsStream(w, r, req, families, execs)
 		return
 	}
-	prf, _, err := s.buildPRFilter(r.Context(), req.Families)
+	if req.Cursor != "" && req.Limit <= 0 {
+		writeErrorString(w, r, http.StatusBadRequest, "cursor requires a positive limit")
+		return
+	}
+	prf, _, err := s.buildPRFilter(r.Context(), families)
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err)
 		return
@@ -285,6 +378,13 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, r, http.StatusInternalServerError, err)
 		return
+	}
+	if len(execs) > 0 {
+		keep := make(map[string]bool, len(execs))
+		for _, e := range execs {
+			keep[e] = true
+		}
+		tbl.FilterRows(func(row *query.Row) bool { return keep[row.Execution] })
 	}
 	if req.Metric != "" {
 		tbl.FilterMetric(req.Metric)
@@ -314,8 +414,39 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	cols := tbl.Columns()
 	total := len(tbl.Rows)
 	rows := tbl.Rows
+
+	// Pagination: the cursor is bound to the refinements (but not the
+	// page size) via a fingerprint, so a cursor replayed against a
+	// different query is a 400 rather than a silently wrong page.
+	sigFields := append([]string{strconv.Itoa(len(families))}, families...)
+	sigFields = append(sigFields, execs...)
+	sigFields = append(sigFields, req.Metric,
+		strings.Join(req.AddColumns, ","), strings.Join(req.AddAttributes, ","),
+		req.SortBy, strconv.FormatBool(req.Descending))
+	sig := cursorSig(sigFields...)
+	offset := 0
+	if req.Cursor != "" {
+		parts, err := decodeCursor(req.Cursor, "r1", 3)
+		if err != nil {
+			writeErrorString(w, r, http.StatusBadRequest, err.Error())
+			return
+		}
+		off, convErr := strconv.Atoi(parts[1])
+		if convErr != nil || off < 0 {
+			writeErrorString(w, r, http.StatusBadRequest, "bad cursor")
+			return
+		}
+		if parts[2] != sig {
+			writeErrorString(w, r, http.StatusBadRequest, "cursor does not match this request")
+			return
+		}
+		offset = min(off, len(rows))
+	}
+	rows = rows[offset:]
+	next := ""
 	if req.Limit > 0 && len(rows) > req.Limit {
 		rows = rows[:req.Limit]
+		next = encodeCursor("r1", strconv.Itoa(offset+req.Limit), sig)
 	}
 	out := make([][]string, 0, len(rows))
 	for _, row := range rows {
@@ -325,7 +456,9 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 		out = append(out, cells)
 	}
-	writeJSON(w, http.StatusOK, ResultsResponse{APIVersion: APIVersion, Columns: cols, Rows: out, Total: total})
+	writeJSON(w, http.StatusOK, ResultsResponse{
+		APIVersion: APIVersion, Columns: cols, Rows: out, Total: total, NextCursor: next,
+	})
 }
 
 // errStreamLimit aborts MaterializeStream once the row limit is reached.
@@ -340,13 +473,17 @@ const resultStreamChunk = 2048
 // chunks as NDJSON, so neither side holds a full-corpus retrieval in
 // memory. Refinements that need the whole result set (sorting, added
 // columns) are rejected; the metric filter and row limit apply per row.
-func (s *Server) handleResultsStream(w http.ResponseWriter, r *http.Request, req ResultsRequest) {
+func (s *Server) handleResultsStream(w http.ResponseWriter, r *http.Request, req ResultsRequest, families, execs []string) {
 	if len(req.AddColumns) > 0 || len(req.AddAttributes) > 0 || req.SortBy != "" {
 		writeErrorString(w, r, http.StatusBadRequest,
-			"stream=1 supports families, metric, and limit only (sorting and added columns need the full result set)")
+			"stream=1 supports selection, metric, and limit only (sorting and added columns need the full result set)")
 		return
 	}
-	prf, _, err := s.buildPRFilter(r.Context(), req.Families)
+	if req.Cursor != "" {
+		writeErrorString(w, r, http.StatusBadRequest, "stream=1 does not paginate; use limit, or the buffered form with a cursor")
+		return
+	}
+	prf, _, err := s.buildPRFilter(r.Context(), families)
 	if err != nil {
 		writeError(w, r, http.StatusBadRequest, err)
 		return
@@ -355,6 +492,14 @@ func (s *Server) handleResultsStream(w http.ResponseWriter, r *http.Request, req
 	if err != nil {
 		writeError(w, r, statusOf(err, http.StatusInternalServerError), err)
 		return
+	}
+	if len(execs) > 0 {
+		restrict, err := s.executionResultIDs(execs)
+		if err != nil {
+			writeError(w, r, statusOf(err, http.StatusInternalServerError), err)
+			return
+		}
+		ids = intersectSorted(ids, restrict)
 	}
 	total := len(ids)
 	if req.Metric == "" && req.Limit > 0 && len(ids) > req.Limit {
@@ -421,6 +566,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Store:      s.store.Stats(),
 		Engine:     s.store.QueryEngineStats(),
 		Storage:    StorageStats{Kind: es.Kind, Engine: es},
+		Statistics: s.store.TableStatistics(),
 	}
 	if se, ok := s.store.Engine().(segmentStatser); ok {
 		if st := se.SegmentStats(); st.Enabled {

@@ -166,6 +166,9 @@ func (s *Server) Handler() http.Handler {
 	// buffering TimeoutHandler would hide, and a full-corpus retrieval
 	// may legitimately outlast the request timeout.
 	s.route(mux, "POST /v1/results", "/v1/results", true, false, true, http.HandlerFunc(s.handleResults))
+	// /v1/sql is limited but not timed: ?stream=1 emits NDJSON through
+	// http.Flusher, which the buffering TimeoutHandler would hide.
+	s.route(mux, "POST /v1/sql", "/v1/sql", true, false, true, http.HandlerFunc(s.handleSQL))
 	s.route(mux, "GET /v1/stats", "/v1/stats", true, true, true, http.HandlerFunc(s.handleStats))
 	s.route(mux, "GET /v1/compare", "/v1/compare", true, true, true, http.HandlerFunc(s.handleCompare))
 	s.route(mux, "POST /v1/diagnose", "/v1/diagnose", true, true, true, http.HandlerFunc(s.handleDiagnose))

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+
+	"perftrack/internal/planner"
+	"perftrack/internal/reldb"
+	"perftrack/internal/sqldb"
+)
+
+// sqlCell converts one SQL value into its JSON form: SQL NULL and
+// non-finite floats (which JSON cannot carry) become null.
+func sqlCell(v reldb.Value) any {
+	switch v.Kind() {
+	case reldb.KindInt:
+		return v.Int64()
+	case reldb.KindFloat:
+		f := v.Float64()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil
+		}
+		return f
+	case reldb.KindString:
+		return v.Text()
+	case reldb.KindBool:
+		return v.Truth()
+	}
+	return nil
+}
+
+func sqlRow(row reldb.Row) []any {
+	out := make([]any, len(row))
+	for i, v := range row {
+		out[i] = sqlCell(v)
+	}
+	return out
+}
+
+// handleSQL is POST /v1/sql: one SELECT planned and executed against the
+// store's virtual catalog by the cost-based planner (internal/planner).
+// The buffered form replies with SQLResponse; ?stream=1 emits NDJSON
+// SQLStreamLines through http.Flusher for results too large to buffer
+// (the route is unlimited by the timeout handler for the same reason as
+// /v1/results). Parse, plan, and catalog errors are 400s.
+func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
+	var req SQLRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeErrorString(w, r, http.StatusBadRequest, "sql is required")
+		return
+	}
+	if req.Limit < 0 {
+		writeErrorString(w, r, http.StatusBadRequest, "limit must be >= 0")
+		return
+	}
+	res, plan, err := planner.New(s.store).Query(r.Context(), req.SQL)
+	if err != nil {
+		writeError(w, r, statusOf(err, http.StatusInternalServerError), err)
+		return
+	}
+	var wire *PlanWire
+	if req.Explain {
+		wire = plan.Wire()
+	}
+	s.log.Debug("sql", "strategy", plan.Strategy, "rows", len(res.Rows),
+		"est", plan.EstRows, "actual", plan.ActualRows, "rid", RequestIDFromContext(r.Context()))
+	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
+		s.streamSQL(w, res, req, wire)
+		return
+	}
+	rows := res.Rows
+	truncated := false
+	if req.Limit > 0 && len(rows) > req.Limit {
+		rows = rows[:req.Limit]
+		truncated = true
+	}
+	resp := SQLResponse{
+		APIVersion: APIVersion,
+		Columns:    res.Columns,
+		Rows:       make([][]any, 0, len(rows)),
+		RowCount:   len(res.Rows),
+		Truncated:  truncated,
+		Plan:       wire,
+	}
+	for _, row := range rows {
+		resp.Rows = append(resp.Rows, sqlRow(row))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamSQL emits a completed result set as NDJSON. sqldb results are
+// already materialized (the planner's pushed aggregation keeps them
+// small when possible); streaming bounds the response encoding, not the
+// execution.
+func (s *Server) streamSQL(w http.ResponseWriter, res *sqldb.Result, req SQLRequest, plan *PlanWire) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	if err := enc.Encode(SQLStreamLine{APIVersion: APIVersion, Columns: res.Columns}); err != nil {
+		return
+	}
+	emitted := 0
+	for _, row := range res.Rows {
+		if req.Limit > 0 && emitted >= req.Limit {
+			break
+		}
+		if err := enc.Encode(SQLStreamLine{APIVersion: APIVersion, Row: sqlRow(row)}); err != nil {
+			return
+		}
+		emitted++
+		if emitted%resultStreamChunk == 0 && flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(SQLStreamLine{APIVersion: APIVersion, Done: true, Rows: emitted, Plan: plan})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

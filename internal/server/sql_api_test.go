@@ -1,0 +1,430 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// seedTwoExecServer loads two small PTdf documents (tags a and b), so
+// the store holds two applications, two executions with attributes, and
+// five results each.
+func seedTwoExecServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	_, ts := newTestServer(t, nil)
+	loadDoc(t, ts.URL, ptdfDoc("a", 5))
+	loadDoc(t, ts.URL, ptdfDoc("b", 5))
+	return ts
+}
+
+func TestSQLEndpoint(t *testing.T) {
+	ts := seedTwoExecServer(t)
+
+	var resp SQLResponse
+	code, raw := postJSON(t, ts.URL+"/v1/sql", SQLRequest{
+		SQL:     "SELECT execution, count(*), avg(value) FROM performance_result GROUP BY execution ORDER BY execution",
+		Explain: true,
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if resp.APIVersion != APIVersion {
+		t.Errorf("api_version = %q", resp.APIVersion)
+	}
+	if len(resp.Rows) != 2 || resp.RowCount != 2 {
+		t.Fatalf("rows = %d (count %d), want 2:\n%s", len(resp.Rows), resp.RowCount, raw)
+	}
+	if got := resp.Rows[0][0]; got != "exec-a" {
+		t.Errorf("first group = %v, want exec-a", got)
+	}
+	if got := resp.Rows[0][1]; got != float64(5) {
+		t.Errorf("count(*) = %v (%T), want 5", got, got)
+	}
+	if resp.Plan == nil || resp.Plan.Strategy == "" {
+		t.Fatalf("explain did not attach a plan:\n%s", raw)
+	}
+	if resp.Plan.ActualRows != 10 {
+		t.Errorf("plan actual_rows = %d, want 10", resp.Plan.ActualRows)
+	}
+
+	// Without explain the plan stays off the wire.
+	code, raw = postJSON(t, ts.URL+"/v1/sql", SQLRequest{SQL: "SELECT count(*) FROM performance_result"}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw)
+	}
+	if strings.Contains(raw, `"plan"`) {
+		t.Errorf("plan leaked without explain:\n%s", raw)
+	}
+
+	// Limit truncates and says so.
+	code, _ = postJSON(t, ts.URL+"/v1/sql", SQLRequest{
+		SQL: "SELECT id FROM performance_result ORDER BY id", Limit: 3,
+	}, &resp)
+	if code != http.StatusOK || len(resp.Rows) != 3 || !resp.Truncated || resp.RowCount != 10 {
+		t.Fatalf("limit: status %d rows %d truncated %v count %d, want 200/3/true/10",
+			code, len(resp.Rows), resp.Truncated, resp.RowCount)
+	}
+}
+
+func TestSQLEndpointErrors(t *testing.T) {
+	ts := seedTwoExecServer(t)
+	for name, body := range map[string]string{
+		"empty sql":      `{"sql": ""}`,
+		"parse error":    `{"sql": "SELEC nope"}`,
+		"non-select":     `{"sql": "CREATE TABLE x (id INTEGER PRIMARY KEY)"}`,
+		"bad pseudo":     `{"sql": "SELECT family FROM performance_result"}`,
+		"unknown field":  `{"sql": "SELECT 1", "nope": true}`,
+		"negative limit": `{"sql": "SELECT 1", "limit": -1}`,
+	} {
+		r, err := http.Post(ts.URL+"/v1/sql", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", name, r.StatusCode, raw)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(raw, &er); err != nil || er.APIVersion != APIVersion || er.Error == "" {
+			t.Errorf("%s: malformed error envelope: %s", name, raw)
+		}
+	}
+}
+
+func TestSQLStream(t *testing.T) {
+	ts := seedTwoExecServer(t)
+	body, _ := json.Marshal(SQLRequest{
+		SQL: "SELECT id, metric, value FROM performance_result ORDER BY id", Explain: true,
+	})
+	r, err := http.Post(ts.URL+"/v1/sql?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if ct := r.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var (
+		rows    int
+		sawCols bool
+		summary *SQLStreamLine
+	)
+	sc := bufio.NewScanner(r.Body)
+	for sc.Scan() {
+		var line SQLStreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("decode line %q: %v", sc.Text(), err)
+		}
+		if line.APIVersion != APIVersion {
+			t.Fatalf("line without api_version: %s", sc.Text())
+		}
+		switch {
+		case line.Error != "":
+			t.Fatalf("mid-stream error: %s", line.Error)
+		case line.Done:
+			l := line
+			summary = &l
+		case line.Columns != nil:
+			sawCols = true
+			if want := []string{"id", "metric", "value"}; fmt.Sprint(line.Columns) != fmt.Sprint(want) {
+				t.Fatalf("columns = %v, want %v", line.Columns, want)
+			}
+		case line.Row != nil:
+			rows++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawCols || rows != 10 || summary == nil || summary.Rows != 10 {
+		t.Fatalf("stream: cols %v rows %d summary %+v", sawCols, rows, summary)
+	}
+	if summary.Plan == nil || summary.Plan.Strategy == "" {
+		t.Fatalf("summary line missing plan: %+v", summary)
+	}
+}
+
+// TestSQLDifferentialWithPRFilter runs the same selections through
+// /v1/sql and the pr-filter endpoints and asserts identical answers —
+// the server-level counterpart of the planner's fuzz oracle.
+func TestSQLDifferentialWithPRFilter(t *testing.T) {
+	ts := seedTwoExecServer(t)
+	sqlCount := func(q string) int {
+		var resp SQLResponse
+		code, raw := postJSON(t, ts.URL+"/v1/sql", SQLRequest{SQL: q}, &resp)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", q, code, raw)
+		}
+		return int(resp.Rows[0][0].(float64))
+	}
+
+	cases := []struct {
+		sql string
+		req QueryRequest
+	}{
+		{
+			sql: "SELECT count(*) FROM performance_result WHERE family = 'type=application'",
+			req: QueryRequest{Families: []string{"type=application"}},
+		},
+		{
+			sql: "SELECT count(*) FROM performance_result WHERE execution = 'exec-a'",
+			req: QueryRequest{Select: &Selection{Execution: "exec-a"}},
+		},
+		{
+			sql: "SELECT count(*) FROM performance_result WHERE family = 'name=/app-b' AND execution = 'exec-b'",
+			req: QueryRequest{Select: &Selection{Execution: "exec-b", Families: []string{"name=/app-b"}}},
+		},
+	}
+	for _, tc := range cases {
+		var qr QueryResponse
+		code, raw := postJSON(t, ts.URL+"/v1/query", tc.req, &qr)
+		if code != http.StatusOK {
+			t.Fatalf("query: status %d: %s", code, raw)
+		}
+		if got := sqlCount(tc.sql); got != qr.Matches {
+			t.Errorf("%s: sql says %d, /v1/query says %d", tc.sql, got, qr.Matches)
+		}
+	}
+
+	// Row-level: the same family through /v1/results and through SQL must
+	// yield the same (execution, metric, value) rows.
+	var rr ResultsResponse
+	code, raw := postJSON(t, ts.URL+"/v1/results", ResultsRequest{
+		Select: &Selection{Families: []string{"name=/app-a"}},
+	}, &rr)
+	if code != http.StatusOK {
+		t.Fatalf("results: status %d: %s", code, raw)
+	}
+	var sr SQLResponse
+	code, raw = postJSON(t, ts.URL+"/v1/sql", SQLRequest{
+		SQL: "SELECT execution, metric, value FROM performance_result WHERE family = 'name=/app-a' ORDER BY id",
+	}, &sr)
+	if code != http.StatusOK {
+		t.Fatalf("sql: status %d: %s", code, raw)
+	}
+	if len(sr.Rows) != len(rr.Rows) {
+		t.Fatalf("sql %d rows, results %d rows", len(sr.Rows), len(rr.Rows))
+	}
+	for i := range sr.Rows {
+		sqlRow := fmt.Sprintf("%v|%v|%g", sr.Rows[i][0], sr.Rows[i][1], sr.Rows[i][2].(float64))
+		resRow := fmt.Sprintf("%s|%s|%s", rr.Rows[i][0], rr.Rows[i][1], rr.Rows[i][2])
+		if sqlRow != resRow {
+			t.Errorf("row %d: sql %q vs results %q", i, sqlRow, resRow)
+		}
+	}
+}
+
+// TestUnifiedSelectionWireCompat proves the old field spellings and the
+// unified select spec decode to the same evaluation, byte for byte where
+// the responses are deterministic.
+func TestUnifiedSelectionWireCompat(t *testing.T) {
+	ts := seedTwoExecServer(t)
+
+	// /v1/query: top-level families vs select.families.
+	var legacy, unified QueryResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/query",
+		QueryRequest{Families: []string{"type=application"}}, &legacy); code != 200 {
+		t.Fatalf("legacy query: %d %s", code, raw)
+	}
+	if code, raw := postJSON(t, ts.URL+"/v1/query",
+		QueryRequest{Select: &Selection{Families: []string{"type=application"}}}, &unified); code != 200 {
+		t.Fatalf("unified query: %d %s", code, raw)
+	}
+	if legacy.Matches != unified.Matches || len(legacy.Families) != len(unified.Families) {
+		t.Errorf("legacy matches %d families %d, unified matches %d families %d",
+			legacy.Matches, len(legacy.Families), unified.Matches, len(unified.Families))
+	}
+	if legacy.Matches != 10 {
+		t.Errorf("matches = %d, want 10", legacy.Matches)
+	}
+
+	// Execution restriction narrows the count.
+	var restricted QueryResponse
+	postJSON(t, ts.URL+"/v1/query", QueryRequest{
+		Families: []string{"type=application"},
+		Select:   &Selection{Execution: "exec-a"},
+	}, &restricted)
+	if restricted.Matches != 5 {
+		t.Errorf("restricted matches = %d, want 5", restricted.Matches)
+	}
+	// An unknown execution is a 404, like everywhere else on the surface.
+	if code, _ := postJSON(t, ts.URL+"/v1/query",
+		QueryRequest{Select: &Selection{Execution: "nope"}}, nil); code != http.StatusNotFound {
+		t.Errorf("unknown execution: status %d, want 404", code)
+	}
+
+	// /v1/results: same rows through both spellings.
+	var lr, ur ResultsResponse
+	postJSON(t, ts.URL+"/v1/results", ResultsRequest{Families: []string{"name=/app-a"}}, &lr)
+	postJSON(t, ts.URL+"/v1/results", ResultsRequest{Select: &Selection{Families: []string{"name=/app-a"}}}, &ur)
+	if fmt.Sprint(lr.Rows) != fmt.Sprint(ur.Rows) || lr.Total != ur.Total {
+		t.Errorf("results diverge between spellings: legacy %d rows, unified %d rows", len(lr.Rows), len(ur.Rows))
+	}
+
+	// /v1/diagnose: a/b selections vs the flat exec lists.
+	flat := map[string]any{"exec_a": "exec-a", "exec_b": "exec-b", "top": 3}
+	sel := map[string]any{"a": map[string]any{"execution": "exec-a"}, "b": map[string]any{"execution": "exec-b"}, "top": 3}
+	var fd, sd DiagnoseResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/diagnose", flat, &fd); code != 200 {
+		t.Fatalf("flat diagnose: %d %s", code, raw)
+	}
+	if code, raw := postJSON(t, ts.URL+"/v1/diagnose", sel, &sd); code != 200 {
+		t.Fatalf("selection diagnose: %d %s", code, raw)
+	}
+	if fmt.Sprint(fd.SideA) != fmt.Sprint(sd.SideA) || fmt.Sprint(fd.SideB) != fmt.Sprint(sd.SideB) {
+		t.Errorf("diagnose sides diverge: flat %v/%v, selection %v/%v", fd.SideA, fd.SideB, sd.SideA, sd.SideB)
+	}
+}
+
+func TestResultsPagination(t *testing.T) {
+	ts := seedTwoExecServer(t)
+	full := ResultsRequest{Families: []string{"type=application"}, SortBy: "value", Descending: true}
+	var all ResultsResponse
+	if code, raw := postJSON(t, ts.URL+"/v1/results", full, &all); code != 200 {
+		t.Fatalf("full: %d %s", code, raw)
+	}
+	if len(all.Rows) != 10 || all.NextCursor != "" {
+		t.Fatalf("full: %d rows, cursor %q", len(all.Rows), all.NextCursor)
+	}
+
+	// Walk in pages of 3 and reassemble.
+	var paged [][]string
+	req := full
+	req.Limit = 3
+	pages := 0
+	for {
+		var page ResultsResponse
+		if code, raw := postJSON(t, ts.URL+"/v1/results", req, &page); code != 200 {
+			t.Fatalf("page %d: %d %s", pages, code, raw)
+		}
+		if page.Total != 10 {
+			t.Fatalf("page total = %d, want 10", page.Total)
+		}
+		paged = append(paged, page.Rows...)
+		pages++
+		if page.NextCursor == "" {
+			break
+		}
+		if pages > 10 {
+			t.Fatal("cursor walk did not terminate")
+		}
+		req.Cursor = page.NextCursor
+	}
+	if pages != 4 {
+		t.Errorf("pages = %d, want 4", pages)
+	}
+	if fmt.Sprint(paged) != fmt.Sprint(all.Rows) {
+		t.Errorf("paged walk diverges from the full retrieval:\n%v\nvs\n%v", paged, all.Rows)
+	}
+
+	// Bad cursors are 400s, not wrong pages.
+	for name, bad := range map[string]ResultsRequest{
+		"garbage":       {Families: full.Families, Limit: 3, Cursor: "not-base64!"},
+		"without limit": {Families: full.Families, Cursor: all.NextCursor + "x"},
+		"wrong request": {Families: full.Families, Metric: "other", Limit: 3, Cursor: mintResultsCursor(t, ts.URL, full)},
+	} {
+		if code, raw := postJSON(t, ts.URL+"/v1/results", bad, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", name, code, raw)
+		}
+	}
+}
+
+// mintResultsCursor gets a real NextCursor for the given request shape.
+func mintResultsCursor(t *testing.T, baseURL string, req ResultsRequest) string {
+	t.Helper()
+	req.Limit = 1
+	var page ResultsResponse
+	if code, raw := postJSON(t, baseURL+"/v1/results", req, &page); code != 200 {
+		t.Fatalf("mint cursor: %d %s", code, raw)
+	}
+	if page.NextCursor == "" {
+		t.Fatal("mint cursor: no next_cursor")
+	}
+	return page.NextCursor
+}
+
+func TestAttributesPagination(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	var doc strings.Builder
+	doc.WriteString("Application app\nExecution exec app\nResource /app application\nResource /exec execution exec\n")
+	for _, attr := range []string{"alpha", "beta", "gamma", "delta", "epsilon"} {
+		fmt.Fprintf(&doc, "ResourceAttribute /exec %s 1 string\n", attr)
+	}
+	doc.WriteString("PerfResult exec /app,/exec(primary) tool \"wall time\" 1.0 seconds\n")
+	loadDoc(t, ts.URL, doc.String())
+
+	get := func(params url.Values) (int, AttributesResponse, string) {
+		r, err := http.Get(ts.URL + "/v1/attributes?" + params.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		raw, _ := io.ReadAll(r.Body)
+		var out AttributesResponse
+		if r.StatusCode == http.StatusOK {
+			if err := json.Unmarshal(raw, &out); err != nil {
+				t.Fatalf("decode: %v\n%s", err, raw)
+			}
+		}
+		return r.StatusCode, out, string(raw)
+	}
+
+	code, all, raw := get(url.Values{})
+	if code != 200 || len(all.Keys) != 5 || all.NextCursor != "" {
+		t.Fatalf("unpaginated: %d, %d keys, cursor %q: %s", code, len(all.Keys), all.NextCursor, raw)
+	}
+
+	var walked []string
+	params := url.Values{"limit": {"2"}}
+	pages := 0
+	for {
+		code, page, raw := get(params)
+		if code != 200 {
+			t.Fatalf("page %d: %d %s", pages, code, raw)
+		}
+		for _, k := range page.Keys {
+			walked = append(walked, k.Name)
+		}
+		pages++
+		if page.NextCursor == "" {
+			break
+		}
+		if pages > 10 {
+			t.Fatal("cursor walk did not terminate")
+		}
+		params.Set("cursor", page.NextCursor)
+	}
+	if pages != 3 {
+		t.Errorf("pages = %d, want 3", pages)
+	}
+	var want []string
+	for _, k := range all.Keys {
+		want = append(want, k.Name)
+	}
+	if fmt.Sprint(walked) != fmt.Sprint(want) {
+		t.Errorf("walk = %v, want %v", walked, want)
+	}
+
+	// Bad limit, bad cursor, and a cursor minted for another prefix.
+	if code, _, _ := get(url.Values{"limit": {"0"}}); code != http.StatusBadRequest {
+		t.Errorf("limit=0: status %d, want 400", code)
+	}
+	if code, _, _ := get(url.Values{"cursor": {"@@@"}}); code != http.StatusBadRequest {
+		t.Errorf("bad cursor: status %d, want 400", code)
+	}
+	_, first, _ := get(url.Values{"limit": {"2"}})
+	if first.NextCursor == "" {
+		t.Fatal("no cursor to misuse")
+	}
+	if code, _, _ := get(url.Values{"prefix": {"al"}, "cursor": {first.NextCursor}}); code != http.StatusBadRequest {
+		t.Errorf("prefix-mismatched cursor: status %d, want 400", code)
+	}
+}

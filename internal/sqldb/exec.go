@@ -262,9 +262,9 @@ func (db *DB) execSelect(s *SelectStmt) (*Result, error) {
 		}
 	}
 	if grouped {
-		return db.execGrouped(s, rows, f)
+		return execGrouped(s, rows, f)
 	}
-	return db.execPlain(s, rows, f)
+	return execPlain(s, rows, f)
 }
 
 // buildInput scans the FROM table and applies JOIN clauses, producing the
@@ -519,7 +519,7 @@ func colLitPair(a, b Expr) (*ColumnRef, reldb.Value, bool) {
 
 // execPlain handles non-aggregated SELECT: projection, DISTINCT, ORDER BY,
 // LIMIT/OFFSET.
-func (db *DB) execPlain(s *SelectStmt, rows []reldb.Row, f *frame) (*Result, error) {
+func execPlain(s *SelectStmt, rows []reldb.Row, f *frame) (*Result, error) {
 	cols, project, err := makeProjection(s.Items, f)
 	if err != nil {
 		return nil, err
@@ -834,8 +834,17 @@ func evalWithAggs(e Expr, f *frame, row reldb.Row, aggVals map[*FuncExpr]reldb.V
 	}
 }
 
-func (db *DB) execGrouped(s *SelectStmt, rows []reldb.Row, f *frame) (*Result, error) {
-	// Gather aggregate nodes from the select list and ORDER BY.
+// group is one aggregation group: a representative input row for the
+// group-key columns plus one accumulator per aggregate call node.
+type group struct {
+	repr   reldb.Row
+	states []*aggState
+}
+
+// collectSelectAggs gathers the aggregate call nodes of a SELECT from the
+// select list, ORDER BY, and HAVING, in the canonical order the grouped
+// executor (and FinishGrouped) consumes them.
+func collectSelectAggs(s *SelectStmt) ([]*FuncExpr, error) {
 	var aggs []*FuncExpr
 	for _, item := range s.Items {
 		if item.Star {
@@ -849,10 +858,26 @@ func (db *DB) execGrouped(s *SelectStmt, rows []reldb.Row, f *frame) (*Result, e
 	if s.Having != nil {
 		collectAggs(s.Having, &aggs)
 	}
+	return aggs, nil
+}
 
-	type group struct {
-		repr   reldb.Row // representative input row for group-key columns
-		states []*aggState
+// emptyGroup builds the single all-null group that an aggregate query with
+// no GROUP BY and no input rows still yields (e.g. COUNT(*) = 0).
+func emptyGroup(ncols int, aggs []*FuncExpr) *group {
+	g := &group{repr: make(reldb.Row, ncols)}
+	for i := range g.repr {
+		g.repr[i] = reldb.Null()
+	}
+	for _, fe := range aggs {
+		g.states = append(g.states, newAggState(fe))
+	}
+	return g
+}
+
+func execGrouped(s *SelectStmt, rows []reldb.Row, f *frame) (*Result, error) {
+	aggs, err := collectSelectAggs(s)
+	if err != nil {
+		return nil, err
 	}
 	groups := make(map[string]*group)
 	var order []string // first-seen order
@@ -890,17 +915,19 @@ func (db *DB) execGrouped(s *SelectStmt, rows []reldb.Row, f *frame) (*Result, e
 	// An aggregate query with no GROUP BY and no input rows still yields
 	// one row (e.g. COUNT(*) = 0).
 	if len(s.GroupBy) == 0 && len(groups) == 0 {
-		g := &group{repr: make(reldb.Row, len(f.cols))}
-		for i := range g.repr {
-			g.repr[i] = reldb.Null()
-		}
-		for _, fe := range aggs {
-			g.states = append(g.states, newAggState(fe))
-		}
-		groups[""] = g
+		groups[""] = emptyGroup(len(f.cols), aggs)
 		order = append(order, "")
 	}
+	ordered := make([]*group, len(order))
+	for i, k := range order {
+		ordered[i] = groups[k]
+	}
+	return finishGrouped(s, f, aggs, ordered)
+}
 
+// finishGrouped completes a grouped SELECT from fully-accumulated groups:
+// HAVING, projection, ORDER BY, DISTINCT, LIMIT/OFFSET.
+func finishGrouped(s *SelectStmt, f *frame, aggs []*FuncExpr, ordered []*group) (*Result, error) {
 	var cols []string
 	for _, item := range s.Items {
 		name := item.Alias
@@ -915,8 +942,7 @@ func (db *DB) execGrouped(s *SelectStmt, rows []reldb.Row, f *frame) (*Result, e
 		keys reldb.Row
 	}
 	var outItems []sortable
-	for _, k := range order {
-		g := groups[k]
+	for _, g := range ordered {
 		aggVals := make(map[*FuncExpr]reldb.Value, len(aggs))
 		for i, fe := range aggs {
 			aggVals[fe] = g.states[i].result()

@@ -1,0 +1,130 @@
+package sqldb
+
+// Exported execution hooks for the cost-based planner (internal/planner).
+// The planner materializes virtual-table rows (or pre-aggregated groups)
+// from the datastore's access paths and hands them here so SQL semantics —
+// projection, HAVING, ORDER BY, DISTINCT, LIMIT — stay in one place.
+
+import (
+	"fmt"
+
+	"perftrack/internal/reldb"
+)
+
+// frameFor binds the given column names under the FROM clause's alias so
+// qualified and unqualified references both resolve.
+func frameFor(s *SelectStmt, columns []string) *frame {
+	alias := s.From.name()
+	f := &frame{}
+	for _, c := range columns {
+		f.cols = append(f.cols, colBinding{table: alias, column: c})
+	}
+	return f
+}
+
+// HasAggregates reports whether a SELECT must run through the grouped
+// executor: an explicit GROUP BY, or an aggregate call in the select list.
+func HasAggregates(s *SelectStmt) bool {
+	if len(s.GroupBy) > 0 {
+		return true
+	}
+	for _, item := range s.Items {
+		if item.Expr != nil && hasAggregate(item.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// ExecuteSelect runs an already-parsed single-table SELECT against
+// caller-supplied rows instead of a storage engine. columns names the
+// virtual table's columns in row order. The statement's WHERE (after any
+// planner rewrite of pushed-down conjuncts) is re-applied here, so callers
+// may pass a superset of the matching rows.
+func ExecuteSelect(s *SelectStmt, columns []string, rows []reldb.Row) (*Result, error) {
+	if len(s.Joins) > 0 {
+		return nil, fmt.Errorf("sql: ExecuteSelect does not support joins")
+	}
+	f := frameFor(s, columns)
+	if s.Where != nil {
+		kept := make([]reldb.Row, 0, len(rows))
+		for _, row := range rows {
+			v, err := eval(s.Where, f, row)
+			if err != nil {
+				return nil, err
+			}
+			if v.Kind() == reldb.KindBool && v.Truth() {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+	if HasAggregates(s) {
+		return execGrouped(s, rows, f)
+	}
+	return execPlain(s, rows, f)
+}
+
+// Aggregator accumulates one aggregate function's state for one group. It
+// implements the same COUNT/SUM/AVG/MIN/MAX (and DISTINCT) semantics the
+// in-executor grouping path uses, so a planner that feeds scan values
+// directly produces bit-identical results.
+type Aggregator struct {
+	st *aggState
+}
+
+// NewAggregator builds an accumulator for one aggregate call node.
+func NewAggregator(fe *FuncExpr) *Aggregator {
+	return &Aggregator{st: newAggState(fe)}
+}
+
+// Add folds one input value into the aggregate. COUNT(*) accumulators
+// count every call regardless of the value; pass reldb.Null() for them.
+func (a *Aggregator) Add(v reldb.Value) { a.st.add(v) }
+
+// Result finalizes the aggregate's value.
+func (a *Aggregator) Result() reldb.Value { return a.st.result() }
+
+// SelectAggregates returns the aggregate call nodes of a SELECT (from the
+// select list, ORDER BY, and HAVING) in the canonical order FinishGrouped
+// expects each group's Aggs slice to follow. It rejects SELECT * combined
+// with aggregation, matching the executor.
+func SelectAggregates(s *SelectStmt) ([]*FuncExpr, error) {
+	return collectSelectAggs(s)
+}
+
+// PlannedGroup is one pre-aggregated group produced below materialization.
+// Repr is a representative virtual-table row for the group (group-key
+// columns populated, everything else null) and Aggs holds one finished
+// accumulator per SelectAggregates entry, in that order.
+type PlannedGroup struct {
+	Repr reldb.Row
+	Aggs []*Aggregator
+}
+
+// FinishGrouped completes a grouped SELECT whose aggregation was pushed
+// below materialization: HAVING, projection, ORDER BY, DISTINCT, and
+// LIMIT/OFFSET run here over the planner-built groups. An aggregate query
+// with no GROUP BY and no groups still yields one row (COUNT(*) = 0).
+func FinishGrouped(s *SelectStmt, columns []string, groups []PlannedGroup) (*Result, error) {
+	aggs, err := collectSelectAggs(s)
+	if err != nil {
+		return nil, err
+	}
+	ordered := make([]*group, 0, len(groups))
+	for _, pg := range groups {
+		if len(pg.Aggs) != len(aggs) {
+			return nil, fmt.Errorf("sql: FinishGrouped group has %d aggregates, statement has %d",
+				len(pg.Aggs), len(aggs))
+		}
+		g := &group{repr: pg.Repr}
+		for _, a := range pg.Aggs {
+			g.states = append(g.states, a.st)
+		}
+		ordered = append(ordered, g)
+	}
+	if len(s.GroupBy) == 0 && len(ordered) == 0 {
+		ordered = append(ordered, emptyGroup(len(columns), aggs))
+	}
+	return finishGrouped(s, frameFor(s, columns), aggs, ordered)
+}

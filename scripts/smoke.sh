@@ -70,6 +70,14 @@ bin/ptquery -remote "$base" -family 'type=application' -sort value -limit 5
 bin/ptquery -remote "$base" -report executions | grep -q smg-bgl-000
 bin/ptquery -remote "$base" -report stats
 
+echo "== remote SQL through the planner"
+sqlcount=$(bin/ptsql -remote "$base" \
+    "SELECT count(*) FROM performance_result WHERE family = 'type=application'" | sed -n 2p)
+[ "$sqlcount" = "$count" ] || { echo "ptsql count $sqlcount != ptquery count $count" >&2; exit 1; }
+bin/ptsql -remote "$base" -explain \
+    "SELECT metric, avg(value) FROM performance_result GROUP BY metric" >/dev/null 2>sqlplan.txt
+grep -q 'strategy=' sqlplan.txt
+
 echo "== remote diagnosis"
 bin/ptdiagnose -remote "$base" -a smg-bgl-000 -b smg-bgl-001 | grep -q 'diagnosing smg-bgl-000'
 bin/ptdiagnose -remote "$base" -attrs | grep -q 'attribute'
@@ -110,6 +118,12 @@ echo "== local ptquery sees the served store"
 final=$(bin/ptquery -db store -family 'type=application' -count 2>&1 |
     sed -n 's/^pr-filter matches \([0-9]*\) performance results$/\1/p')
 [ "$final" = "$count" ] || { echo "post-shutdown count $final != served count $count" >&2; exit 1; }
+
+echo "== local ptsql: planned and naive answers agree"
+sqlq="SELECT metric, count(*), avg(value) FROM performance_result GROUP BY metric ORDER BY metric"
+bin/ptsql -db store "$sqlq" > sql_planned.txt
+bin/ptsql -db store -naive "$sqlq" > sql_naive.txt
+cmp sql_planned.txt sql_naive.txt || { echo "planned and naive SQL diverge" >&2; exit 1; }
 
 echo "== local diagnosis and the not-found hint"
 bin/ptdiagnose -db store -a smg-bgl-000 -b smg-bgl-001 >diag.txt
