@@ -13,10 +13,12 @@
 //	ptbench -fig10 -fig11       print the Paradyn hierarchy and mapping
 //	ptbench -benchjson [-bench-rows N] [-bench-execs N] [-bench-out DIR]
 //	                            measure materialize, bulk-load, and
-//	                            planned-vs-naive SQL per storage engine
+//	                            planned-vs-naive SQL per storage engine,
+//	                            vectorized-vs-row-at-a-time segment scans,
 //	                            plus serial/parallel diagnosis, writing
 //	                            BENCH_materialize.json, BENCH_bulkload.json,
-//	                            BENCH_sql.json, and BENCH_diagnose.json
+//	                            BENCH_sql.json, BENCH_scan.json, and
+//	                            BENCH_diagnose.json
 package main
 
 import (
@@ -159,9 +161,11 @@ func main() {
 }
 
 // runBenchJSON measures MaterializeResults and bulk load on every
-// storage engine over the synthetic corpus, plus serial-vs-parallel
+// storage engine over the synthetic corpus, planned-vs-naive SQL,
+// vectorized-vs-row-at-a-time segment scans, plus serial-vs-parallel
 // fleet diagnosis, and writes one JSON artifact per operation
-// (BENCH_materialize.json, BENCH_bulkload.json, BENCH_diagnose.json).
+// (BENCH_materialize.json, BENCH_bulkload.json, BENCH_sql.json,
+// BENCH_scan.json, BENCH_diagnose.json).
 func runBenchJSON(rows, iters, execs int, outDir string) error {
 	engines := []string{reldb.KindMem, reldb.KindWAL, reldb.KindSegment}
 	work, err := os.MkdirTemp("", "perftrack-bench-*")
@@ -199,6 +203,14 @@ func runBenchJSON(rows, iters, execs int, outDir string) error {
 	if err := writeBenchArtifact(filepath.Join(outDir, "BENCH_sql.json"), sql); err != nil {
 		return err
 	}
+	fmt.Fprintf(os.Stderr, "ptbench: scan vectorized vs row-at-a-time on segment (%d rows)...\n", rows)
+	scan, err := experiments.ScanBenchmark(filepath.Join(work, "scan-segment"), rows, iters)
+	if err != nil {
+		return fmt.Errorf("scan: %w", err)
+	}
+	if err := writeBenchArtifact(filepath.Join(outDir, "BENCH_scan.json"), scan); err != nil {
+		return err
+	}
 	var diag []experiments.BenchResult
 	for _, workers := range []int{1, 0} {
 		mode := "serial"
@@ -230,6 +242,17 @@ func runBenchJSON(rows, iters, execs int, outDir string) error {
 		}
 		fmt.Printf("sql         %-8s %8d rows  %12.0f ns/op planned  %12.0f ns/op naive  %5.1fx\n",
 			sql[i].Engine, sql[i].Rows, sql[i].NsPerOp, sql[i+1].NsPerOp, speedup)
+	}
+	scanNs := make(map[string]float64, len(scan))
+	for _, r := range scan {
+		fmt.Printf("scan        %-18s %8d rows  %12.0f ns/op\n", r.Op, r.Rows, r.NsPerOp)
+		scanNs[r.Op] = r.NsPerOp
+	}
+	if vec := scanNs["scan-vectorized"]; vec > 0 {
+		fmt.Printf("scan        vectorized speedup over row fold: %5.1fx\n", scanNs["scan-rowfold"]/vec)
+	}
+	if w4 := scanNs["scan-vectorized-w4"]; w4 > 0 {
+		fmt.Printf("scan        1 -> 4 worker scaling:            %5.1fx\n", scanNs["scan-vectorized-w1"]/w4)
 	}
 	for _, r := range diag {
 		fmt.Printf("diagnose    %-8s %8d execs %12.0f ns/op\n",

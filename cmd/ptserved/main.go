@@ -9,6 +9,7 @@
 //	         [-timeout 30s] [-auto-checkpoint N] [-sync] [-pprof addr]
 //	         [-log-level info] [-slow-threshold 1s] [-trace-buffer 256]
 //	         [-storage mem|wal|segment] [-segment-flush N]
+//	         [-plan-cache-bytes N]
 //
 // On SIGINT/SIGTERM the server drains in-flight requests, checkpoints
 // the store (snapshot + truncated WAL), and exits.
@@ -47,6 +48,7 @@ func main() {
 	traceBuffer := flag.Int("trace-buffer", 256, "completed traces retained for /v1/debug/traces")
 	storage := flag.String("storage", "", "storage engine: mem, wal, or segment (default: auto-detect; wal for a new store)")
 	segmentFlush := flag.Int64("segment-flush", 0, "segment engine: compact a hot table once this many rows are pending (0 = engine default)")
+	planCacheBytes := flag.Int64("plan-cache-bytes", 0, "byte bound for the /v1/sql result cache (0 = default 32MiB, negative disables)")
 	flag.Parse()
 
 	if *dbDir == "" {
@@ -95,6 +97,7 @@ func main() {
 		Log:                  slog,
 		TraceBuffer:          *traceBuffer,
 		SlowRequestThreshold: *slowThreshold,
+		PlanCacheBytes:       *planCacheBytes,
 	})
 	if err != nil {
 		fatal(err)

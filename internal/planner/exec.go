@@ -68,6 +68,9 @@ func (p *Planner) planResults(ctx context.Context, sel *sqldb.SelectStmt) (*sqld
 
 	vcols := virtualColumns["performance_result"]
 	if aggs, groupCols, ok := p.aggPushable(sel, residual); ok {
+		if res, done, err := p.execAggregateVec(sel, access, pushed, aggs, groupCols, plan); done || err != nil {
+			return res, plan, err
+		}
 		res, err := p.execAggregate(ctx, sel, access, pushed, aggs, groupCols, plan)
 		return res, plan, err
 	}
@@ -261,7 +264,10 @@ func (p *Planner) execRows(ctx context.Context, sel *sqldb.SelectStmt, access re
 			reldb.Str(dicts["performance_tool"][t]),
 		})
 	}
-	if err := p.scanResults(ctx, access, pushed, emit); err != nil {
+	if workers, done := p.scanResultsVec(access, pushed, emit); done {
+		plan.Vectorized = true
+		plan.Workers = workers
+	} else if err := p.scanResults(ctx, access, pushed, emit); err != nil {
 		return nil, err
 	}
 	plan.ActualRows = int64(len(rows))
@@ -277,35 +283,13 @@ func (p *Planner) scanResults(ctx context.Context, access resultAccess, pushed [
 		return fmt.Errorf("datastore: no performance_result table: %w", datastore.ErrNotFound)
 	}
 
-	impossible := false
-	type dimFilter struct {
-		col int
-		id  int64
-	}
-	var dims []dimFilter
-	var nums []numPred
-	var famSpecs []string
-	for _, c := range pushed {
-		switch c.kind {
-		case kindDim:
-			d := resultDims[c.dimCol]
-			id, ok := p.store.LookupDict(d.dict, c.dimVal)
-			if !ok {
-				impossible = true // unknown name matches nothing
-				continue
-			}
-			dims = append(dims, dimFilter{d.physCol, id})
-		case kindNum:
-			nums = append(nums, c.num)
-		case kindFamily:
-			famSpecs = append(famSpecs, c.famSpec)
-		}
-	}
+	f := p.buildResultFilter(pushed)
+	nums := f.nums
 
 	var famIDs []int64
 	var member map[int64]struct{}
-	if len(famSpecs) > 0 {
-		prf, err := p.buildPRFilter(ctx, famSpecs)
+	if len(f.famSpecs) > 0 {
+		prf, err := p.buildPRFilter(ctx, f.famSpecs)
 		if err != nil {
 			return err
 		}
@@ -320,33 +304,13 @@ func (p *Planner) scanResults(ctx context.Context, access resultAccess, pushed [
 			}
 		}
 	}
-	if impossible {
+	if f.impossible {
 		return nil
 	}
 
 	pass := func(id, e, m, t, u int64, v float64) bool {
-		for _, d := range dims {
-			got := e
-			switch d.col {
-			case 2:
-				got = m
-			case 3:
-				got = t
-			case 4:
-				got = u
-			}
-			if got != d.id {
-				return false
-			}
-		}
-		for _, np := range nums {
-			x := v
-			if np.col == "id" {
-				x = float64(id)
-			}
-			if !np.ok(x) {
-				return false
-			}
+		if !f.pass(id, e, m, t, u, v) {
+			return false
 		}
 		if member != nil {
 			if _, ok := member[id]; !ok {
@@ -375,9 +339,9 @@ func (p *Planner) scanResults(ctx context.Context, access resultAccess, pushed [
 	case StrategyIndex:
 		d := resultDims[access.indexDim]
 		var key int64
-		for _, f := range dims {
-			if f.col == d.physCol {
-				key = f.id
+		for _, df := range f.dims {
+			if df.col == d.physCol {
+				key = df.id
 			}
 		}
 		idx := "performance_result_exec"

@@ -43,6 +43,12 @@ func (p *Plan) Text() string {
 	} else {
 		fmt.Fprintf(&b, "\n  materialized: %d rows", p.Materialized)
 	}
+	if p.Vectorized {
+		fmt.Fprintf(&b, "\n  vectorized: segment kernels, %d workers", p.Workers)
+	}
+	if p.CacheHit {
+		b.WriteString("\n  cache: result served from plan cache")
+	}
 	if len(p.Alternatives) > 0 {
 		fmt.Fprintf(&b, "\n  cost: %s", strings.Join(p.Alternatives, " "))
 	}

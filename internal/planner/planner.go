@@ -79,6 +79,19 @@ type Planner struct {
 	// semantics, not optimization). It is the ablation baseline for
 	// BENCH_sql.json and the oracle for FuzzSQLPlanner.
 	Naive bool
+
+	// NoVector disables the vectorized segment kernels, keeping zone-map
+	// scans on the row-at-a-time path. It is the ablation baseline for
+	// BENCH_scan.json.
+	NoVector bool
+
+	// Workers caps the vectorized scan fan-out; 0 means GOMAXPROCS.
+	Workers int
+
+	// Cache, when set, serves repeated queries from a generation-keyed
+	// result cache (see ResultCache). Naive mode bypasses it so the
+	// differential oracle always re-executes.
+	Cache *ResultCache
 }
 
 // New builds a planner over a store.
@@ -97,10 +110,33 @@ type Plan struct {
 	Aggregate    bool
 	Materialized int64
 	Alternatives []string // "strategy=cost" entries the cost model compared
+	Vectorized   bool     // scan ran through the batched segment kernels
+	Workers      int      // vectorized scan fan-out actually used
+	CacheHit     bool     // result served from the plan-keyed result cache
 }
 
-// Query parses, plans, and executes one SELECT.
+// Query parses, plans, and executes one SELECT. With a Cache attached,
+// a repeated query under an unchanged store generation returns the
+// cached result; any mutation bumps the generation and implicitly
+// invalidates every cached entry.
 func (p *Planner) Query(ctx context.Context, sqlText string) (*sqldb.Result, *Plan, error) {
+	var gen uint64
+	cached := p.Cache != nil && !p.Naive
+	if cached {
+		gen = p.store.Generation()
+		if res, plan, ok := p.Cache.get(sqlText, gen); ok {
+			return res, plan, nil
+		}
+	}
+	res, plan, err := p.execute(ctx, sqlText)
+	if cached && err == nil {
+		p.Cache.put(sqlText, gen, res, plan)
+	}
+	return res, plan, err
+}
+
+// execute parses, plans, and runs one SELECT, bypassing the cache.
+func (p *Planner) execute(ctx context.Context, sqlText string) (*sqldb.Result, *Plan, error) {
 	stmt, err := sqldb.Parse(sqlText)
 	if err != nil {
 		return nil, nil, fmt.Errorf("planner: %v: %w", err, datastore.ErrBadSpec)

@@ -1,0 +1,1022 @@
+package planner
+
+// Vectorized segment execution. When the planner picks the zone-map
+// strategy, the scan can run over the decoded column vectors of the
+// immutable segments instead of row-at-a-time emission: selection
+// kernels filter fixed-size windows (vecBatch rows) of each block into
+// reusable index buffers, aggregation kernels fold the survivors into
+// dense per-group accumulator arrays indexed by packed dictionary
+// codes, and independent segments fan out across a bounded worker pool.
+// Dictionary-code → name resolution is deferred to final group output.
+//
+// Kernel contract (DESIGN.md §12): every kernel must be byte-identical
+// to the naive row-at-a-time path. COUNT/MIN/MAX and integer sums merge
+// exactly under any partitioning. Float sums are accumulated per worker
+// over a contiguous run of segments and merged in segment order, so a
+// result is deterministic for a given worker count; because float
+// addition is non-associative, the grouping of partial sums (not their
+// order) can differ from the naive left-to-right fold in final ULPs for
+// data whose sums are inexact. The differential and fuzz corpora use
+// dyadic values, whose sums are exact, so planned==naive stays
+// byte-for-byte. Compaction safety comes for free: a SegView pins an
+// immutable segment list, and the B-tree tail above its watermark is
+// folded in sequentially afterwards.
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"perftrack/internal/reldb"
+	"perftrack/internal/sqldb"
+)
+
+// vecBatch is the window size the kernels process per step: selection
+// buffers and group-ordinal buffers are reused at this granularity, so
+// scans of arbitrarily large segments run in bounded scratch memory.
+const vecBatch = 4096
+
+// maxDenseGroups bounds the packed group-key space (the product of the
+// per-key-column dictionary sizes) and the total accumulator entries
+// across workers. Larger key spaces fall back to the row-at-a-time
+// map-based grouping path.
+const maxDenseGroups = 1 << 20
+
+// --- pushed-filter resolution (shared with the row-at-a-time path) ---
+
+// vecDim is one pushed dimension equality resolved to its physical
+// column index and dictionary ID.
+type vecDim struct {
+	col int
+	id  int64
+}
+
+// resultFilter is the pushed predicate set of one performance_result
+// scan, resolved against the store's dictionaries.
+type resultFilter struct {
+	dims       []vecDim
+	nums       []numPred
+	famSpecs   []string
+	impossible bool // a pushed dimension name is unknown: nothing matches
+}
+
+// buildResultFilter resolves the pushed conjuncts of a
+// performance_result scan.
+func (p *Planner) buildResultFilter(pushed []conjunct) resultFilter {
+	var f resultFilter
+	for _, c := range pushed {
+		switch c.kind {
+		case kindDim:
+			d := resultDims[c.dimCol]
+			id, ok := p.store.LookupDict(d.dict, c.dimVal)
+			if !ok {
+				f.impossible = true
+				continue
+			}
+			f.dims = append(f.dims, vecDim{d.physCol, id})
+		case kindNum:
+			f.nums = append(f.nums, c.num)
+		case kindFamily:
+			f.famSpecs = append(f.famSpecs, c.famSpec)
+		}
+	}
+	return f
+}
+
+// pass is the scalar form of the filter, shared by the B-tree tail walk
+// and the row-at-a-time access paths.
+func (f *resultFilter) pass(id, e, m, t, u int64, v float64) bool {
+	for _, d := range f.dims {
+		got := e
+		switch d.col {
+		case 2:
+			got = m
+		case 3:
+			got = t
+		case 4:
+			got = u
+		}
+		if got != d.id {
+			return false
+		}
+	}
+	for _, np := range f.nums {
+		x := v
+		if np.col == "id" {
+			x = float64(id)
+		}
+		if !np.ok(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- column vectors and selection kernels ---
+
+// blockVecs holds one performance_result block's decoded column slices.
+type blockVecs struct {
+	ids            []int64
+	es, ms, ts, us []int64
+	vs             []float64
+}
+
+// resultBlockVecs extracts and validates the column vectors of a block.
+// ok is false when the block does not look like performance_result
+// (schema drift) or any scanned column carries NULLs; callers fall back
+// to the row-at-a-time path then.
+func resultBlockVecs(b reldb.ColumnBlock) (blockVecs, bool) {
+	v := blockVecs{
+		ids: b.RowIDs(),
+		es:  b.Int64s(1), ms: b.Int64s(2), ts: b.Int64s(3), us: b.Int64s(4),
+		vs: b.Float64s(5),
+	}
+	n := b.Len()
+	if len(v.ids) != n || len(v.es) != n || len(v.ms) != n ||
+		len(v.ts) != n || len(v.us) != n || len(v.vs) != n {
+		return v, false
+	}
+	for col := 1; col <= 5; col++ {
+		if b.Nulls(col) != nil {
+			return v, false
+		}
+	}
+	return v, true
+}
+
+// dim returns the vector of one physical dimension column.
+func (v *blockVecs) dim(phys int) []int64 {
+	switch phys {
+	case 1:
+		return v.es
+	case 2:
+		return v.ms
+	case 3:
+		return v.ts
+	case 4:
+		return v.us
+	}
+	return nil
+}
+
+// selFn filters one window of a block. fill seeds the selection from
+// [start, end); refine compacts an existing selection in place. Both
+// keep absolute block row indices.
+type selFn struct {
+	fill   func(sel []int32, start, end int) []int32
+	refine func(sel []int32) []int32
+}
+
+// eqI64Kernel selects rows whose int64 column equals want.
+func eqI64Kernel(vals []int64, want int64) selFn {
+	return selFn{
+		fill: func(sel []int32, start, end int) []int32 {
+			for i := start; i < end; i++ {
+				if vals[i] == want {
+					sel = append(sel, int32(i))
+				}
+			}
+			return sel
+		},
+		refine: func(sel []int32) []int32 {
+			out := sel[:0]
+			for _, i := range sel {
+				if vals[i] == want {
+					out = append(out, i)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// cmpKernel selects rows satisfying one pushed numeric predicate; x
+// projects a row index to the compared value (the value column, or the
+// row ID widened to float64 exactly as the scalar path does).
+func cmpKernel(np numPred, x func(i int32) float64) selFn {
+	return selFn{
+		fill: func(sel []int32, start, end int) []int32 {
+			for i := start; i < end; i++ {
+				if np.ok(x(int32(i))) {
+					sel = append(sel, int32(i))
+				}
+			}
+			return sel
+		},
+		refine: func(sel []int32) []int32 {
+			out := sel[:0]
+			for _, i := range sel {
+				if np.ok(x(i)) {
+					out = append(out, i)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// kernels compiles the filter into per-column selection kernels over
+// this block's vectors.
+func (v *blockVecs) kernels(f *resultFilter) []selFn {
+	var ks []selFn
+	for _, d := range f.dims {
+		ks = append(ks, eqI64Kernel(v.dim(d.col), d.id))
+	}
+	for _, np := range f.nums {
+		if np.col == "id" {
+			ids := v.ids
+			ks = append(ks, cmpKernel(np, func(i int32) float64 { return float64(ids[i]) }))
+		} else {
+			vs := v.vs
+			ks = append(ks, cmpKernel(np, func(i int32) float64 { return vs[i] }))
+		}
+	}
+	return ks
+}
+
+// --- worker pool ---
+
+// vecWorkers picks the fan-out width: the explicit Workers override or
+// GOMAXPROCS, never more than one worker per block.
+func (p *Planner) vecWorkers(blocks int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > blocks {
+		w = blocks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// partitionBlocks splits blocks (given by row count) into at most w
+// contiguous [start, end) ranges of roughly equal total rows.
+// Contiguity keeps the worker-merge order equal to segment order.
+func partitionBlocks(lens []int, w int) [][2]int {
+	if len(lens) == 0 || w <= 1 {
+		return [][2]int{{0, len(lens)}}
+	}
+	var total int64
+	for _, n := range lens {
+		total += int64(n)
+	}
+	target := (total + int64(w) - 1) / int64(w)
+	var parts [][2]int
+	start, acc := 0, int64(0)
+	for i, n := range lens {
+		acc += int64(n)
+		if acc >= target && len(parts) < w-1 {
+			parts = append(parts, [2]int{start, i + 1})
+			start, acc = i+1, 0
+		}
+	}
+	return append(parts, [2]int{start, len(lens)})
+}
+
+// blockLens extracts per-block row counts for the partitioner.
+func blockLens(blocks []reldb.ColumnBlock) []int {
+	lens := make([]int, len(blocks))
+	for i, b := range blocks {
+		lens[i] = b.Len()
+	}
+	return lens
+}
+
+// --- vectorized aggregation ---
+
+// vecAggSpec classifies one aggregate call for the kernels.
+type vecAggSpec struct {
+	fe    *sqldb.FuncExpr
+	fn    string // COUNT, SUM, AVG, MIN, MAX
+	star  bool
+	idArg bool // argument is id (int64); otherwise value (float64)
+}
+
+// vecAggSpecs classifies the aggregate calls, or ok=false when any of
+// them cannot run on the vectorized path (DISTINCT needs per-group seen
+// sets and stays row-at-a-time).
+func vecAggSpecs(aggs []*sqldb.FuncExpr) ([]vecAggSpec, bool) {
+	specs := make([]vecAggSpec, 0, len(aggs))
+	for _, fe := range aggs {
+		if fe.Distinct {
+			return nil, false
+		}
+		switch fe.Name {
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		default:
+			return nil, false
+		}
+		sp := vecAggSpec{fe: fe, fn: fe.Name, star: fe.Star}
+		if !fe.Star {
+			cr, ok := fe.Arg.(*sqldb.ColumnRef)
+			if !ok {
+				return nil, false
+			}
+			switch cr.Column {
+			case "id":
+				sp.idArg = true
+			case "value":
+			default:
+				return nil, false
+			}
+		}
+		specs = append(specs, sp)
+	}
+	return specs, true
+}
+
+// vecAccum is one worker's dense accumulator set, indexed by packed
+// group ordinal. rowCount doubles as the COUNT state and the
+// group-membership sentinel (0 = unseen); firstOrd records the global
+// scan ordinal of the group's first row so output order matches the
+// naive first-appearance order.
+type vecAccum struct {
+	rowCount []int64
+	firstOrd []int64
+	aggs     []vecAggAcc
+}
+
+// vecAggAcc holds only the arrays one aggregate actually needs.
+type vecAggAcc struct {
+	sumF       []float64
+	sumI       []int64
+	minF, maxF []float64
+	minI, maxI []int64
+}
+
+func newVecAccum(n int, specs []vecAggSpec) *vecAccum {
+	a := &vecAccum{
+		rowCount: make([]int64, n),
+		firstOrd: make([]int64, n),
+		aggs:     make([]vecAggAcc, len(specs)),
+	}
+	for i, sp := range specs {
+		if sp.star {
+			continue // rowCount is the whole state
+		}
+		acc := &a.aggs[i]
+		switch sp.fn {
+		case "SUM":
+			if sp.idArg {
+				acc.sumI = make([]int64, n)
+			} else {
+				acc.sumF = make([]float64, n)
+			}
+		case "AVG":
+			acc.sumF = make([]float64, n) // ints fold in as float64, like aggState
+		case "MIN", "MAX":
+			if sp.idArg {
+				acc.minI = make([]int64, n)
+				acc.maxI = make([]int64, n)
+				for g := range acc.minI {
+					acc.minI[g] = math.MaxInt64
+					acc.maxI[g] = math.MinInt64
+				}
+			} else {
+				acc.minF = make([]float64, n)
+				acc.maxF = make([]float64, n)
+				for g := range acc.minF {
+					acc.minF[g] = math.Inf(1)
+					acc.maxF[g] = math.Inf(-1)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// addRow folds one scalar row (the B-tree tail path) into the
+// accumulators.
+func (acc *vecAccum) addRow(g int32, ord, id int64, v float64, specs []vecAggSpec) {
+	if acc.rowCount[g] == 0 {
+		acc.firstOrd[g] = ord
+	}
+	acc.rowCount[g]++
+	for ai := range specs {
+		a := &acc.aggs[ai]
+		if a.sumF != nil {
+			if specs[ai].idArg {
+				a.sumF[g] += float64(id)
+			} else {
+				a.sumF[g] += v
+			}
+		}
+		if a.sumI != nil {
+			a.sumI[g] += id
+		}
+		if a.minF != nil {
+			if v < a.minF[g] {
+				a.minF[g] = v
+			}
+			if v > a.maxF[g] {
+				a.maxF[g] = v
+			}
+		}
+		if a.minI != nil {
+			if id < a.minI[g] {
+				a.minI[g] = id
+			}
+			if id > a.maxI[g] {
+				a.maxI[g] = id
+			}
+		}
+	}
+}
+
+// merge folds src (a later contiguous run of segments) into dst. Sums
+// add in merge order; extrema keep the earlier-seen value on ties,
+// matching the naive first-seen rule.
+func (dst *vecAccum) merge(src *vecAccum, specs []vecAggSpec) {
+	for g := range dst.rowCount {
+		if src.rowCount[g] == 0 {
+			continue
+		}
+		first := dst.rowCount[g] == 0
+		if first {
+			dst.firstOrd[g] = src.firstOrd[g]
+		}
+		dst.rowCount[g] += src.rowCount[g]
+		for ai := range specs {
+			da, sa := &dst.aggs[ai], &src.aggs[ai]
+			if da.sumF != nil {
+				da.sumF[g] += sa.sumF[g]
+			}
+			if da.sumI != nil {
+				da.sumI[g] += sa.sumI[g]
+			}
+			if da.minF != nil {
+				if first || sa.minF[g] < da.minF[g] {
+					da.minF[g] = sa.minF[g]
+				}
+				if first || sa.maxF[g] > da.maxF[g] {
+					da.maxF[g] = sa.maxF[g]
+				}
+			}
+			if da.minI != nil {
+				if first || sa.minI[g] < da.minI[g] {
+					da.minI[g] = sa.minI[g]
+				}
+				if first || sa.maxI[g] > da.maxI[g] {
+					da.maxI[g] = sa.maxI[g]
+				}
+			}
+		}
+	}
+}
+
+// finish reconstructs one aggregate's finished accumulator for group g
+// from the merged parts, reproducing aggState's observable results
+// exactly (see NewFinishedAggregator).
+func (sp *vecAggSpec) finish(acc *vecAccum, ai int, g int32) *sqldb.Aggregator {
+	a := &acc.aggs[ai]
+	count := acc.rowCount[g]
+	var sum float64
+	var sumInt int64
+	if a.sumF != nil {
+		sum = a.sumF[g]
+	}
+	if a.sumI != nil {
+		sumInt = a.sumI[g]
+	}
+	allInt := sp.star || sp.idArg || count == 0
+	min, max := reldb.Null(), reldb.Null()
+	if count > 0 && !sp.star {
+		if a.minF != nil {
+			min, max = reldb.Float(a.minF[g]), reldb.Float(a.maxF[g])
+		}
+		if a.minI != nil {
+			min, max = reldb.Int(a.minI[g]), reldb.Int(a.maxI[g])
+		}
+	}
+	return sqldb.NewFinishedAggregator(sp.fe, count, sum, sumInt, allInt, min, max)
+}
+
+// vecWorker is one scan worker's reusable scratch state.
+type vecWorker struct {
+	acc  *vecAccum
+	sel  []int32
+	gbuf []int32
+}
+
+// scanBlock streams one block through the selection and aggregation
+// kernels, window by window. base is the block's global scan ordinal.
+func (w *vecWorker) scanBlock(b reldb.ColumnBlock, base int64, f *resultFilter,
+	keyCols []int, mult []int64, specs []vecAggSpec) {
+	bv, _ := resultBlockVecs(b) // pre-validated by the caller
+	ks := bv.kernels(f)
+	keys := make([][]int64, len(keyCols))
+	for ki, phys := range keyCols {
+		keys[ki] = bv.dim(phys)
+	}
+	n := b.Len()
+	for start := 0; start < n; start += vecBatch {
+		end := start + vecBatch
+		if end > n {
+			end = n
+		}
+		var sel []int32
+		if len(ks) > 0 {
+			sel = ks[0].fill(w.sel[:0], start, end)
+			for _, k := range ks[1:] {
+				sel = k.refine(sel)
+			}
+			w.sel = sel
+			if len(sel) == 0 {
+				continue
+			}
+		}
+		w.window(&bv, base, start, end, sel, keys, mult, specs)
+	}
+}
+
+// window folds one selected window into the accumulators. sel==nil
+// means every row in [start, end).
+func (w *vecWorker) window(bv *blockVecs, base int64, start, end int, sel []int32,
+	keys [][]int64, mult []int64, specs []vecAggSpec) {
+	acc := w.acc
+	m := end - start
+	if sel != nil {
+		m = len(sel)
+	}
+
+	// Packed group ordinal per selected row.
+	g := w.gbuf[:0]
+	if len(keys) == 0 {
+		for j := 0; j < m; j++ {
+			g = append(g, 0)
+		}
+	} else {
+		k0 := keys[0]
+		if sel != nil {
+			for _, i := range sel {
+				g = append(g, int32(k0[i]))
+			}
+		} else {
+			for i := start; i < end; i++ {
+				g = append(g, int32(k0[i]))
+			}
+		}
+		for ki := 1; ki < len(keys); ki++ {
+			kk, mu := keys[ki], int32(mult[ki])
+			if sel != nil {
+				for j, i := range sel {
+					g[j] += int32(kk[i]) * mu
+				}
+			} else {
+				for j, i := 0, start; i < end; j, i = j+1, i+1 {
+					g[j] += int32(kk[i]) * mu
+				}
+			}
+		}
+	}
+	w.gbuf = g
+
+	// Membership and first appearance.
+	if sel != nil {
+		for j, i := range sel {
+			gg := g[j]
+			if acc.rowCount[gg] == 0 {
+				acc.firstOrd[gg] = base + int64(i)
+			}
+			acc.rowCount[gg]++
+		}
+	} else {
+		for j := 0; j < m; j++ {
+			gg := g[j]
+			if acc.rowCount[gg] == 0 {
+				acc.firstOrd[gg] = base + int64(start+j)
+			}
+			acc.rowCount[gg]++
+		}
+	}
+
+	// Aggregation kernels: one tight pass per aggregate.
+	for ai := range specs {
+		a := &acc.aggs[ai]
+		if a.sumF != nil {
+			if specs[ai].idArg {
+				ids := bv.ids
+				if sel != nil {
+					for j, i := range sel {
+						a.sumF[g[j]] += float64(ids[i])
+					}
+				} else {
+					for j, i := 0, start; i < end; j, i = j+1, i+1 {
+						a.sumF[g[j]] += float64(ids[i])
+					}
+				}
+			} else {
+				vs := bv.vs
+				if sel != nil {
+					for j, i := range sel {
+						a.sumF[g[j]] += vs[i]
+					}
+				} else {
+					for j, i := 0, start; i < end; j, i = j+1, i+1 {
+						a.sumF[g[j]] += vs[i]
+					}
+				}
+			}
+		}
+		if a.sumI != nil {
+			ids := bv.ids
+			if sel != nil {
+				for j, i := range sel {
+					a.sumI[g[j]] += ids[i]
+				}
+			} else {
+				for j, i := 0, start; i < end; j, i = j+1, i+1 {
+					a.sumI[g[j]] += ids[i]
+				}
+			}
+		}
+		if a.minF != nil {
+			vs := bv.vs
+			if sel != nil {
+				for j, i := range sel {
+					gg, v := g[j], vs[i]
+					if v < a.minF[gg] {
+						a.minF[gg] = v
+					}
+					if v > a.maxF[gg] {
+						a.maxF[gg] = v
+					}
+				}
+			} else {
+				for j, i := 0, start; i < end; j, i = j+1, i+1 {
+					gg, v := g[j], vs[i]
+					if v < a.minF[gg] {
+						a.minF[gg] = v
+					}
+					if v > a.maxF[gg] {
+						a.maxF[gg] = v
+					}
+				}
+			}
+		}
+		if a.minI != nil {
+			ids := bv.ids
+			if sel != nil {
+				for j, i := range sel {
+					gg, id := g[j], ids[i]
+					if id < a.minI[gg] {
+						a.minI[gg] = id
+					}
+					if id > a.maxI[gg] {
+						a.maxI[gg] = id
+					}
+				}
+			} else {
+				for j, i := 0, start; i < end; j, i = j+1, i+1 {
+					gg, id := g[j], ids[i]
+					if id < a.minI[gg] {
+						a.minI[gg] = id
+					}
+					if id > a.maxI[gg] {
+						a.maxI[gg] = id
+					}
+				}
+			}
+		}
+	}
+}
+
+// vecTailRow is one buffered B-tree tail survivor.
+type vecTailRow struct {
+	id, e, m, t, u int64
+	v              float64
+}
+
+func (tr *vecTailRow) dim(phys int) int64 {
+	switch phys {
+	case 1:
+		return tr.e
+	case 2:
+		return tr.m
+	case 3:
+		return tr.t
+	case 4:
+		return tr.u
+	}
+	return 0
+}
+
+// execAggregateVec runs a pushed aggregation through the vectorized
+// segment path. done=false means the query cannot run here (wrong
+// strategy, DISTINCT aggregates, families, nulls, oversized key space,
+// vanished view) and the caller must fall back to the row-at-a-time
+// path; results are byte-identical either way.
+func (p *Planner) execAggregateVec(sel *sqldb.SelectStmt, access resultAccess,
+	pushed []conjunct, aggs []*sqldb.FuncExpr, groupCols []string, plan *Plan) (*sqldb.Result, bool, error) {
+	if p.NoVector || access.strategy != StrategyZoneMap {
+		return nil, false, nil
+	}
+	specs, ok := vecAggSpecs(aggs)
+	if !ok {
+		return nil, false, nil
+	}
+	f := p.buildResultFilter(pushed)
+	if len(f.famSpecs) > 0 {
+		return nil, false, nil
+	}
+	v, ok := p.store.ResultSegmentView()
+	if !ok {
+		return nil, false, nil
+	}
+	tab, ok := p.store.Table("performance_result")
+	if !ok {
+		return nil, false, nil
+	}
+	keyCols := make([]int, len(groupCols))
+	for i, col := range groupCols {
+		keyCols[i] = resultDims[col].physCol
+	}
+
+	lo, hi := idBounds(f.nums)
+	live := !f.impossible && lo <= hi
+	var blocks []reldb.ColumnBlock
+	var prunedN int
+	var scanBytes int64
+	var scanned int
+	if live {
+		blocks, prunedN, scanBytes = v.BlocksPKRange(lo, hi)
+		for _, b := range blocks {
+			if _, ok := resultBlockVecs(b); !ok {
+				return nil, false, nil
+			}
+			scanned += b.Len()
+		}
+	}
+
+	// Buffer the B-tree tail (rows above the flushed watermark) first,
+	// so the dense key space covers dictionary IDs the segments have not
+	// seen yet.
+	var tail []vecTailRow
+	if live {
+		tlo := v.TailRowID() + 1
+		if lo > tlo {
+			tlo = lo
+		}
+		tab.PKRange([]reldb.Value{reldb.Int(tlo)}, nil, func(id int64, row reldb.Row) bool {
+			e, m, t, u := row[1].Int64(), row[2].Int64(), row[3].Int64(), row[4].Int64()
+			vv := row[5].Float64()
+			if f.pass(id, e, m, t, u, vv) {
+				tail = append(tail, vecTailRow{id, e, m, t, u, vv})
+			}
+			return true
+		})
+	}
+
+	// Dense key space: each key column sized by the maximum dictionary
+	// ID any surviving block's zone map or tail row carries.
+	caps := make([]int64, len(keyCols))
+	mult := make([]int64, len(keyCols))
+	dense := int64(1)
+	for ki, phys := range keyCols {
+		var maxID int64
+		for _, b := range blocks {
+			mn, mx, ok := b.ZoneInt64(phys)
+			if !ok || mn < 0 {
+				return nil, false, nil
+			}
+			if mx > maxID {
+				maxID = mx
+			}
+		}
+		for i := range tail {
+			d := tail[i].dim(phys)
+			if d < 0 {
+				return nil, false, nil
+			}
+			if d > maxID {
+				maxID = d
+			}
+		}
+		caps[ki] = maxID + 1
+		mult[ki] = dense
+		if dense > maxDenseGroups/caps[ki] {
+			return nil, false, nil
+		}
+		dense *= caps[ki]
+	}
+
+	// Fan out contiguous segment runs across the worker pool, keeping
+	// the total accumulator footprint bounded.
+	w := p.vecWorkers(len(blocks))
+	for w > 1 && dense*int64(w) > maxDenseGroups {
+		w--
+	}
+	parts := partitionBlocks(blockLens(blocks), w)
+	bases := make([]int64, len(blocks))
+	var total int64
+	for i, b := range blocks {
+		bases[i] = total
+		total += int64(b.Len())
+	}
+	accs := make([]*vecAccum, len(parts))
+	var wg sync.WaitGroup
+	for pi, pr := range parts {
+		accs[pi] = newVecAccum(int(dense), specs)
+		wk := &vecWorker{acc: accs[pi], sel: make([]int32, 0, vecBatch), gbuf: make([]int32, 0, vecBatch)}
+		run := func(pr [2]int, wk *vecWorker) {
+			for bi := pr[0]; bi < pr[1]; bi++ {
+				wk.scanBlock(blocks[bi], bases[bi], &f, keyCols, mult, specs)
+			}
+		}
+		if len(parts) == 1 {
+			run(pr, wk)
+			continue
+		}
+		wg.Add(1)
+		go func(pr [2]int, wk *vecWorker) {
+			defer wg.Done()
+			run(pr, wk)
+		}(pr, wk)
+	}
+	wg.Wait()
+	acc := accs[0]
+	for _, src := range accs[1:] {
+		acc.merge(src, specs)
+	}
+
+	// Sequential tail fold above the segment watermark.
+	for si := range tail {
+		tr := &tail[si]
+		g := int32(0)
+		for ki := range keyCols {
+			g += int32(tr.dim(keyCols[ki])) * int32(mult[ki])
+		}
+		acc.addRow(g, total+int64(si), tr.id, tr.v, specs)
+	}
+	if live {
+		p.store.NoteSegmentScan(scanned, prunedN, scanBytes)
+	}
+
+	plan.Aggregate = true
+	plan.Vectorized = true
+	plan.Workers = len(parts)
+
+	// Groups in global first-appearance order; dictionary codes resolve
+	// to names only here.
+	type groupOut struct {
+		g   int32
+		ord int64
+	}
+	var gs []groupOut
+	var actual int64
+	for g, rc := range acc.rowCount {
+		if rc > 0 {
+			gs = append(gs, groupOut{int32(g), acc.firstOrd[g]})
+			actual += rc
+		}
+	}
+	sort.Slice(gs, func(a, b int) bool { return gs[a].ord < gs[b].ord })
+	plan.ActualRows = actual
+
+	vcols := virtualColumns["performance_result"]
+	colIdx := map[string]int{}
+	for i, c := range vcols {
+		colIdx[c] = i
+	}
+	dicts := map[string]map[int64]string{}
+	for _, col := range groupCols {
+		d, err := p.store.DictNames(resultDims[col].dict)
+		if err != nil {
+			return nil, true, err
+		}
+		dicts[col] = d
+	}
+	pgs := make([]sqldb.PlannedGroup, 0, len(gs))
+	for _, out := range gs {
+		repr := make(reldb.Row, len(vcols))
+		for i := range repr {
+			repr[i] = reldb.Null()
+		}
+		rem := int64(out.g)
+		for ki, col := range groupCols {
+			code := rem % caps[ki]
+			rem /= caps[ki]
+			repr[colIdx[col]] = reldb.Str(dicts[col][code])
+		}
+		ga := make([]*sqldb.Aggregator, len(specs))
+		for ai := range specs {
+			ga[ai] = specs[ai].finish(acc, ai, out.g)
+		}
+		pgs = append(pgs, sqldb.PlannedGroup{Repr: repr, Aggs: ga})
+	}
+	res, err := sqldb.FinishGrouped(sel, vcols, pgs)
+	return res, true, err
+}
+
+// --- vectorized row scan ---
+
+// scanResultsVec drives a zone-map row scan through the vectorized
+// kernels: workers filter contiguous segment runs into compact tuple
+// buffers in parallel, then the survivors are emitted sequentially in
+// segment order (= ascending row-ID order) followed by the B-tree tail,
+// so downstream materialization sees exactly the stream the
+// row-at-a-time path produces. done=false falls back.
+func (p *Planner) scanResultsVec(access resultAccess, pushed []conjunct, emit rowEmit) (int, bool) {
+	if p.NoVector || access.strategy != StrategyZoneMap {
+		return 0, false
+	}
+	f := p.buildResultFilter(pushed)
+	if len(f.famSpecs) > 0 {
+		return 0, false
+	}
+	v, ok := p.store.ResultSegmentView()
+	if !ok {
+		return 0, false
+	}
+	tab, ok := p.store.Table("performance_result")
+	if !ok {
+		return 0, false
+	}
+	if f.impossible {
+		return 1, true
+	}
+	lo, hi := idBounds(f.nums)
+	if lo > hi {
+		return 1, true
+	}
+	blocks, prunedN, scanBytes := v.BlocksPKRange(lo, hi)
+	var scanned int
+	for _, b := range blocks {
+		if _, ok := resultBlockVecs(b); !ok {
+			return 0, false
+		}
+		scanned += b.Len()
+	}
+
+	parts := partitionBlocks(blockLens(blocks), p.vecWorkers(len(blocks)))
+	outs := make([][]vecTailRow, len(parts))
+	var wg sync.WaitGroup
+	for pi, pr := range parts {
+		collect := func(pi int, pr [2]int) {
+			var out []vecTailRow
+			sel := make([]int32, 0, vecBatch)
+			for bi := pr[0]; bi < pr[1]; bi++ {
+				b := blocks[bi]
+				bv, _ := resultBlockVecs(b)
+				ks := bv.kernels(&f)
+				n := b.Len()
+				for start := 0; start < n; start += vecBatch {
+					end := start + vecBatch
+					if end > n {
+						end = n
+					}
+					if len(ks) == 0 {
+						for i := start; i < end; i++ {
+							out = append(out, vecTailRow{bv.ids[i], bv.es[i], bv.ms[i], bv.ts[i], bv.us[i], bv.vs[i]})
+						}
+						continue
+					}
+					s := ks[0].fill(sel[:0], start, end)
+					for _, k := range ks[1:] {
+						s = k.refine(s)
+					}
+					sel = s
+					for _, i := range s {
+						out = append(out, vecTailRow{bv.ids[i], bv.es[i], bv.ms[i], bv.ts[i], bv.us[i], bv.vs[i]})
+					}
+				}
+			}
+			outs[pi] = out
+		}
+		if len(parts) == 1 {
+			collect(pi, pr)
+			continue
+		}
+		wg.Add(1)
+		go func(pi int, pr [2]int) {
+			defer wg.Done()
+			collect(pi, pr)
+		}(pi, pr)
+	}
+	wg.Wait()
+	for _, out := range outs {
+		for i := range out {
+			r := &out[i]
+			emit(r.id, r.e, r.m, r.t, r.u, r.v)
+		}
+	}
+	p.store.NoteSegmentScan(scanned, prunedN, scanBytes)
+
+	tlo := v.TailRowID() + 1
+	if lo > tlo {
+		tlo = lo
+	}
+	tab.PKRange([]reldb.Value{reldb.Int(tlo)}, nil, func(id int64, row reldb.Row) bool {
+		e, m, t, u := row[1].Int64(), row[2].Int64(), row[3].Int64(), row[4].Int64()
+		vv := row[5].Float64()
+		if f.pass(id, e, m, t, u, vv) {
+			emit(id, e, m, t, u, vv)
+		}
+		return true
+	})
+	return len(parts), true
+}

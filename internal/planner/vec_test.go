@@ -1,0 +1,247 @@
+package planner
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"perftrack/internal/datastore"
+	"perftrack/internal/reldb"
+)
+
+// seedSegmentStore seeds a segment-engine store in batches, compacting
+// after each, so the view holds batches independent segments plus a
+// B-tree tail of extra uncompacted rows.
+func seedSegmentStore(t testing.TB, dir string, n, batches, tail int) (*datastore.Store, *reldb.FileEngine) {
+	t.Helper()
+	eng, err := reldb.Open(reldb.KindSegment, dir)
+	if err != nil {
+		t.Fatalf("open engine: %v", err)
+	}
+	fe := eng.(*reldb.FileEngine)
+	st, err := datastore.Open(eng)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	recs := testRecords(n + tail)
+	head := len(recs) - (n + tail) // dimension records
+	b := st.NewBatch()
+	for _, rec := range recs[:head] {
+		b.Stage(rec)
+	}
+	if _, err := b.Commit(); err != nil {
+		t.Fatalf("commit dims: %v", err)
+	}
+	per := n / batches
+	for i := 0; i < batches; i++ {
+		lo, hi := head+i*per, head+(i+1)*per
+		if i == batches-1 {
+			hi = head + n
+		}
+		b := st.NewBatch()
+		for _, rec := range recs[lo:hi] {
+			b.Stage(rec)
+		}
+		if _, err := b.Commit(); err != nil {
+			t.Fatalf("commit batch %d: %v", i, err)
+		}
+		if err := fe.CompactSegments(); err != nil {
+			t.Fatalf("compact %d: %v", i, err)
+		}
+	}
+	if tail > 0 {
+		b := st.NewBatch()
+		for _, rec := range recs[head+n:] {
+			b.Stage(rec)
+		}
+		if _, err := b.Commit(); err != nil {
+			t.Fatalf("commit tail: %v", err)
+		}
+	}
+	return st, fe
+}
+
+// TestVectorizedMatchesNaive runs the full differential suite over a
+// multi-segment store with a B-tree tail, at several worker counts: the
+// vectorized kernels must stay byte-identical to naive execution.
+func TestVectorizedMatchesNaive(t *testing.T) {
+	st, _ := seedSegmentStore(t, t.TempDir(), 360, 3, 40)
+	naive := New(st)
+	naive.Naive = true
+	for _, workers := range []int{1, 2, 4} {
+		planned := New(st)
+		planned.Workers = workers
+		for _, q := range differentialQueries {
+			pres, _, perr := planned.Query(context.Background(), q)
+			nres, _, nerr := naive.Query(context.Background(), q)
+			if (perr != nil) != (nerr != nil) {
+				t.Fatalf("w=%d %s: planned err %v, naive err %v", workers, q, perr, nerr)
+			}
+			if perr != nil {
+				continue
+			}
+			if got, want := renderResult(pres), renderResult(nres); got != want {
+				t.Errorf("w=%d %s:\nplanned: %s\nnaive:   %s", workers, q, got, want)
+			}
+		}
+	}
+}
+
+// TestVectorizedAggregate pins that a grouped aggregate over segments
+// actually takes the vectorized path and reports its fan-out.
+func TestVectorizedAggregate(t *testing.T) {
+	st, _ := seedSegmentStore(t, t.TempDir(), 400, 4, 0)
+	p := New(st)
+	p.Workers = 4
+	q := "SELECT metric, count(*), sum(value), min(value), max(value), avg(value) " +
+		"FROM performance_result GROUP BY metric ORDER BY metric"
+	res, plan, err := p.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if plan.Strategy != StrategyZoneMap || !plan.Vectorized {
+		t.Fatalf("strategy=%q vectorized=%v, want zone-map vectorized (plan: %s)",
+			plan.Strategy, plan.Vectorized, plan.Text())
+	}
+	if plan.Workers < 2 {
+		t.Fatalf("workers = %d, want parallel fan-out across segments", plan.Workers)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("groups = %d, want 4", len(res.Rows))
+	}
+	naive := New(st)
+	naive.Naive = true
+	nres, _, err := naive.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("naive: %v", err)
+	}
+	if renderResult(res) != renderResult(nres) {
+		t.Fatalf("vectorized aggregate diverges:\n%s\nvs\n%s", renderResult(res), renderResult(nres))
+	}
+}
+
+// TestVectorizedRowScan pins the vectorized row-materialization path:
+// filtered row scans over segments run through the kernels and stay
+// byte-identical, including the selection kernels.
+func TestVectorizedRowScan(t *testing.T) {
+	st, _ := seedSegmentStore(t, t.TempDir(), 400, 4, 24)
+	p := New(st)
+	q := "SELECT id, metric, value FROM performance_result WHERE metric = 'metric-2' AND value >= 8 ORDER BY id"
+	res, plan, err := p.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if plan.Strategy != StrategyZoneMap || !plan.Vectorized {
+		t.Fatalf("strategy=%q vectorized=%v, want vectorized zone-map (plan: %s)",
+			plan.Strategy, plan.Vectorized, plan.Text())
+	}
+	naive := New(st)
+	naive.Naive = true
+	nres, _, err := naive.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("naive: %v", err)
+	}
+	if renderResult(res) != renderResult(nres) {
+		t.Fatalf("vectorized rows diverge:\n%s\nvs\n%s", renderResult(res), renderResult(nres))
+	}
+}
+
+// TestVectorizedFallbacks pins the gates: DISTINCT aggregates fall back
+// from the pushed-aggregate kernels to vectorized row materialization
+// (Aggregate false), family predicates leave the vectorized path
+// entirely, and both still match naive.
+func TestVectorizedFallbacks(t *testing.T) {
+	st, _ := seedSegmentStore(t, t.TempDir(), 200, 2, 0)
+	p := New(st)
+	naive := New(st)
+	naive.Naive = true
+	distinctQ := "SELECT metric, count(DISTINCT execution) FROM performance_result GROUP BY metric ORDER BY metric"
+	familyQ := "SELECT count(*) FROM performance_result WHERE family = '" + fastAttrFamily + "'"
+	for _, q := range []string{distinctQ, familyQ} {
+		res, plan, err := p.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if q == distinctQ && plan.Aggregate {
+			t.Fatalf("%s: DISTINCT aggregate pushed below materialization (plan: %s)", q, plan.Text())
+		}
+		if q == familyQ && plan.Vectorized {
+			t.Fatalf("%s: family scan vectorized, want set path (plan: %s)", q, plan.Text())
+		}
+		nres, _, err := naive.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s naive: %v", q, err)
+		}
+		if renderResult(res) != renderResult(nres) {
+			t.Fatalf("%s diverges:\n%s\nvs\n%s", q, renderResult(res), renderResult(nres))
+		}
+	}
+	// NoVector ablation: zone-map scans still correct row-at-a-time.
+	p.NoVector = true
+	q := "SELECT metric, avg(value) FROM performance_result GROUP BY metric ORDER BY metric"
+	res, plan, err := p.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("novector: %v", err)
+	}
+	if plan.Vectorized {
+		t.Fatalf("NoVector plan still vectorized (plan: %s)", plan.Text())
+	}
+	nres, _, err := naive.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("novector naive: %v", err)
+	}
+	if renderResult(res) != renderResult(nres) {
+		t.Fatalf("novector diverges")
+	}
+}
+
+// TestPartitionBlocks pins the contiguous partitioner invariants:
+// every block covered exactly once, in order, by at most w parts.
+func TestPartitionBlocks(t *testing.T) {
+	for _, lens := range [][]int{
+		{}, {10}, {5, 5, 5}, {100, 1, 1, 1}, {1, 1, 1, 100}, {7, 3, 9, 2, 8, 4, 6},
+	} {
+		for _, w := range []int{1, 2, 3, 7, 12} {
+			parts := partitionBlocks(lens, w)
+			if len(parts) > w && w >= 1 {
+				t.Fatalf("lens=%v w=%d: %d parts", lens, w, len(parts))
+			}
+			next := 0
+			for _, pr := range parts {
+				if pr[0] != next || pr[1] < pr[0] {
+					t.Fatalf("lens=%v w=%d: non-contiguous parts %v", lens, w, parts)
+				}
+				next = pr[1]
+			}
+			if next != len(lens) {
+				t.Fatalf("lens=%v w=%d: parts %v do not cover all blocks", lens, w, parts)
+			}
+		}
+	}
+}
+
+// TestVectorizedTailOnly pins correctness when every row still lives in
+// the B-tree tail above the segment watermark (e.g. right after new
+// writes re-enable the view).
+func TestVectorizedTailOnly(t *testing.T) {
+	st, _ := seedSegmentStore(t, t.TempDir(), 64, 1, 64)
+	p := New(st)
+	naive := New(st)
+	naive.Naive = true
+	for _, q := range []string{
+		"SELECT execution, count(*), avg(value) FROM performance_result GROUP BY execution",
+		fmt.Sprintf("SELECT count(*) FROM performance_result WHERE id > %d", 64),
+	} {
+		res, _, err := p.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		nres, _, err := naive.Query(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s naive: %v", q, err)
+		}
+		if renderResult(res) != renderResult(nres) {
+			t.Fatalf("%s diverges:\n%s\nvs\n%s", q, renderResult(res), renderResult(nres))
+		}
+	}
+}

@@ -784,6 +784,37 @@ func (b ColumnBlock) Nulls(col int) []bool {
 	return b.seg.cols[col].nulls
 }
 
+// DictCodes returns a string column's per-row dictionary codes, or nil
+// for other kinds. Vectorized scans filter and group on these small
+// integer codes and resolve them through DictWords only at final
+// output. Callers must not mutate the slice.
+func (b ColumnBlock) DictCodes(col int) []uint32 {
+	if col < 0 || col >= len(b.seg.cols) {
+		return nil
+	}
+	return b.seg.cols[col].codes
+}
+
+// DictWords returns a string column's code→value dictionary in code
+// order, or nil for other kinds. Callers must not mutate the slice.
+func (b ColumnBlock) DictWords(col int) []string {
+	if col < 0 || col >= len(b.seg.cols) {
+		return nil
+	}
+	return b.seg.cols[col].words
+}
+
+// ZoneInt64 returns an integer column's zone map (min/max over non-null
+// values), or ok=false when the column has no valid zone. Vectorized
+// group-by uses the maxima to size dense accumulator arrays.
+func (b ColumnBlock) ZoneInt64(col int) (min, max int64, ok bool) {
+	if col < 0 || col >= len(b.seg.zones) {
+		return 0, 0, false
+	}
+	z := b.seg.zones[col]
+	return z.minI, z.maxI, z.valid && b.seg.cols[col].kind == KindInt
+}
+
 // SizeBytes approximates the decoded bytes a full scan of the block
 // touches.
 func (b ColumnBlock) SizeBytes() int64 { return b.seg.decodedBytes() }
@@ -805,6 +836,24 @@ func (v *SegView) ScanPKRange(lo, hi int64, fn func(b ColumnBlock) bool) (pruned
 		}
 	}
 	return pruned, bytes
+}
+
+// BlocksPKRange returns the blocks ScanPKRange would visit for [lo, hi],
+// in flush (= ascending PK) order, plus the pruned-segment count and the
+// decoded bytes the surviving blocks hold. Unlike the callback form it
+// hands the caller the whole pruned list at once, so independent
+// segments can fan out across a worker pool; the blocks stay valid for
+// the life of the view because segments are immutable.
+func (v *SegView) BlocksPKRange(lo, hi int64) (blocks []ColumnBlock, pruned int, bytes int64) {
+	for _, s := range v.segs {
+		if s.maxPK < lo || s.minPK > hi {
+			pruned++
+			continue
+		}
+		bytes += s.decodedBytes()
+		blocks = append(blocks, ColumnBlock{seg: s})
+	}
+	return blocks, pruned, bytes
 }
 
 // --- stats ---

@@ -52,12 +52,18 @@ const (
 	segEncBool   byte = 4
 )
 
-// colVec is one decoded, memory-resident column.
+// colVec is one decoded, memory-resident column. String columns keep
+// both representations: the expanded strs slice for row-at-a-time reads
+// and the dictionary form (codes + words) so vectorized kernels can
+// filter and group on small integer codes, deferring code→string
+// resolution to final output.
 type colVec struct {
 	kind   Kind
 	ints   []int64
 	floats []float64
 	strs   []string
+	codes  []uint32 // per-row dictionary code (string columns)
+	words  []string // code → string (string columns)
 	bools  []bool
 	nulls  []bool // true = NULL; nil when the column has no NULLs
 }
@@ -191,11 +197,35 @@ func buildSegment(t *Table, ids []int64, rows []Row) (*segment, error) {
 			}
 		}
 	}
+	for ci := range seg.cols {
+		if cv := &seg.cols[ci]; cv.kind == KindString {
+			cv.buildDict()
+		}
+	}
 	if len(t.pkCols) > 0 && schema.Columns[t.pkCols[0]].Type == KindInt {
 		z := seg.zones[t.pkCols[0]]
 		seg.minPK, seg.maxPK = z.minI, z.maxI
 	}
 	return seg, nil
+}
+
+// buildDict derives the dictionary form (codes + words) of a string
+// column from its expanded values, in first-appearance order — the same
+// order encodeColumn assigns on-disk codes, so a segment round-trips to
+// identical codes.
+func (c *colVec) buildDict() {
+	dict := make(map[string]uint32)
+	c.codes = make([]uint32, len(c.strs))
+	c.words = c.words[:0]
+	for i, s := range c.strs {
+		code, ok := dict[s]
+		if !ok {
+			code = uint32(len(c.words))
+			dict[s] = code
+			c.words = append(c.words, s)
+		}
+		c.codes[i] = code
+	}
 }
 
 // row reconstructs row i as a Row (recovery path).
@@ -260,24 +290,15 @@ func encodeColumn(dst []byte, c *colVec) []byte {
 			dst = append(dst, buf[:]...)
 		}
 	case KindString:
-		dict := make(map[string]uint64)
-		var words []string
-		codes := make([]uint64, len(c.strs))
-		for i, s := range c.strs {
-			code, ok := dict[s]
-			if !ok {
-				code = uint64(len(words))
-				dict[s] = code
-				words = append(words, s)
-			}
-			codes[i] = code
+		if c.codes == nil {
+			c.buildDict()
 		}
-		dst = putUvarint(dst, uint64(len(words)))
-		for _, w := range words {
+		dst = putUvarint(dst, uint64(len(c.words)))
+		for _, w := range c.words {
 			dst = putString(dst, w)
 		}
-		for _, code := range codes {
-			dst = putUvarint(dst, code)
+		for _, code := range c.codes {
+			dst = putUvarint(dst, uint64(code))
 		}
 	case KindBool:
 		dst = encodeBitmap(dst, c.bools)
@@ -425,12 +446,15 @@ func decodeColumn(kind Kind, data []byte, n int) (colVec, error) {
 			}
 		}
 		cv.strs = make([]string, n)
+		cv.codes = make([]uint32, n)
+		cv.words = words
 		for i := 0; i < n; i++ {
 			code, err := p.uvarint()
 			if err != nil || code >= uint64(len(words)) {
 				return cv, ErrCorruptSegment
 			}
 			cv.strs[i] = words[code]
+			cv.codes[i] = uint32(code)
 		}
 		if !p.empty() {
 			return cv, ErrCorruptSegment

@@ -205,6 +205,10 @@ type StatsResponse struct {
 	Engine     datastore.QueryEngineStats `json:"engine"`
 	Storage    StorageStats               `json:"storage"`
 	Statistics datastore.TableStatistics  `json:"statistics"`
+
+	// PlanCache reports the /v1/sql result cache (generation-keyed LRU);
+	// absent when the cache is disabled.
+	PlanCache *planner.ResultCacheStats `json:"plan_cache,omitempty"`
 }
 
 // StorageStats describes the storage engine behind the store: its kind,

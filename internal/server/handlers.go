@@ -507,7 +507,8 @@ func (s *Server) handleResultsStream(w http.ResponseWriter, r *http.Request, req
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
+	enc := newNDJSON(w)
+	defer enc.Release()
 	flusher, _ := w.(http.Flusher)
 	flush := func() {
 		if flusher != nil {
@@ -519,23 +520,25 @@ func (s *Server) handleResultsStream(w http.ResponseWriter, r *http.Request, req
 	}
 	flush()
 	emitted := 0
+	var row ResultRow // reused across lines; only Resources' backing array survives a reset
 	err = s.store.MaterializeStreamCtx(r.Context(), ids, datastore.MaterializeOptions{ChunkSize: resultStreamChunk},
 		func(batch []*core.PerformanceResult) error {
 			for _, pr := range batch {
 				if req.Metric != "" && pr.Metric != req.Metric {
 					continue
 				}
-				row := &ResultRow{
+				row = ResultRow{
 					Execution: pr.Execution,
 					Metric:    pr.Metric,
 					Value:     pr.Value,
 					Units:     pr.Units,
 					Tool:      pr.Tool,
+					Resources: row.Resources[:0],
 				}
 				for _, res := range pr.AllResources() {
 					row.Resources = append(row.Resources, string(res))
 				}
-				if err := enc.Encode(ResultStreamLine{APIVersion: APIVersion, Row: row}); err != nil {
+				if err := enc.Encode(ResultStreamLine{APIVersion: APIVersion, Row: &row}); err != nil {
 					return err
 				}
 				emitted++
@@ -572,6 +575,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		if st := se.SegmentStats(); st.Enabled {
 			resp.Storage.Segments = &st
 		}
+	}
+	if s.planCache != nil {
+		pc := s.planCache.Stats()
+		resp.PlanCache = &pc
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -6,6 +6,7 @@ import (
 
 	"perftrack/internal/datastore"
 	"perftrack/internal/obs"
+	"perftrack/internal/planner"
 )
 
 // serverMetrics is the process-local instrumentation behind GET /metrics,
@@ -112,6 +113,26 @@ func (m *serverMetrics) registerStore(store *datastore.Store) {
 			"Immutable columnar segment files written.",
 			func() uint64 { return uint64(se.SegmentStats().SegmentsWritten) })
 	}
+}
+
+// registerPlanCache bridges the /v1/sql result cache counters into the
+// registry at scrape time.
+func (m *serverMetrics) registerPlanCache(c *planner.ResultCache) {
+	m.reg.CounterFunc("ptserved_plan_cache_hits_total",
+		"/v1/sql results served from the generation-keyed plan cache.",
+		func() uint64 { return c.Stats().Hits })
+	m.reg.CounterFunc("ptserved_plan_cache_misses_total",
+		"/v1/sql queries executed because no cached result matched.",
+		func() uint64 { return c.Stats().Misses })
+	m.reg.CounterFunc("ptserved_plan_cache_evictions_total",
+		"Plan-cache entries evicted to stay under the byte bound.",
+		func() uint64 { return c.Stats().Evictions })
+	m.reg.GaugeFunc("ptserved_plan_cache_entries",
+		"Plan-cache resident entries.",
+		func() float64 { return float64(c.Stats().Entries) })
+	m.reg.GaugeFunc("ptserved_plan_cache_bytes",
+		"Approximate plan-cache resident bytes.",
+		func() float64 { return float64(c.Stats().Bytes) })
 }
 
 // registerTracer exposes the tracer's lifetime counters.

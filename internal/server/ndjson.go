@@ -1,0 +1,61 @@
+package server
+
+// Pooled NDJSON line encoding for the streaming endpoints
+// (/v1/results?stream=1, /v1/sql?stream=1). Encoding straight into the
+// ResponseWriter allocates a fresh encode buffer per line at the json
+// layer boundary; marshalling into a pooled per-stream buffer instead
+// reuses one buffer for every line of a stream and across streams, so
+// per-row allocations stay flat regardless of result size (pinned by
+// BenchmarkSQLStreamEncode / BenchmarkResultsStreamEncode).
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// maxPooledEncodeBuf caps the buffer capacity returned to the pool, so
+// one giant row does not pin its memory forever.
+const maxPooledEncodeBuf = 64 << 10
+
+// ndjsonEncoder writes one JSON line per Encode through a reused buffer.
+type ndjsonEncoder struct {
+	w   io.Writer
+	buf *bytes.Buffer
+	enc *json.Encoder
+}
+
+var ndjsonPool = sync.Pool{New: func() any {
+	buf := new(bytes.Buffer)
+	return &ndjsonEncoder{buf: buf, enc: json.NewEncoder(buf)}
+}}
+
+// newNDJSON borrows an encoder from the pool and points it at w.
+// Callers must Release it when the stream ends.
+func newNDJSON(w io.Writer) *ndjsonEncoder {
+	e := ndjsonPool.Get().(*ndjsonEncoder)
+	e.w = w
+	return e
+}
+
+// Encode marshals v (with the trailing newline json.Encoder emits) into
+// the reused buffer and writes it out as one line.
+func (e *ndjsonEncoder) Encode(v any) error {
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		return err
+	}
+	_, err := e.w.Write(e.buf.Bytes())
+	return err
+}
+
+// Release returns the encoder to the pool, dropping oversized buffers.
+func (e *ndjsonEncoder) Release() {
+	e.w = nil
+	if e.buf.Cap() > maxPooledEncodeBuf {
+		e.buf = new(bytes.Buffer)
+		e.enc = json.NewEncoder(e.buf)
+	}
+	ndjsonPool.Put(e)
+}

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestPlanCacheOverHTTP pins the /v1/sql result cache end to end: a
+// repeated query is served from cache with identical bytes, /v1/stats
+// reports the counters, and an ingest (generation bump) invalidates.
+func TestPlanCacheOverHTTP(t *testing.T) {
+	ts := seedTwoExecServer(t)
+	req := SQLRequest{SQL: "SELECT execution, count(*), avg(value) FROM performance_result GROUP BY execution ORDER BY execution"}
+
+	var r1, r2 SQLResponse
+	code, raw1 := postJSON(t, ts.URL+"/v1/sql", req, &r1)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw1)
+	}
+	code, raw2 := postJSON(t, ts.URL+"/v1/sql", req, &r2)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw2)
+	}
+	if raw1 != raw2 {
+		t.Fatalf("cache hit changed the response bytes:\n%s\nvs\n%s", raw1, raw2)
+	}
+
+	var st StatsResponse
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	if st.PlanCache == nil {
+		t.Fatalf("stats missing plan_cache section")
+	}
+	if st.PlanCache.Hits < 1 || st.PlanCache.Misses < 1 || st.PlanCache.Entries < 1 {
+		t.Fatalf("plan_cache counters = %+v, want >=1 hit/miss/entry", *st.PlanCache)
+	}
+
+	// Ingest bumps the store generation; the same query must re-execute
+	// and see the new rows.
+	loadDoc(t, ts.URL, ptdfDoc("c", 5))
+	var r3 SQLResponse
+	code, raw3 := postJSON(t, ts.URL+"/v1/sql", req, &r3)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, raw3)
+	}
+	if len(r3.Rows) != 3 {
+		t.Fatalf("post-ingest groups = %d, want 3 (stale cache?): %s", len(r3.Rows), raw3)
+	}
+}

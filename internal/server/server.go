@@ -18,6 +18,7 @@ import (
 
 	"perftrack/internal/datastore"
 	"perftrack/internal/obs"
+	"perftrack/internal/planner"
 )
 
 // Checkpointer is the subset of reldb.FileEngine the server needs at
@@ -61,17 +62,23 @@ type Config struct {
 	// (kept in a separate ring and logged at warn level). 0 means the
 	// default of 1s; negative disables slow-request detection.
 	SlowRequestThreshold time.Duration
+
+	// PlanCacheBytes bounds the /v1/sql result cache (keyed by query
+	// text + store generation). 0 means the planner default
+	// (planner.DefaultCacheBytes); negative disables the cache.
+	PlanCacheBytes int64
 }
 
 // Server is the ptserved HTTP service.
 type Server struct {
-	cfg     Config
-	store   *datastore.Store
-	metrics *serverMetrics
-	tracer  *obs.Tracer
-	log     *obs.Logger
-	sem     chan struct{}
-	httpSrv *http.Server
+	cfg       Config
+	store     *datastore.Store
+	metrics   *serverMetrics
+	tracer    *obs.Tracer
+	log       *obs.Logger
+	sem       chan struct{}
+	httpSrv   *http.Server
+	planCache *planner.ResultCache // nil when disabled
 }
 
 // New validates the config and builds a Server. The caller serves it via
@@ -105,6 +112,10 @@ func New(cfg Config) (*Server, error) {
 		metrics: newServerMetrics(),
 		log:     logger,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
+	}
+	if cfg.PlanCacheBytes >= 0 {
+		s.planCache = planner.NewResultCache(cfg.PlanCacheBytes)
+		s.metrics.registerPlanCache(s.planCache)
 	}
 	s.tracer = obs.NewTracer(cfg.TraceBuffer, cfg.SlowRequestThreshold, func(tr *obs.Trace) {
 		d := tr.Data()

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"encoding/json"
 	"math"
 	"net/http"
 	"strings"
@@ -32,11 +31,16 @@ func sqlCell(v reldb.Value) any {
 }
 
 func sqlRow(row reldb.Row) []any {
-	out := make([]any, len(row))
-	for i, v := range row {
-		out[i] = sqlCell(v)
+	return appendSQLRow(make([]any, 0, len(row)), row)
+}
+
+// appendSQLRow converts a row into dst, reusing its backing array —
+// the streaming encoder recycles one slice across every emitted row.
+func appendSQLRow(dst []any, row reldb.Row) []any {
+	for _, v := range row {
+		dst = append(dst, sqlCell(v))
 	}
-	return out
+	return dst
 }
 
 // handleSQL is POST /v1/sql: one SELECT planned and executed against the
@@ -59,7 +63,9 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		writeErrorString(w, r, http.StatusBadRequest, "limit must be >= 0")
 		return
 	}
-	res, plan, err := planner.New(s.store).Query(r.Context(), req.SQL)
+	pl := planner.New(s.store)
+	pl.Cache = s.planCache
+	res, plan, err := pl.Query(r.Context(), req.SQL)
 	if err != nil {
 		writeError(w, r, statusOf(err, http.StatusInternalServerError), err)
 		return
@@ -69,7 +75,8 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		wire = plan.Wire()
 	}
 	s.log.Debug("sql", "strategy", plan.Strategy, "rows", len(res.Rows),
-		"est", plan.EstRows, "actual", plan.ActualRows, "rid", RequestIDFromContext(r.Context()))
+		"est", plan.EstRows, "actual", plan.ActualRows, "cache_hit", plan.CacheHit,
+		"rid", RequestIDFromContext(r.Context()))
 	if v := r.URL.Query().Get("stream"); v == "1" || v == "true" {
 		s.streamSQL(w, res, req, wire)
 		return
@@ -101,17 +108,20 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 func (s *Server) streamSQL(w http.ResponseWriter, res *sqldb.Result, req SQLRequest, plan *PlanWire) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
+	enc := newNDJSON(w)
+	defer enc.Release()
 	flusher, _ := w.(http.Flusher)
 	if err := enc.Encode(SQLStreamLine{APIVersion: APIVersion, Columns: res.Columns}); err != nil {
 		return
 	}
 	emitted := 0
+	var rowBuf []any // one backing array for every emitted line
 	for _, row := range res.Rows {
 		if req.Limit > 0 && emitted >= req.Limit {
 			break
 		}
-		if err := enc.Encode(SQLStreamLine{APIVersion: APIVersion, Row: sqlRow(row)}); err != nil {
+		rowBuf = appendSQLRow(rowBuf[:0], row)
+		if err := enc.Encode(SQLStreamLine{APIVersion: APIVersion, Row: rowBuf}); err != nil {
 			return
 		}
 		emitted++

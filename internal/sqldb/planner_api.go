@@ -85,6 +85,28 @@ func (a *Aggregator) Add(v reldb.Value) { a.st.add(v) }
 // Result finalizes the aggregate's value.
 func (a *Aggregator) Result() reldb.Value { return a.st.result() }
 
+// NewFinishedAggregator builds an already-accumulated aggregate from the
+// merged partial state a vectorized kernel produces, bypassing per-value
+// Add calls. The parts mirror aggState exactly so results stay
+// bit-identical to the row-at-a-time path: count is the number of
+// accumulated values (rows for COUNT(*), non-null inputs otherwise), sum
+// and sumInt the float and integer running sums, allInt whether every
+// input was an integer (true when count is zero), and min/max the
+// extrema (Null when no value was seen — always Null for COUNT(*),
+// whose accumulator never inspects values). DISTINCT aggregates cannot
+// be reconstructed this way; callers must keep them on the Add path.
+func NewFinishedAggregator(fe *FuncExpr, count int64, sum float64, sumInt int64, allInt bool, min, max reldb.Value) *Aggregator {
+	st := newAggState(fe)
+	st.count = count
+	st.sum = sum
+	st.sumInt = sumInt
+	st.allInt = allInt
+	st.min = min
+	st.max = max
+	st.started = !min.IsNull()
+	return &Aggregator{st: st}
+}
+
 // SelectAggregates returns the aggregate call nodes of a SELECT (from the
 // select list, ORDER BY, and HAVING) in the canonical order FinishGrouped
 // expects each group's Aggs slice to follow. It rejects SELECT * combined

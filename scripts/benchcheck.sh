@@ -1,0 +1,19 @@
+#!/bin/sh
+# Bench-regression smoke: regenerate the -benchjson artifacts into a
+# scratch directory (never overwriting the checked-in baselines) and
+# compare their speedup ratios against bench/baseline with
+# ptbenchcheck, failing on >30% regression of any gated ratio.
+#
+# Usage: scripts/benchcheck.sh [FRESH_DIR]
+#   FRESH_DIR  where the fresh artifacts land (default: bench-fresh)
+set -eu
+
+fresh=${1:-bench-fresh}
+rows=${PTBENCH_ROWS:-20000}
+iters=${PTBENCH_ITERS:-3}
+
+go build -o bin/ ./cmd/ptbench ./cmd/ptbenchcheck
+mkdir -p "$fresh"
+bin/ptbench -benchjson -bench-rows "$rows" -bench-iters "$iters" \
+    -bench-execs 100 -bench-out "$fresh"
+bin/ptbenchcheck -baseline bench/baseline -fresh "$fresh"
