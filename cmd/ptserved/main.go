@@ -49,6 +49,9 @@ func main() {
 	storage := flag.String("storage", "", "storage engine: mem, wal, or segment (default: auto-detect; wal for a new store)")
 	segmentFlush := flag.Int64("segment-flush", 0, "segment engine: compact a hot table once this many rows are pending (0 = engine default)")
 	planCacheBytes := flag.Int64("plan-cache-bytes", 0, "byte bound for the /v1/sql result cache (0 = default 32MiB, negative disables)")
+	queryLogBytes := flag.Int64("query-log-bytes", 0, "byte bound per ring of the /v1/debug/queries profile capture (0 = default 1MiB, negative disables)")
+	selfMonInterval := flag.Duration("selfmon-interval", 0, "continuous self-diagnosis sampling period (0 = default 15s, negative disables)")
+	selfMonWindow := flag.Int("selfmon-window", 0, "telemetry samples retained by the self-monitor (0 = default 64)")
 	flag.Parse()
 
 	if *dbDir == "" {
@@ -98,6 +101,9 @@ func main() {
 		TraceBuffer:          *traceBuffer,
 		SlowRequestThreshold: *slowThreshold,
 		PlanCacheBytes:       *planCacheBytes,
+		QueryLogBytes:        *queryLogBytes,
+		SelfMonInterval:      *selfMonInterval,
+		SelfMonWindow:        *selfMonWindow,
 	})
 	if err != nil {
 		fatal(err)

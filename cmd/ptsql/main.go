@@ -15,8 +15,11 @@
 // With -remote the statement runs on a ptserved instance via POST
 // /v1/sql; -explain prints the chosen plan (with estimated vs. actual
 // cardinalities) to stderr in both modes, through the same formatter
-// ptquery uses. -naive disables the cost-based machinery locally, for
-// A/B-ing plans.
+// ptquery uses. -analyze is the EXPLAIN ANALYZE form: the plan plus the
+// execution profile — per-operator row counts, segment blocks scanned
+// vs. zone-map-pruned, B-tree tail rows, kernel vs. merge wall time,
+// per-worker row loads, and the planner's cardinality error. -naive
+// disables the cost-based machinery locally, for A/B-ing plans.
 package main
 
 import (
@@ -39,6 +42,7 @@ func main() {
 	remote := flag.String("remote", "", "ptserved base URL (e.g. http://localhost:7075) instead of -db")
 	storage := flag.String("storage", "", "storage engine: wal or segment (default: auto-detect)")
 	explain := flag.Bool("explain", false, "print the chosen plan with estimated vs. actual cardinalities to stderr")
+	analyze := flag.Bool("analyze", false, "like -explain, plus the execution profile (rows, blocks, kernel/merge time, workers)")
 	limit := flag.Int("limit", 0, "maximum rows to return (0 = all)")
 	naive := flag.Bool("naive", false, "disable the cost-based planner (local only; full scans, no pushdown)")
 	flag.Parse()
@@ -64,7 +68,7 @@ func main() {
 		if *naive {
 			fatal(fmt.Errorf("-naive needs direct store access; use -db"))
 		}
-		runRemote(*remote, sqlText, *explain, *limit)
+		runRemote(*remote, sqlText, *explain, *analyze, *limit)
 		return
 	}
 
@@ -87,7 +91,9 @@ func main() {
 		res.Rows = res.Rows[:*limit]
 	}
 	fmt.Print(res.FormatTable())
-	if *explain {
+	if *analyze {
+		fmt.Fprint(os.Stderr, planner.Format(plan.WireAnalyze()))
+	} else if *explain {
 		fmt.Fprint(os.Stderr, planner.Format(plan.Wire()))
 	}
 }
@@ -95,10 +101,10 @@ func main() {
 // runRemote executes the statement on a ptserved instance via POST
 // /v1/sql, rendering the rows tab-separated and the plan through the
 // shared formatter.
-func runRemote(baseURL, sqlText string, explain bool, limit int) {
+func runRemote(baseURL, sqlText string, explain, analyze bool, limit int) {
 	c := client.New(baseURL)
 	resp, err := c.SQL(context.Background(), server.SQLRequest{
-		SQL: sqlText, Explain: explain, Limit: limit,
+		SQL: sqlText, Explain: explain, Analyze: analyze, Limit: limit,
 	})
 	if err != nil {
 		fatal(err)
@@ -114,7 +120,7 @@ func runRemote(baseURL, sqlText string, explain bool, limit int) {
 	if resp.Truncated {
 		fmt.Printf("... %d more rows\n", resp.RowCount-len(resp.Rows))
 	}
-	if explain {
+	if explain || analyze {
 		fmt.Fprint(os.Stderr, planner.Format(resp.Plan))
 	}
 }

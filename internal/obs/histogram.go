@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"sync/atomic"
+	"time"
 )
 
 // DefBuckets are the default latency bounds in seconds, resolving both
@@ -19,11 +20,26 @@ var DefBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2
 // a scrape racing observations sees per-bucket counts that are each
 // individually consistent (the standard Prometheus trade-off).
 type Histogram struct {
-	bounds  []float64       // ascending upper bounds
-	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
-	count   atomic.Uint64
-	sumBits atomic.Uint64
+	bounds    []float64       // ascending upper bounds
+	counts    []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	count     atomic.Uint64
+	sumBits   atomic.Uint64
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1, parallel to counts
 }
+
+// Exemplar links one bucket to the trace that produced its worst recent
+// observation, exposed on /metrics in the OpenMetrics exemplar syntax so
+// a latency spike in a bucket can be chased straight to a trace ID.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Unix    int64 // seconds; exemplars older than exemplarTTL are replaceable
+}
+
+// exemplarTTL bounds how long a large observation shadows smaller ones:
+// after this long any fresh observation may take the slot, so exemplars
+// stay "recent" rather than pinning an all-time worst case.
+const exemplarTTL = 60 * time.Second
 
 // NewHistogram returns a histogram over the given ascending upper
 // bounds; +Inf is implicit. Nil or empty bounds use DefBuckets.
@@ -37,8 +53,9 @@ func NewHistogram(bounds []float64) *Histogram {
 		}
 	}
 	return &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		bounds:    append([]float64(nil), bounds...),
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 }
 
@@ -53,6 +70,36 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// offers it as the exemplar for the bucket the observation fell into.
+// The slot keeps the worst (largest) observation seen recently: a new
+// observation takes it when it is larger than the current holder or the
+// holder is older than exemplarTTL. Lock-free; a lost CAS race just
+// drops one candidate exemplar, never an observation.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	now := time.Now().Unix()
+	cur := h.exemplars[i].Load()
+	if cur != nil && cur.Value >= v && now-cur.Unix < int64(exemplarTTL/time.Second) {
+		return
+	}
+	h.exemplars[i].CompareAndSwap(cur, &Exemplar{TraceID: traceID, Value: v, Unix: now})
+}
+
+// BucketExemplars returns the current exemplar per bucket (nil when the
+// bucket has none), parallel to Buckets' bounds plus a final +Inf slot.
+func (h *Histogram) BucketExemplars() []*Exemplar {
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // Count returns the number of observations.
@@ -112,20 +159,33 @@ func (h *Histogram) Quantile(q float64) float64 {
 }
 
 // writeSeries renders the _bucket/_sum/_count series with the given
-// extra labels.
+// extra labels. Buckets holding an exemplar carry it in the OpenMetrics
+// exemplar syntax (`... # {trace_id="..."} value timestamp`); parsers of
+// the plain 0.0.4 format that split on ' # ' or ignore trailing fields
+// still read the sample value correctly.
 func (h *Histogram) writeSeries(w *bufio.Writer, name string, labels, values []string) {
 	bounds, cum, total := h.Buckets()
+	ex := h.BucketExemplars()
 	bLabels := append(append([]string(nil), labels...), "le")
 	for i, ub := range bounds {
 		bVals := append(append([]string(nil), values...), strconv.FormatFloat(ub, 'g', -1, 64))
-		fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(bLabels, bVals), cum[i])
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, labelString(bLabels, bVals), cum[i], exemplarSuffix(ex[i]))
 	}
 	infVals := append(append([]string(nil), values...), "+Inf")
-	fmt.Fprintf(w, "%s_bucket%s %d\n", name, labelString(bLabels, infVals), total)
+	fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, labelString(bLabels, infVals), total, exemplarSuffix(ex[len(ex)-1]))
 	suffix := ""
 	if len(labels) > 0 {
 		suffix = labelString(labels, values)
 	}
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatValue(h.Sum()))
 	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, total)
+}
+
+// exemplarSuffix renders one exemplar for appending to a _bucket line,
+// or "" when the bucket has none.
+func exemplarSuffix(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %s %d", escapeLabel(e.TraceID), formatValue(e.Value), e.Unix)
 }

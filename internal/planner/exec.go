@@ -18,7 +18,7 @@ type rowEmit func(id, execID, metricID, toolID, unitsID int64, value float64)
 
 // planResults plans and executes one SELECT over the virtual
 // performance_result table.
-func (p *Planner) planResults(ctx context.Context, sel *sqldb.SelectStmt) (*sqldb.Result, *Plan, error) {
+func (p *Planner) planResults(ctx context.Context, sel *sqldb.SelectStmt, prof *ExecProfile) (*sqldb.Result, *Plan, error) {
 	cs := analyzeResultWhere(sel.Where)
 
 	// Split pushed from residual conjuncts. Family specs are always
@@ -58,7 +58,9 @@ func (p *Planner) planResults(ctx context.Context, sel *sqldb.SelectStmt) (*sqld
 		EstRows:      access.est,
 		Residual:     len(residual) > 0,
 		Alternatives: access.alternatives,
+		Profile:      prof,
 	}
+	prof.markPlanned()
 	for _, c := range pushed {
 		plan.Pushed = append(plan.Pushed, describeConjunct(c))
 	}
@@ -207,7 +209,7 @@ func (p *Planner) execAggregate(ctx context.Context, sel *sqldb.SelectStmt, acce
 			}
 		}
 	}
-	if err := p.scanResults(ctx, access, pushed, emit); err != nil {
+	if err := p.scanResults(ctx, access, pushed, plan.Profile, emit); err != nil {
 		return nil, err
 	}
 	plan.ActualRows = actual
@@ -264,10 +266,10 @@ func (p *Planner) execRows(ctx context.Context, sel *sqldb.SelectStmt, access re
 			reldb.Str(dicts["performance_tool"][t]),
 		})
 	}
-	if workers, done := p.scanResultsVec(access, pushed, emit); done {
+	if workers, done := p.scanResultsVec(access, pushed, plan.Profile, emit); done {
 		plan.Vectorized = true
 		plan.Workers = workers
-	} else if err := p.scanResults(ctx, access, pushed, emit); err != nil {
+	} else if err := p.scanResults(ctx, access, pushed, plan.Profile, emit); err != nil {
 		return nil, err
 	}
 	plan.ActualRows = int64(len(rows))
@@ -276,11 +278,16 @@ func (p *Planner) execRows(ctx context.Context, sel *sqldb.SelectStmt, access re
 }
 
 // scanResults drives the chosen access path, applies the pushed
-// predicates, and emits survivors in ascending row-ID order.
-func (p *Planner) scanResults(ctx context.Context, access resultAccess, pushed []conjunct, emit rowEmit) error {
+// predicates, and emits survivors in ascending row-ID order. Access-path
+// actuals (rows visited, blocks scanned/pruned, tail rows) accumulate
+// into prof.
+func (p *Planner) scanResults(ctx context.Context, access resultAccess, pushed []conjunct, prof *ExecProfile, emit rowEmit) error {
 	tab, ok := p.store.Table("performance_result")
 	if !ok {
 		return fmt.Errorf("datastore: no performance_result table: %w", datastore.ErrNotFound)
+	}
+	if prof == nil {
+		prof = &ExecProfile{} // tolerate direct calls without a profile sink
 	}
 
 	f := p.buildResultFilter(pushed)
@@ -320,6 +327,7 @@ func (p *Planner) scanResults(ctx context.Context, access resultAccess, pushed [
 		return true
 	}
 	visitRow := func(id int64, row reldb.Row) {
+		prof.RowsScanned++
 		e, m, t, u := row[1].Int64(), row[2].Int64(), row[3].Int64(), row[4].Int64()
 		v := row[5].Float64()
 		if pass(id, e, m, t, u, v) {
@@ -376,7 +384,7 @@ func (p *Planner) scanResults(ctx context.Context, access resultAccess, pushed [
 		if lo > hi {
 			return nil
 		}
-		var scanned int
+		var scanned, blocks int
 		pruned, bytes := v.ScanPKRange(lo, hi, func(b reldb.ColumnBlock) bool {
 			ids := b.RowIDs()
 			es, ms := b.Int64s(1), b.Int64s(2)
@@ -388,15 +396,21 @@ func (p *Planner) scanResults(ctx context.Context, access resultAccess, pushed [
 				}
 			}
 			scanned += b.Len()
+			blocks++
 			return true
 		})
 		p.store.NoteSegmentScan(scanned, pruned, bytes)
+		prof.RowsScanned += int64(scanned)
+		prof.SegmentRows += int64(scanned)
+		prof.BlocksScanned += blocks
+		prof.BlocksPruned += pruned
 		// Rows above the segment watermark still live only in the B-tree.
 		tlo := v.TailRowID() + 1
 		if lo > tlo {
 			tlo = lo
 		}
 		tab.PKRange([]reldb.Value{reldb.Int(tlo)}, nil, func(id int64, row reldb.Row) bool {
+			prof.TailRows++
 			visitRow(id, row)
 			return true
 		})
@@ -519,7 +533,7 @@ var dimSpecs = map[string]dimSpec{
 // table (execution, resource, attribute): at most one indexable equality
 // is pushed down; everything else stays residual over the materialized
 // virtual rows.
-func (p *Planner) planDimension(ctx context.Context, sel *sqldb.SelectStmt) (*sqldb.Result, *Plan, error) {
+func (p *Planner) planDimension(ctx context.Context, sel *sqldb.SelectStmt, prof *ExecProfile) (*sqldb.Result, *Plan, error) {
 	spec := dimSpecs[sel.From.Table]
 	vcols := virtualColumns[sel.From.Table]
 	tab, ok := p.store.Table(spec.phys)
@@ -529,7 +543,7 @@ func (p *Planner) planDimension(ctx context.Context, sel *sqldb.SelectStmt) (*sq
 	stats := p.store.TableStatistics()
 	total := stats.TableStat(spec.phys).Rows
 
-	plan := &Plan{Table: sel.From.Table, Strategy: StrategyFullScan, EstRows: total}
+	plan := &Plan{Table: sel.From.Table, Strategy: StrategyFullScan, EstRows: total, Profile: prof}
 	var idxName string
 	var idxPrefix []reldb.Value
 	pushSafe := !p.Naive && sel.Where != nil
@@ -571,6 +585,7 @@ func (p *Planner) planDimension(ctx context.Context, sel *sqldb.SelectStmt) (*sq
 		}
 	}
 
+	prof.markPlanned()
 	dicts := map[string]map[int64]string{}
 	for _, d := range spec.dicts {
 		m, err := p.store.DictNames(d)
@@ -602,6 +617,7 @@ func (p *Planner) planDimension(ctx context.Context, sel *sqldb.SelectStmt) (*sq
 	for _, pr := range pairs {
 		rows = append(rows, spec.row(p, dicts, pr.row))
 	}
+	prof.RowsScanned = int64(len(pairs))
 	plan.ActualRows = int64(len(rows))
 	plan.Materialized = int64(len(rows))
 	plan.Residual = sel.Where != nil

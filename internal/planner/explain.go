@@ -10,14 +10,17 @@ import (
 // PlanWire is the explain payload every v1 endpoint shares: /v1/sql and
 // /v1/query attach exactly this shape when a request sets explain, and
 // the ptsql/ptquery CLIs render it through the one Format function.
+// Profile is attached only on analyze requests (SQLRequest.Analyze,
+// ptsql -analyze) — plain explain output stays byte-stable.
 type PlanWire struct {
-	Plan       string `json:"plan"`
-	Strategy   string `json:"strategy"`
-	EstRows    int64  `json:"est_rows"`
-	ActualRows int64  `json:"actual_rows"`
+	Plan       string           `json:"plan"`
+	Strategy   string           `json:"strategy"`
+	EstRows    int64            `json:"est_rows"`
+	ActualRows int64            `json:"actual_rows"`
+	Profile    *ExecProfileWire `json:"profile,omitempty"`
 }
 
-// Wire renders the plan into its wire shape.
+// Wire renders the plan into its wire shape, without the profile.
 func (p *Plan) Wire() *PlanWire {
 	return &PlanWire{
 		Plan:       p.Text(),
@@ -25,6 +28,14 @@ func (p *Plan) Wire() *PlanWire {
 		EstRows:    p.EstRows,
 		ActualRows: p.ActualRows,
 	}
+}
+
+// WireAnalyze renders the plan with its execution profile attached —
+// the EXPLAIN ANALYZE form.
+func (p *Plan) WireAnalyze() *PlanWire {
+	w := p.Wire()
+	w.Profile = p.ProfileWire()
+	return w
 }
 
 // Text renders the plan as indented text, one clause per line.
@@ -64,6 +75,11 @@ func Format(w *PlanWire) string {
 	var b strings.Builder
 	for _, line := range strings.Split(w.Plan, "\n") {
 		b.WriteString("  " + line + "\n")
+	}
+	if w.Profile != nil {
+		for _, line := range strings.Split(w.Profile.Text(), "\n") {
+			b.WriteString(line + "\n")
+		}
 	}
 	fmt.Fprintf(&b, "  estimated %d rows, actual %d (strategy %s)\n",
 		w.EstRows, w.ActualRows, w.Strategy)

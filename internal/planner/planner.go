@@ -20,6 +20,7 @@ import (
 
 	"perftrack/internal/core"
 	"perftrack/internal/datastore"
+	"perftrack/internal/obs"
 	"perftrack/internal/query"
 	"perftrack/internal/reldb"
 	"perftrack/internal/sqldb"
@@ -113,30 +114,47 @@ type Plan struct {
 	Vectorized   bool     // scan ran through the batched segment kernels
 	Workers      int      // vectorized scan fan-out actually used
 	CacheHit     bool     // result served from the plan-keyed result cache
+
+	// Profile records the execution's per-operator actuals (see
+	// profile.go). A cache hit carries the profile of the execution that
+	// filled the entry.
+	Profile *ExecProfile
 }
 
 // Query parses, plans, and executes one SELECT. With a Cache attached,
 // a repeated query under an unchanged store generation returns the
 // cached result; any mutation bumps the generation and implicitly
-// invalidates every cached entry.
+// invalidates every cached entry. When the context carries a trace, the
+// whole lookup runs under a planner.query span tagged cache=hit|miss,
+// so cached requests still show up in /v1/debug/traces instead of
+// vanishing at the short-circuit.
 func (p *Planner) Query(ctx context.Context, sqlText string) (*sqldb.Result, *Plan, error) {
+	ctx, span := obs.StartSpan(ctx, "planner.query")
+	defer span.End()
 	var gen uint64
 	cached := p.Cache != nil && !p.Naive
 	if cached {
 		gen = p.store.Generation()
 		if res, plan, ok := p.Cache.get(sqlText, gen); ok {
+			span.Annotate("cache", "hit")
+			span.Annotate("strategy", plan.Strategy)
 			return res, plan, nil
 		}
+		span.Annotate("cache", "miss")
 	}
 	res, plan, err := p.execute(ctx, sqlText)
 	if cached && err == nil {
 		p.Cache.put(sqlText, gen, res, plan)
+	}
+	if err == nil {
+		span.Annotate("strategy", plan.Strategy)
 	}
 	return res, plan, err
 }
 
 // execute parses, plans, and runs one SELECT, bypassing the cache.
 func (p *Planner) execute(ctx context.Context, sqlText string) (*sqldb.Result, *Plan, error) {
+	prof := newExecProfile()
 	stmt, err := sqldb.Parse(sqlText)
 	if err != nil {
 		return nil, nil, fmt.Errorf("planner: %v: %w", err, datastore.ErrBadSpec)
@@ -145,27 +163,37 @@ func (p *Planner) execute(ctx context.Context, sqlText string) (*sqldb.Result, *
 	if !ok {
 		return nil, nil, fmt.Errorf("planner: only SELECT is supported (got %T): %w", stmt, datastore.ErrBadSpec)
 	}
-	if p.virtualizable(sel) {
-		if sel.From.Table == "performance_result" {
-			return p.planResults(ctx, sel)
-		}
-		return p.planDimension(ctx, sel)
+	var res *sqldb.Result
+	var plan *Plan
+	switch {
+	case p.virtualizable(sel) && sel.From.Table == "performance_result":
+		res, plan, err = p.planResults(ctx, sel, prof)
+	case p.virtualizable(sel):
+		res, plan, err = p.planDimension(ctx, sel, prof)
+	default:
+		res, plan, err = p.rawQuery(sel, sqlText, prof)
 	}
-	return p.rawQuery(sel, sqlText)
+	if err == nil {
+		prof.finish(len(res.Rows))
+	}
+	return res, plan, err
 }
 
 // rawQuery delegates to the physical-schema SQL executor.
-func (p *Planner) rawQuery(sel *sqldb.SelectStmt, sqlText string) (*sqldb.Result, *Plan, error) {
+func (p *Planner) rawQuery(sel *sqldb.SelectStmt, sqlText string, prof *ExecProfile) (*sqldb.Result, *Plan, error) {
+	prof.markPlanned()
 	res, err := p.store.SQL().Query(sqlText)
 	if err != nil {
 		return nil, nil, fmt.Errorf("planner: %v: %w", err, datastore.ErrBadSpec)
 	}
+	prof.RowsScanned = int64(len(res.Rows))
 	return res, &Plan{
 		Table:        sel.From.Table,
 		Strategy:     StrategyRawSQL,
 		EstRows:      int64(len(res.Rows)),
 		ActualRows:   int64(len(res.Rows)),
 		Materialized: int64(len(res.Rows)),
+		Profile:      prof,
 	}, nil
 }
 

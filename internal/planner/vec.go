@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"perftrack/internal/reldb"
 	"perftrack/internal/sqldb"
@@ -756,12 +757,14 @@ func (p *Planner) execAggregateVec(sel *sqldb.SelectStmt, access resultAccess,
 	// so the dense key space covers dictionary IDs the segments have not
 	// seen yet.
 	var tail []vecTailRow
+	var tailVisited int64
 	if live {
 		tlo := v.TailRowID() + 1
 		if lo > tlo {
 			tlo = lo
 		}
 		tab.PKRange([]reldb.Value{reldb.Int(tlo)}, nil, func(id int64, row reldb.Row) bool {
+			tailVisited++
 			e, m, t, u := row[1].Int64(), row[2].Int64(), row[3].Int64(), row[4].Int64()
 			vv := row[5].Float64()
 			if f.pass(id, e, m, t, u, vv) {
@@ -810,13 +813,25 @@ func (p *Planner) execAggregateVec(sel *sqldb.SelectStmt, access resultAccess,
 	for w > 1 && dense*int64(w) > maxDenseGroups {
 		w--
 	}
-	parts := partitionBlocks(blockLens(blocks), w)
+	lens := blockLens(blocks)
+	parts := partitionBlocks(lens, w)
 	bases := make([]int64, len(blocks))
 	var total int64
 	for i, b := range blocks {
 		bases[i] = total
 		total += int64(b.Len())
 	}
+	prof := plan.Profile
+	if prof == nil {
+		prof = &ExecProfile{}
+	}
+	prof.RowsScanned += int64(scanned) + tailVisited
+	prof.SegmentRows += int64(scanned)
+	prof.TailRows += tailVisited
+	prof.BlocksScanned += len(blocks)
+	prof.BlocksPruned += prunedN
+	prof.WorkerRows = partRows(lens, parts)
+	kernelStart := time.Now()
 	accs := make([]*vecAccum, len(parts))
 	var wg sync.WaitGroup
 	for pi, pr := range parts {
@@ -838,6 +853,8 @@ func (p *Planner) execAggregateVec(sel *sqldb.SelectStmt, access resultAccess,
 		}(pr, wk)
 	}
 	wg.Wait()
+	prof.KernelNanos += time.Since(kernelStart).Nanoseconds()
+	mergeStart := time.Now()
 	acc := accs[0]
 	for _, src := range accs[1:] {
 		acc.merge(src, specs)
@@ -908,8 +925,21 @@ func (p *Planner) execAggregateVec(sel *sqldb.SelectStmt, access resultAccess,
 		}
 		pgs = append(pgs, sqldb.PlannedGroup{Repr: repr, Aggs: ga})
 	}
+	prof.MergeNanos += time.Since(mergeStart).Nanoseconds()
 	res, err := sqldb.FinishGrouped(sel, vcols, pgs)
 	return res, true, err
+}
+
+// partRows sums per-block row counts into per-worker-part totals — the
+// utilization numbers analyze output reports.
+func partRows(lens []int, parts [][2]int) []int64 {
+	out := make([]int64, len(parts))
+	for pi, pr := range parts {
+		for bi := pr[0]; bi < pr[1]; bi++ {
+			out[pi] += int64(lens[bi])
+		}
+	}
+	return out
 }
 
 // --- vectorized row scan ---
@@ -920,9 +950,12 @@ func (p *Planner) execAggregateVec(sel *sqldb.SelectStmt, access resultAccess,
 // segment order (= ascending row-ID order) followed by the B-tree tail,
 // so downstream materialization sees exactly the stream the
 // row-at-a-time path produces. done=false falls back.
-func (p *Planner) scanResultsVec(access resultAccess, pushed []conjunct, emit rowEmit) (int, bool) {
+func (p *Planner) scanResultsVec(access resultAccess, pushed []conjunct, prof *ExecProfile, emit rowEmit) (int, bool) {
 	if p.NoVector || access.strategy != StrategyZoneMap {
 		return 0, false
+	}
+	if prof == nil {
+		prof = &ExecProfile{}
 	}
 	f := p.buildResultFilter(pushed)
 	if len(f.famSpecs) > 0 {
@@ -952,7 +985,13 @@ func (p *Planner) scanResultsVec(access resultAccess, pushed []conjunct, emit ro
 		scanned += b.Len()
 	}
 
-	parts := partitionBlocks(blockLens(blocks), p.vecWorkers(len(blocks)))
+	lens := blockLens(blocks)
+	parts := partitionBlocks(lens, p.vecWorkers(len(blocks)))
+	prof.SegmentRows += int64(scanned)
+	prof.BlocksScanned += len(blocks)
+	prof.BlocksPruned += prunedN
+	prof.WorkerRows = partRows(lens, parts)
+	kernelStart := time.Now()
 	outs := make([][]vecTailRow, len(parts))
 	var wg sync.WaitGroup
 	for pi, pr := range parts {
@@ -998,19 +1037,25 @@ func (p *Planner) scanResultsVec(access resultAccess, pushed []conjunct, emit ro
 		}(pi, pr)
 	}
 	wg.Wait()
+	prof.KernelNanos += time.Since(kernelStart).Nanoseconds()
+	mergeStart := time.Now()
 	for _, out := range outs {
 		for i := range out {
 			r := &out[i]
 			emit(r.id, r.e, r.m, r.t, r.u, r.v)
 		}
 	}
+	prof.MergeNanos += time.Since(mergeStart).Nanoseconds()
 	p.store.NoteSegmentScan(scanned, prunedN, scanBytes)
+	prof.RowsScanned += int64(scanned)
 
 	tlo := v.TailRowID() + 1
 	if lo > tlo {
 		tlo = lo
 	}
 	tab.PKRange([]reldb.Value{reldb.Int(tlo)}, nil, func(id int64, row reldb.Row) bool {
+		prof.RowsScanned++
+		prof.TailRows++
 		e, m, t, u := row[1].Int64(), row[2].Int64(), row[3].Int64(), row[4].Int64()
 		vv := row[5].Float64()
 		if f.pass(id, e, m, t, u, vv) {

@@ -133,6 +133,12 @@ type SQLRequest struct {
 	SQL     string `json:"sql"`
 	Explain bool   `json:"explain,omitempty"`
 	Limit   int    `json:"limit,omitempty"`
+
+	// Analyze attaches the chosen plan with its execution profile (the
+	// EXPLAIN ANALYZE form): per-operator row counts, segment blocks
+	// scanned vs. zone-map-pruned, kernel vs. merge wall time, and the
+	// planner's cardinality error. Implies Explain.
+	Analyze bool `json:"analyze,omitempty"`
 }
 
 // SQLResponse is the buffered reply to POST /v1/sql. Cells are JSON
@@ -291,6 +297,45 @@ type ErrorResponse struct {
 	APIVersion string `json:"api_version"`
 	Error      string `json:"error"`
 	RequestID  string `json:"request_id,omitempty"`
+}
+
+// QueryProfileWire is one captured /v1/sql execution
+// (GET /v1/debug/queries): the query text, the request it ran under,
+// and — when the execution carried one — its full EXPLAIN ANALYZE
+// profile.
+type QueryProfileWire struct {
+	SQL        string                   `json:"sql"`
+	RequestID  string                   `json:"request_id,omitempty"`
+	Start      string                   `json:"start"` // RFC 3339 with sub-second precision
+	DurationMS float64                  `json:"duration_ms"`
+	Strategy   string                   `json:"strategy,omitempty"`
+	CacheHit   bool                     `json:"cache_hit,omitempty"`
+	Rows       int                      `json:"rows"`
+	Error      string                   `json:"error,omitempty"`
+	Slow       bool                     `json:"slow,omitempty"`
+	Profile    *planner.ExecProfileWire `json:"profile,omitempty"`
+}
+
+// QueriesResponse lists recently captured (or, with ?slow=1, slow)
+// queries, newest first.
+type QueriesResponse struct {
+	APIVersion string             `json:"api_version"`
+	Slow       bool               `json:"slow,omitempty"`
+	Queries    []QueryProfileWire `json:"queries"`
+}
+
+// SelfDiagnoseResponse is the reply to GET /v1/debug/selfdiagnose: the
+// self-monitor's rolling window split into a baseline and a recent
+// slice, diagnosed against each other by the same engine as
+// POST /v1/diagnose. Diagnosis is absent (with Status explaining why)
+// until the sampler has at least two samples.
+type SelfDiagnoseResponse struct {
+	APIVersion string            `json:"api_version"`
+	Status     string            `json:"status"` // "ok" or why Diagnosis is absent
+	Samples    int               `json:"samples"`
+	Baseline   int               `json:"baseline,omitempty"` // executions on side A
+	Recent     int               `json:"recent,omitempty"`   // executions on side B
+	Diagnosis  *DiagnoseResponse `json:"diagnosis,omitempty"`
 }
 
 // TraceSummary is one completed request trace in list form

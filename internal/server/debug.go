@@ -1,15 +1,14 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
-	"os"
 	"strconv"
 	"time"
 
-	"perftrack/internal/core"
 	"perftrack/internal/obs"
-	"perftrack/internal/ptdf"
+	"perftrack/internal/obs/selfmon"
 )
 
 // debugTraceLimit is the default (and maximum) number of traces listed
@@ -91,66 +90,113 @@ func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
 // resource, and every per-route latency quantile and store counter a
 // PerfResult — so ptserved's performance can be loaded into a PerfTrack
 // store (even its own) and diagnosed with the same pr-filter/compare
-// workflow as any parallel application.
+// workflow as any parallel application. The continuous form of the same
+// idea is the selfmon sampler behind /v1/debug/selfdiagnose; both share
+// one Sample→PTdf serialization.
 func (s *Server) handleSelfPTdf(w http.ResponseWriter, r *http.Request) {
-	host, err := os.Hostname()
-	if err != nil || host == "" {
-		host = "localhost"
-	}
-	exec := "ptserved-" + host
-
+	host := hostname()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	pw := ptdf.NewWriter(w)
-	pw.Comment("ptserved self-profile, generated " + time.Now().UTC().Format(time.RFC3339))
-	pw.Write(ptdf.ApplicationRec{Name: "ptserved"})
-	pw.Write(ptdf.ResourceTypeRec{Type: "grid"})
-	pw.Write(ptdf.ResourceTypeRec{Type: "grid/machine"})
-	pw.Write(ptdf.ExecutionRec{Name: exec, App: "ptserved"})
-	machine := core.ResourceName("/ptserved/" + host)
-	pw.Write(ptdf.ResourceRec{Name: "/ptserved", Type: "grid"})
-	pw.Write(ptdf.ResourceRec{Name: machine, Type: "grid/machine"})
-
-	ctxSet := []ptdf.ResourceSet{{Names: []core.ResourceName{machine}, Type: core.FocusPrimary}}
-	result := func(metric string, value float64, units string) {
-		pw.Write(ptdf.PerfResultRec{
-			Exec: exec, Sets: ctxSet, Tool: "ptserved", Metric: metric, Value: value, Units: units,
-		})
-	}
-
-	s.metrics.latency.Each(func(values []string, h *obs.Histogram) {
-		route := values[0]
-		if h.Count() == 0 {
-			return
-		}
-		result(route+" requests", float64(h.Count()), "requests")
-		result(route+" latency sum", h.Sum(), "seconds")
-		for _, q := range []struct {
-			name string
-			q    float64
-		}{{"p50", 0.5}, {"p90", 0.9}, {"p99", 0.99}} {
-			result(route+" latency "+q.name, h.Quantile(q.q), "seconds")
-		}
-	})
-
-	tel := s.store.Telemetry()
-	result("batch commits", float64(tel.BatchCommits), "batches")
-	result("batch rollbacks", float64(tel.BatchRollbacks), "batches")
-	result("wal flushes", float64(tel.WALFlushes), "flushes")
-	result("records loaded", float64(tel.RecordsLoaded), "records")
-	result("match cache hits", float64(tel.MatchCacheHits), "hits")
-	result("match cache misses", float64(tel.MatchCacheMisses), "misses")
-	result("focus cache hits", float64(tel.FocusCacheHits), "hits")
-	result("focus cache misses", float64(tel.FocusCacheMisses), "misses")
-	result("materializations", float64(tel.Materializations), "chunks")
-	result("results read", float64(tel.ResultsRead), "results")
-
-	started, completed, slowN, spans := s.tracer.Stats()
-	result("traces started", float64(started), "traces")
-	result("traces completed", float64(completed), "traces")
-	result("traces slow", float64(slowN), "traces")
-	result("spans recorded", float64(spans), "spans")
-
-	if err := pw.Flush(); err != nil {
+	err := selfmon.WriteDoc(w, selfmon.DocSpec{
+		App:     "ptserved",
+		Exec:    "ptserved-" + host,
+		Host:    host,
+		Comment: "ptserved self-profile, generated " + time.Now().UTC().Format(time.RFC3339),
+	}, s.selfPTdfSample())
+	if err != nil {
 		s.log.Warn("selfptdf write", "err", err, "rid", RequestIDFromContext(r.Context()))
 	}
+}
+
+// handleDebugQueries lists captured /v1/sql executions with their
+// EXPLAIN ANALYZE profiles, newest first. ?slow=1 reads the slow ring
+// (queries at or over the slow-request threshold); ?limit=N caps the
+// list.
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	if s.queries == nil {
+		writeErrorString(w, r, http.StatusNotFound, "query capture is disabled")
+		return
+	}
+	q := r.URL.Query()
+	limit := debugTraceLimit
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeErrorString(w, r, http.StatusBadRequest, fmt.Sprintf("bad limit %q", raw))
+			return
+		}
+		limit = min(n, debugTraceLimit)
+	}
+	slow := q.Get("slow") == "1" || q.Get("slow") == "true"
+	recs := s.queries.list(slow, limit)
+	resp := QueriesResponse{APIVersion: APIVersion, Slow: slow, Queries: make([]QueryProfileWire, 0, len(recs))}
+	for _, rec := range recs {
+		resp.Queries = append(resp.Queries, QueryProfileWire{
+			SQL:        rec.SQL,
+			RequestID:  rec.RequestID,
+			Start:      rec.Start.UTC().Format(time.RFC3339Nano),
+			DurationMS: float64(rec.Duration) / float64(time.Millisecond),
+			Strategy:   rec.Strategy,
+			CacheHit:   rec.CacheHit,
+			Rows:       rec.Rows,
+			Error:      rec.Error,
+			Slow:       rec.Slow,
+			Profile:    rec.Profile,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSelfDiagnose runs the continuous self-diagnosis: the sampler's
+// retained telemetry window is split into baseline and recent slices
+// and handed to the same engine as POST /v1/diagnose (side A =
+// baseline, side B = recent, so a positive delta reads "recent is
+// slower"). ?recent=N sizes the recent slice (default: a quarter of the
+// window); ?sample=1 takes an immediate sample first, which smoke tests
+// and operators use to avoid waiting out the interval.
+func (s *Server) handleSelfDiagnose(w http.ResponseWriter, r *http.Request) {
+	if s.selfmon == nil {
+		writeErrorString(w, r, http.StatusNotFound, "self-monitoring is disabled")
+		return
+	}
+	q := r.URL.Query()
+	recentN := 0
+	if raw := q.Get("recent"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeErrorString(w, r, http.StatusBadRequest, fmt.Sprintf("bad recent %q", raw))
+			return
+		}
+		recentN = n
+	}
+	if v := q.Get("sample"); v == "1" || v == "true" {
+		if err := s.selfmon.SampleNow(); err != nil {
+			writeError(w, r, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	rep, err := s.selfmon.Diagnose(r.Context(), recentN)
+	if errors.Is(err, selfmon.ErrNotEnoughSamples) {
+		writeJSON(w, http.StatusOK, SelfDiagnoseResponse{
+			APIVersion: APIVersion,
+			Status:     err.Error(),
+			Samples:    s.selfmon.Stats().Retained,
+		})
+		return
+	}
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	diag := NewDiagnoseResponse(rep.Result)
+	s.log.Info("selfdiagnose", "samples", rep.Samples, "baseline", len(rep.Baseline),
+		"recent", len(rep.Recent), "explanations", len(diag.Explanations),
+		"rid", RequestIDFromContext(r.Context()))
+	writeJSON(w, http.StatusOK, SelfDiagnoseResponse{
+		APIVersion: APIVersion,
+		Status:     "ok",
+		Samples:    rep.Samples,
+		Baseline:   len(rep.Baseline),
+		Recent:     len(rep.Recent),
+		Diagnosis:  &diag,
+	})
 }

@@ -36,6 +36,7 @@ var volatileWire = []struct {
 	{regexp.MustCompile(`"duration_ms": [0-9.eE+-]+`), `"duration_ms": 0`},
 	{regexp.MustCompile(`"offset_ms": [0-9.eE+-]+`), `"offset_ms": 0`},
 	{regexp.MustCompile(`(?m)^\s*"slow": true,\n`), ``},
+	{regexp.MustCompile(`"(plan|exec|kernel|merge)_nanos": [0-9]+`), `"${1}_nanos": 0`},
 }
 
 func scrubVolatile(body string) string {
@@ -85,10 +86,13 @@ func TestGoldenWireEnvelopes(t *testing.T) {
 		{"attributes", "GET", "/v1/attributes?limit=1", "", 200},
 		{"report", "GET", "/v1/reports/executions", "", 200},
 		{"stats", "GET", "/v1/stats", "", 200},
+		{"sql_analyze", "POST", "/v1/sql", `{"sql": "SELECT metric, count(*) FROM performance_result GROUP BY metric", "analyze": true}`, 200},
 		{"error_notfound", "GET", "/v1/compare?a=nope&b=exec-gb", "", 404},
 		{"error_badrequest", "POST", "/v1/sql", `{"sql": "SELECT 1", "bogus": true}`, 400},
 		{"traces", "GET", "/v1/debug/traces?limit=2", "", 200},
 		{"trace", "GET", "/v1/debug/traces/req-query", "", 200},
+		{"queries", "GET", "/v1/debug/queries?limit=5", "", 200},
+		{"selfdiagnose", "GET", "/v1/debug/selfdiagnose", "", 200},
 	}
 
 	dir := filepath.Join("testdata", "golden")

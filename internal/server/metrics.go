@@ -41,10 +41,29 @@ func newServerMetrics() *serverMetrics {
 	return m
 }
 
-// observe records one finished request.
-func (m *serverMetrics) observe(route string, code int, d time.Duration) {
+// observe records one finished request. The latency observation carries
+// the request ID as an OpenMetrics exemplar, so a populated bucket on
+// /metrics links straight to a trace in /v1/debug/traces/{id}.
+func (m *serverMetrics) observe(route string, code int, d time.Duration, requestID string) {
 	m.requests.With(route, strconv.Itoa(code)).Inc()
-	m.latency.With(route).Observe(d.Seconds())
+	m.latency.With(route).ObserveExemplar(d.Seconds(), requestID)
+}
+
+// registerQueryLog exposes the slow-query capture's counters and
+// footprint.
+func (m *serverMetrics) registerQueryLog(ql *queryLog) {
+	m.reg.CounterFunc("ptserved_query_profiles_total",
+		"Query executions captured with profiles by the /v1/sql query log.",
+		func() uint64 { return ql.stats().Total })
+	m.reg.CounterFunc("ptserved_query_profiles_slow_total",
+		"Captured queries at or over the slow-request threshold.",
+		func() uint64 { return ql.stats().SlowTotal })
+	m.reg.GaugeFunc("ptserved_query_profile_entries",
+		"Query-log resident entries (recent ring).",
+		func() float64 { return float64(ql.stats().Entries) })
+	m.reg.GaugeFunc("ptserved_query_profile_bytes",
+		"Approximate query-log resident bytes across both rings.",
+		func() float64 { return float64(ql.stats().Bytes) })
 }
 
 // registerStore bridges the store's query-engine and telemetry counters

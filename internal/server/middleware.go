@@ -1,12 +1,14 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"sync"
 	"time"
 )
 
@@ -135,18 +137,115 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 	})
 }
 
-// instrument maintains the in-flight gauge and per-route counters.
+// instrument maintains the in-flight gauge and per-route counters. The
+// injectDelay fault hook stretches every instrumented request by a fixed
+// amount; the self-diagnosis tests use it to plant a measurable slowdown
+// that flows through the real latency histograms and slow-trace
+// detection (one atomic load per request when unset).
 func (s *Server) instrument(route string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
 		sr := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
+		if d := s.injectDelay.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
 		next.ServeHTTP(sr, r)
 		if sr.code == 0 {
 			sr.code = http.StatusOK
 		}
-		s.metrics.observe(route, sr.code, time.Since(start))
+		s.metrics.observe(route, sr.code, time.Since(start), RequestIDFromContext(r.Context()))
+	})
+}
+
+// timeoutWriter buffers a handler's response so the timeout middleware
+// can atomically choose between it and the timeout envelope. After the
+// deadline fires, further writes are discarded with
+// http.ErrHandlerTimeout, mirroring http.TimeoutHandler.
+type timeoutWriter struct {
+	mu       sync.Mutex
+	header   http.Header
+	buf      bytes.Buffer
+	code     int
+	timedOut bool
+}
+
+func (tw *timeoutWriter) Header() http.Header { return tw.header }
+
+func (tw *timeoutWriter) WriteHeader(code int) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.timedOut || tw.code != 0 {
+		return
+	}
+	tw.code = code
+}
+
+func (tw *timeoutWriter) Write(p []byte) (int, error) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.timedOut {
+		return 0, http.ErrHandlerTimeout
+	}
+	if tw.code == 0 {
+		tw.code = http.StatusOK
+	}
+	return tw.buf.Write(p)
+}
+
+// copyTo replays the buffered response onto the real writer.
+func (tw *timeoutWriter) copyTo(w http.ResponseWriter) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	dst := w.Header()
+	for k, v := range tw.header {
+		dst[k] = v
+	}
+	if tw.code == 0 {
+		tw.code = http.StatusOK
+	}
+	w.WriteHeader(tw.code)
+	w.Write(tw.buf.Bytes())
+}
+
+// timeout bounds one request end to end, like http.TimeoutHandler but
+// answering expiry with the v1 JSON error envelope (503 + request_id)
+// instead of a plain-text body — every non-2xx reply on the API surface
+// is an ErrorResponse, including this one. The handler runs in its own
+// goroutine against a buffered writer; its context is cancelled at the
+// deadline so store scans and the planner unwind promptly, and a panic
+// inside the handler is re-raised on the serving goroutine for
+// recoverPanics above.
+func (s *Server) timeout(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		tw := &timeoutWriter{header: make(http.Header)}
+		done := make(chan struct{})
+		panicked := make(chan any, 1)
+		go func() {
+			defer func() {
+				if v := recover(); v != nil {
+					panicked <- v
+					return
+				}
+				close(done)
+			}()
+			next.ServeHTTP(tw, r)
+		}()
+		select {
+		case v := <-panicked:
+			panic(v)
+		case <-done:
+			tw.copyTo(w)
+		case <-ctx.Done():
+			tw.mu.Lock()
+			tw.timedOut = true
+			tw.mu.Unlock()
+			writeErrorString(w, r, http.StatusServiceUnavailable, "request timed out")
+		}
 	})
 }
 

@@ -14,10 +14,13 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"perftrack/internal/datastore"
 	"perftrack/internal/obs"
+	"perftrack/internal/obs/selfmon"
 	"perftrack/internal/planner"
 )
 
@@ -67,6 +70,23 @@ type Config struct {
 	// text + store generation). 0 means the planner default
 	// (planner.DefaultCacheBytes); negative disables the cache.
 	PlanCacheBytes int64
+
+	// QueryLogBytes bounds each ring (recent and slow) of the /v1/sql
+	// query-profile capture behind GET /v1/debug/queries. 0 means the
+	// default of 1 MiB; negative disables capture.
+	QueryLogBytes int64
+
+	// SelfMonInterval is the continuous self-diagnosis sampling period:
+	// the server snapshots its own telemetry as PTdf executions and
+	// GET /v1/debug/selfdiagnose compares recent samples against the
+	// rolling baseline. 0 means the default of 15s; negative disables
+	// self-monitoring.
+	SelfMonInterval time.Duration
+
+	// SelfMonWindow bounds how many telemetry samples the self-monitor
+	// retains (older samples age out of its side store). 0 means the
+	// default of 64.
+	SelfMonWindow int
 }
 
 // Server is the ptserved HTTP service.
@@ -79,6 +99,15 @@ type Server struct {
 	sem       chan struct{}
 	httpSrv   *http.Server
 	planCache *planner.ResultCache // nil when disabled
+	queries   *queryLog            // nil when disabled
+	selfmon   *selfmon.Sampler     // nil when disabled
+
+	selfMu   sync.Mutex   // guards selfPrev (interval-delta state)
+	selfPrev selfSnapshot // previous self-sample counter snapshot
+
+	// injectDelay stretches every instrumented request by the given
+	// nanoseconds — a fault-injection hook for the self-diagnosis tests.
+	injectDelay atomic.Int64
 }
 
 // New validates the config and builds a Server. The caller serves it via
@@ -117,6 +146,10 @@ func New(cfg Config) (*Server, error) {
 		s.planCache = planner.NewResultCache(cfg.PlanCacheBytes)
 		s.metrics.registerPlanCache(s.planCache)
 	}
+	if cfg.QueryLogBytes >= 0 {
+		s.queries = newQueryLog(cfg.QueryLogBytes, cfg.SlowRequestThreshold)
+		s.metrics.registerQueryLog(s.queries)
+	}
 	s.tracer = obs.NewTracer(cfg.TraceBuffer, cfg.SlowRequestThreshold, func(tr *obs.Trace) {
 		d := tr.Data()
 		s.log.Warn("slow request", "rid", tr.ID(), "route", tr.Name(),
@@ -124,6 +157,11 @@ func New(cfg Config) (*Server, error) {
 	})
 	s.metrics.registerStore(cfg.Store)
 	s.metrics.registerTracer(s.tracer)
+	if cfg.SelfMonInterval >= 0 {
+		if err := s.buildSelfMonitor(); err != nil {
+			return nil, err
+		}
+	}
 	s.httpSrv = &http.Server{
 		Handler:     s.Handler(),
 		ReadTimeout: 0, // streamed loads may upload for a long time
@@ -137,15 +175,15 @@ func New(cfg Config) (*Server, error) {
 // innermost: request-ID tagging, structured logging, tracing, panic
 // recovery, metrics instrumentation, load shedding, per-request timeout.
 // The limiter sits inside instrumentation so shed requests still appear
-// in the 429 counters. `timed` is separate from `limited` because
-// http.TimeoutHandler buffers the whole response (and hides
+// in the 429 counters. `timed` is separate from `limited` because the
+// timeout middleware buffers the whole response (and hides
 // http.Flusher), which would break streaming endpoints: /v1/load counts
 // against the in-flight ceiling but streams NDJSON unbuffered. `traced`
 // marks API routes whose requests record a span tree; probe and debug
 // endpoints skip tracing so scrapes don't churn the trace rings.
 func (s *Server) route(mux *http.ServeMux, pattern, routeName string, limited, timed, traced bool, h http.Handler) {
 	if timed {
-		h = http.TimeoutHandler(h, s.cfg.RequestTimeout, "request timed out")
+		h = s.timeout(h)
 	}
 	if limited {
 		h = s.limit(h)
@@ -190,6 +228,8 @@ func (s *Server) Handler() http.Handler {
 	s.route(mux, "GET /v1/debug/traces", "/v1/debug/traces", false, false, false, http.HandlerFunc(s.handleDebugTraces))
 	s.route(mux, "GET /v1/debug/traces/{id}", "/v1/debug/trace", false, false, false, http.HandlerFunc(s.handleDebugTrace))
 	s.route(mux, "GET /v1/debug/selfptdf", "/v1/debug/selfptdf", false, false, false, http.HandlerFunc(s.handleSelfPTdf))
+	s.route(mux, "GET /v1/debug/queries", "/v1/debug/queries", false, false, false, http.HandlerFunc(s.handleDebugQueries))
+	s.route(mux, "GET /v1/debug/selfdiagnose", "/v1/debug/selfdiagnose", false, false, false, http.HandlerFunc(s.handleSelfDiagnose))
 	return mux
 }
 
@@ -198,6 +238,9 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) Serve(l net.Listener) error {
 	s.log.Info("serving", "addr", l.Addr().String(), "read_only", s.cfg.ReadOnly,
 		"max_in_flight", s.cfg.MaxInFlight, "timeout", s.cfg.RequestTimeout)
+	if s.selfmon != nil {
+		s.selfmon.Start()
+	}
 	return s.httpSrv.Serve(l)
 }
 
@@ -215,6 +258,9 @@ func (s *Server) ListenAndServe(addr string) error {
 // the network and the write-ahead log is truncated.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.log.Info("shutting down, draining in-flight requests")
+	if s.selfmon != nil {
+		s.selfmon.Stop()
+	}
 	if err := s.httpSrv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("server: drain: %w", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"net/http"
 	"strings"
+	"time"
 
 	"perftrack/internal/planner"
 	"perftrack/internal/reldb"
@@ -65,13 +66,29 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	}
 	pl := planner.New(s.store)
 	pl.Cache = s.planCache
+	start := time.Now()
 	res, plan, err := pl.Query(r.Context(), req.SQL)
+	rec := queryRecord{
+		SQL:       req.SQL,
+		RequestID: RequestIDFromContext(r.Context()),
+		Start:     start,
+		Duration:  time.Since(start),
+	}
 	if err != nil {
+		rec.Error = err.Error()
+		s.queries.add(rec)
 		writeError(w, r, statusOf(err, http.StatusInternalServerError), err)
 		return
 	}
+	rec.Strategy = plan.Strategy
+	rec.CacheHit = plan.CacheHit
+	rec.Rows = len(res.Rows)
+	rec.Profile = plan.ProfileWire()
+	s.queries.add(rec)
 	var wire *PlanWire
-	if req.Explain {
+	if req.Analyze {
+		wire = plan.WireAnalyze()
+	} else if req.Explain {
 		wire = plan.Wire()
 	}
 	s.log.Debug("sql", "strategy", plan.Strategy, "rows", len(res.Rows),

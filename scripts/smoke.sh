@@ -78,6 +78,12 @@ bin/ptsql -remote "$base" -explain \
     "SELECT metric, avg(value) FROM performance_result GROUP BY metric" >/dev/null 2>sqlplan.txt
 grep -q 'strategy=' sqlplan.txt
 
+echo "== remote EXPLAIN ANALYZE carries the execution profile"
+bin/ptsql -remote "$base" -analyze \
+    "SELECT metric, avg(value) FROM performance_result GROUP BY metric" >/dev/null 2>sqlprofile.txt
+grep -q 'profile:' sqlprofile.txt
+grep -q 'scanned:' sqlprofile.txt
+
 echo "== remote diagnosis"
 bin/ptdiagnose -remote "$base" -a smg-bgl-000 -b smg-bgl-001 | grep -q 'diagnosing smg-bgl-000'
 bin/ptdiagnose -remote "$base" -attrs | grep -q 'attribute'
@@ -105,6 +111,25 @@ if command -v curl >/dev/null; then
     bin/ptinit -db selfstore
     bin/ptload -db selfstore self.ptdf >/dev/null
     bin/ptquery -db selfstore -report applications | grep -q '^ptserved$'
+
+    echo "== slow-query capture holds the served SQL with its profile"
+    curl -fsS "$base/v1/debug/queries" > queries.json
+    grep -q '"sql"' queries.json
+    grep -q '"profile"' queries.json
+    grep -q '"rows_scanned"' queries.json
+
+    echo "== query-profile telemetry and exemplars ride /metrics"
+    curl -fsS "$base/metrics" > metrics2.txt
+    grep -q 'ptserved_query_profile_' metrics2.txt
+    grep -q 'ptserved_query_profiles_total' metrics2.txt
+    grep -q '# {trace_id=' metrics2.txt
+
+    echo "== continuous self-diagnosis over forced telemetry samples"
+    curl -fsS "$base/v1/debug/selfdiagnose?sample=1" >/dev/null
+    bin/ptquery -remote "$base" -family 'type=application' -count >/dev/null
+    curl -fsS "$base/v1/debug/selfdiagnose?sample=1" > selfdiag.json
+    grep -q '"status": "ok"' selfdiag.json
+    grep -q '"samples": 2' selfdiag.json
 fi
 
 echo "== graceful shutdown checkpoints the store"
