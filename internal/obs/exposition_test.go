@@ -54,22 +54,35 @@ func TestExemplarTTLExpiry(t *testing.T) {
 }
 
 // TestExemplarEscaping checks a hostile trace ID is escaped on the wire
-// exactly once (no double-escaping) and the line still parses.
+// exactly once (no double-escaping), the line still parses, and the
+// exemplar only appears on OpenMetrics output — the plain 0.0.4 parser
+// rejects trailing content after a sample value, so WritePrometheus
+// must stay exemplar-free.
 func TestExemplarEscaping(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("esc_seconds", "Escaping.", []float64{1})
 	h.ObserveExemplar(0.5, "id\"with\\tricks\nnewline")
 	var buf bytes.Buffer
-	if err := r.WritePrometheus(&buf); err != nil {
+	if err := r.WriteOpenMetrics(&buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
 	want := `# {trace_id="id\"with\\tricks\nnewline"}`
 	if !strings.Contains(out, want) {
-		t.Fatalf("exposition missing escaped exemplar %q:\n%s", want, out)
+		t.Fatalf("OpenMetrics exposition missing escaped exemplar %q:\n%s", want, out)
 	}
 	if strings.Contains(out, "\\\\\"") || strings.Count(out, "\n\n") > 0 {
 		t.Errorf("escaping artifacts in exposition:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics exposition not terminated by # EOF:\n%s", out)
+	}
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if plain := buf.String(); strings.Contains(plain, "# {") || strings.Contains(plain, "# EOF") {
+		t.Errorf("0.0.4 exposition carries OpenMetrics-only syntax:\n%s", plain)
 	}
 }
 
@@ -112,6 +125,8 @@ func parseExposition(t *testing.T, body string) map[string]*familyBlock {
 			if fb.help > 0 && len(fb.samples) > 0 {
 				t.Errorf("TYPE for %s after its samples", fields[2])
 			}
+		case line == "# EOF":
+			// OpenMetrics terminator; appears at most once, at the end.
 		case strings.HasPrefix(line, "#"):
 			t.Fatalf("unknown comment line: %s", line)
 		default:
@@ -129,10 +144,11 @@ func parseExposition(t *testing.T, body string) map[string]*familyBlock {
 	return fams
 }
 
-// TestExpositionStrict renders a mixed registry and checks the text
-// format invariants a strict scraper depends on: one HELP and one TYPE
-// per family, comments before samples, buckets cumulative and monotone,
-// the +Inf bucket equal to _count, and _sum/_count present per series.
+// TestExpositionStrict renders a mixed registry in both formats and
+// checks the invariants a strict scraper depends on: one HELP and one
+// TYPE per family, comments before samples, buckets cumulative and
+// monotone, the +Inf bucket equal to _count, _sum/_count present per
+// series — and exemplars confined to the OpenMetrics body.
 func TestExpositionStrict(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("strict_events_total", "Events.").Add(7)
@@ -143,11 +159,28 @@ func TestExpositionStrict(t *testing.T) {
 	}
 	hv.With("/b").Observe(0.01)
 
-	var buf bytes.Buffer
-	if err := r.WritePrometheus(&buf); err != nil {
+	var plain, om bytes.Buffer
+	if err := r.WritePrometheus(&plain); err != nil {
 		t.Fatal(err)
 	}
-	body := buf.String()
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), " # {") || strings.Contains(plain.String(), "# EOF") {
+		t.Errorf("plain 0.0.4 exposition carries OpenMetrics-only syntax:\n%s", plain.String())
+	}
+	if !strings.Contains(om.String(), `# {trace_id="trace-a"}`) {
+		t.Errorf("OpenMetrics exposition missing the trace-a exemplar:\n%s", om.String())
+	}
+	if !strings.HasSuffix(om.String(), "# EOF\n") {
+		t.Errorf("OpenMetrics exposition not terminated by # EOF:\n%s", om.String())
+	}
+	checkStrict(t, plain.String())
+	checkStrict(t, om.String())
+}
+
+func checkStrict(t *testing.T, body string) {
+	t.Helper()
 	fams := parseExposition(t, body)
 	for _, name := range []string{"strict_events_total", "strict_depth", "strict_latency_seconds"} {
 		fb := fams[name]

@@ -28,8 +28,9 @@ type Histogram struct {
 }
 
 // Exemplar links one bucket to the trace that produced its worst recent
-// observation, exposed on /metrics in the OpenMetrics exemplar syntax so
-// a latency spike in a bucket can be chased straight to a trace ID.
+// observation, exposed on OpenMetrics scrapes of /metrics in the
+// exemplar syntax so a latency spike in a bucket can be chased straight
+// to a trace ID.
 type Exemplar struct {
 	TraceID string
 	Value   float64
@@ -159,20 +160,26 @@ func (h *Histogram) Quantile(q float64) float64 {
 }
 
 // writeSeries renders the _bucket/_sum/_count series with the given
-// extra labels. Buckets holding an exemplar carry it in the OpenMetrics
-// exemplar syntax (`... # {trace_id="..."} value timestamp`); parsers of
-// the plain 0.0.4 format that split on ' # ' or ignore trailing fields
-// still read the sample value correctly.
-func (h *Histogram) writeSeries(w *bufio.Writer, name string, labels, values []string) {
+// extra labels. When exemplars is true (the OpenMetrics format, the
+// only format they are legal in), buckets holding an exemplar carry it
+// in the exemplar syntax (`... # {trace_id="..."} value timestamp`);
+// the plain 0.0.4 output stays exemplar-free because that parser
+// rejects any trailing content after the sample value.
+func (h *Histogram) writeSeries(w *bufio.Writer, name string, labels, values []string, exemplars bool) {
 	bounds, cum, total := h.Buckets()
-	ex := h.BucketExemplars()
+	sfx := func(i int) string {
+		if !exemplars {
+			return ""
+		}
+		return exemplarSuffix(h.exemplars[i].Load())
+	}
 	bLabels := append(append([]string(nil), labels...), "le")
 	for i, ub := range bounds {
 		bVals := append(append([]string(nil), values...), strconv.FormatFloat(ub, 'g', -1, 64))
-		fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, labelString(bLabels, bVals), cum[i], exemplarSuffix(ex[i]))
+		fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, labelString(bLabels, bVals), cum[i], sfx(i))
 	}
 	infVals := append(append([]string(nil), values...), "+Inf")
-	fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, labelString(bLabels, infVals), total, exemplarSuffix(ex[len(ex)-1]))
+	fmt.Fprintf(w, "%s_bucket%s %d%s\n", name, labelString(bLabels, infVals), total, sfx(len(h.exemplars)-1))
 	suffix := ""
 	if len(labels) > 0 {
 		suffix = labelString(labels, values)

@@ -22,11 +22,12 @@ type Registry struct {
 }
 
 // metric is one registered family: it renders its complete exposition
-// block (HELP, TYPE, series) given its name.
+// block (HELP, TYPE, series) given its name. exemplars is true only for
+// the OpenMetrics format; the plain 0.0.4 format must not carry them.
 type metric interface {
 	metricType() string
 	helpText() string
-	write(w *bufio.Writer, name string)
+	write(w *bufio.Writer, name string, exemplars bool)
 }
 
 // NewRegistry returns an empty registry.
@@ -50,8 +51,17 @@ func (r *Registry) register(name string, m metric) metric {
 }
 
 // WritePrometheus renders every registered metric, sorted by name, in
-// the text exposition format (version 0.0.4).
-func (r *Registry) WritePrometheus(w io.Writer) error {
+// the plain text exposition format (version 0.0.4). Exemplars are
+// omitted: the 0.0.4 parser rejects trailing content after a sample
+// value, so they are only legal on OpenMetrics output.
+func (r *Registry) WritePrometheus(w io.Writer) error { return r.write(w, false) }
+
+// WriteOpenMetrics renders every registered metric in the OpenMetrics
+// text format: the same families and samples as WritePrometheus, plus
+// per-bucket histogram exemplars and the terminating "# EOF" marker.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error { return r.write(w, true) }
+
+func (r *Registry) write(w io.Writer, openMetrics bool) error {
 	r.mu.Lock()
 	names := make([]string, 0, len(r.metrics))
 	for n := range r.metrics {
@@ -70,7 +80,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(bw, "# HELP %s %s\n", names[i], h)
 		}
 		fmt.Fprintf(bw, "# TYPE %s %s\n", names[i], m.metricType())
-		m.write(bw, names[i])
+		m.write(bw, names[i], openMetrics)
+	}
+	if openMetrics {
+		fmt.Fprintln(bw, "# EOF")
 	}
 	return bw.Flush()
 }
@@ -141,7 +154,7 @@ func (c *Counter) Value() uint64 { return c.v.Load() }
 
 func (c *Counter) metricType() string { return "counter" }
 func (c *Counter) helpText() string   { return c.help }
-func (c *Counter) write(w *bufio.Writer, name string) {
+func (c *Counter) write(w *bufio.Writer, name string, _ bool) {
 	fmt.Fprintf(w, "%s %d\n", name, c.v.Load())
 }
 
@@ -160,7 +173,7 @@ type counterFunc struct {
 
 func (c *counterFunc) metricType() string { return "counter" }
 func (c *counterFunc) helpText() string   { return c.help }
-func (c *counterFunc) write(w *bufio.Writer, name string) {
+func (c *counterFunc) write(w *bufio.Writer, name string, _ bool) {
 	fmt.Fprintf(w, "%s %d\n", name, c.fn())
 }
 
@@ -196,7 +209,7 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 func (g *Gauge) metricType() string { return "gauge" }
 func (g *Gauge) helpText() string   { return g.help }
-func (g *Gauge) write(w *bufio.Writer, name string) {
+func (g *Gauge) write(w *bufio.Writer, name string, _ bool) {
 	fmt.Fprintf(w, "%s %s\n", name, formatValue(g.Value()))
 }
 
@@ -213,7 +226,7 @@ type gaugeFunc struct {
 
 func (g *gaugeFunc) metricType() string { return "gauge" }
 func (g *gaugeFunc) helpText() string   { return g.help }
-func (g *gaugeFunc) write(w *bufio.Writer, name string) {
+func (g *gaugeFunc) write(w *bufio.Writer, name string, _ bool) {
 	fmt.Fprintf(w, "%s %s\n", name, formatValue(g.fn()))
 }
 
@@ -293,7 +306,7 @@ func (v *CounterVec) Each(fn func(values []string, c *Counter)) {
 
 func (v *CounterVec) metricType() string { return "counter" }
 func (v *CounterVec) helpText() string   { return v.help }
-func (v *CounterVec) write(w *bufio.Writer, name string) {
+func (v *CounterVec) write(w *bufio.Writer, name string, _ bool) {
 	v.Each(func(values []string, c *Counter) {
 		fmt.Fprintf(w, "%s%s %d\n", name, labelString(v.labels, values), c.Value())
 	})
@@ -366,9 +379,9 @@ func (v *HistogramVec) Each(fn func(values []string, h *Histogram)) {
 
 func (v *HistogramVec) metricType() string { return "histogram" }
 func (v *HistogramVec) helpText() string   { return v.help }
-func (v *HistogramVec) write(w *bufio.Writer, name string) {
+func (v *HistogramVec) write(w *bufio.Writer, name string, exemplars bool) {
 	v.Each(func(values []string, h *Histogram) {
-		h.writeSeries(w, name, v.labels, values)
+		h.writeSeries(w, name, v.labels, values, exemplars)
 	})
 }
 
@@ -392,6 +405,6 @@ type histogramMetric struct {
 
 func (m *histogramMetric) metricType() string { return "histogram" }
 func (m *histogramMetric) helpText() string   { return m.help }
-func (m *histogramMetric) write(w *bufio.Writer, name string) {
-	m.h.writeSeries(w, name, nil, nil)
+func (m *histogramMetric) write(w *bufio.Writer, name string, exemplars bool) {
+	m.h.writeSeries(w, name, nil, nil, exemplars)
 }

@@ -85,9 +85,37 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics serves the exposition, content-negotiated on Accept:
+// scrapers that accept application/openmetrics-text get the OpenMetrics
+// body (histogram exemplars, terminating "# EOF"); everyone else gets
+// the plain 0.0.4 format, which must stay exemplar-free because that
+// parser rejects trailing content after a sample value.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if acceptsOpenMetrics(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		s.metrics.reg.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.reg.WritePrometheus(w)
+}
+
+// acceptsOpenMetrics reports whether an Accept header offers the
+// OpenMetrics media type with a non-zero quality.
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt, params, err := mime.ParseMediaType(strings.TrimSpace(part))
+		if err != nil || mt != "application/openmetrics-text" {
+			continue
+		}
+		if q, ok := params["q"]; ok {
+			if v, err := strconv.ParseFloat(q, 64); err == nil && v <= 0 {
+				continue
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // handleLoad ingests PTdf. A plain body is one document, applied

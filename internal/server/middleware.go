@@ -5,6 +5,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"fmt"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -216,7 +217,9 @@ func (tw *timeoutWriter) copyTo(w http.ResponseWriter) {
 // goroutine against a buffered writer; its context is cancelled at the
 // deadline so store scans and the planner unwind promptly, and a panic
 // inside the handler is re-raised on the serving goroutine for
-// recoverPanics above.
+// recoverPanics above. A panic that lands after the deadline branch has
+// already answered 503 has no goroutine left to re-raise on, so it is
+// logged instead of silently dropped.
 func (s *Server) timeout(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
@@ -224,11 +227,15 @@ func (s *Server) timeout(next http.Handler) http.Handler {
 		r = r.WithContext(ctx)
 		tw := &timeoutWriter{header: make(http.Header)}
 		done := make(chan struct{})
-		panicked := make(chan any, 1)
+		type panicInfo struct {
+			val   any
+			stack []byte
+		}
+		panicked := make(chan panicInfo, 1)
 		go func() {
 			defer func() {
 				if v := recover(); v != nil {
-					panicked <- v
+					panicked <- panicInfo{val: v, stack: debug.Stack()}
 					return
 				}
 				close(done)
@@ -236,14 +243,25 @@ func (s *Server) timeout(next http.Handler) http.Handler {
 			next.ServeHTTP(tw, r)
 		}()
 		select {
-		case v := <-panicked:
-			panic(v)
+		case p := <-panicked:
+			panic(p.val)
 		case <-done:
 			tw.copyTo(w)
 		case <-ctx.Done():
 			tw.mu.Lock()
 			tw.timedOut = true
 			tw.mu.Unlock()
+			// The handler goroutine is still unwinding and nobody is
+			// left to re-raise a late panic on, so drain and log it
+			// rather than let it vanish into the buffered channel.
+			route, rid := r.URL.Path, RequestIDFromContext(r.Context())
+			go func() {
+				select {
+				case p := <-panicked:
+					s.log.Error("handler panic after timeout", "route", route, "rid", rid, "panic", fmt.Sprint(p.val), "stack", string(p.stack))
+				case <-done:
+				}
+			}()
 			writeErrorString(w, r, http.StatusServiceUnavailable, "request timed out")
 		}
 	})

@@ -1,14 +1,18 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
+
+	"perftrack/internal/obs"
 )
 
 // postSQL posts one SQLRequest and decodes the buffered response.
@@ -200,9 +204,16 @@ func TestTimeoutPropagatesPanic(t *testing.T) {
 // exemplarRe matches the OpenMetrics exemplar suffix on a _bucket line.
 var exemplarRe = regexp.MustCompile(`_bucket{[^}]*} \d+ # \{trace_id="req-exemplar"\} [0-9.eE+-]+ \d+$`)
 
-// TestMetricsExemplarsAndQueryProfiles checks the /metrics surface:
-// request latency buckets carry the request ID of a recent observation
-// as an exemplar, and the query-profile family is exported.
+// openMetricsAccept is what a Prometheus scraper negotiating the
+// OpenMetrics format sends.
+const openMetricsAccept = "application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5"
+
+// TestMetricsExemplarsAndQueryProfiles checks the /metrics surface in
+// both negotiated formats: the query-profile family is exported, the
+// plain 0.0.4 body stays exemplar-free (its parser rejects trailing
+// content after a sample value), and an OpenMetrics scrape gets the
+// request ID of a recent observation as a bucket exemplar plus the
+// terminating # EOF.
 func TestMetricsExemplarsAndQueryProfiles(t *testing.T) {
 	_, ts := newTestServer(t, nil)
 	loadDoc(t, ts.URL, ptdfDoc("me", 3))
@@ -217,13 +228,25 @@ func TestMetricsExemplarsAndQueryProfiles(t *testing.T) {
 	io.Copy(io.Discard, r.Body)
 	r.Body.Close()
 
-	r, err = http.Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
+	scrape := func(accept string) (string, string) {
+		t.Helper()
+		req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		return string(raw), r.Header.Get("Content-Type")
 	}
-	raw, _ := io.ReadAll(r.Body)
-	r.Body.Close()
-	body := string(raw)
+
+	body, ct := scrape("")
+	if ct != "text/plain; version=0.0.4" {
+		t.Errorf("plain scrape Content-Type = %q", ct)
+	}
 	for _, name := range []string{
 		"ptserved_query_profiles_total",
 		"ptserved_query_profiles_slow_total",
@@ -234,6 +257,17 @@ func TestMetricsExemplarsAndQueryProfiles(t *testing.T) {
 		if !strings.Contains(body, name) {
 			t.Errorf("/metrics missing %s", name)
 		}
+	}
+	if strings.Contains(body, "# {") || strings.Contains(body, "# EOF") {
+		t.Errorf("plain 0.0.4 scrape carries OpenMetrics-only syntax:\n%s", body)
+	}
+
+	body, ct = scrape(openMetricsAccept)
+	if !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Errorf("OpenMetrics scrape Content-Type = %q", ct)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Errorf("OpenMetrics scrape not terminated by # EOF")
 	}
 	found := false
 	for _, line := range strings.Split(body, "\n") {
@@ -364,5 +398,99 @@ func TestSelfDiagnoseForceSample(t *testing.T) {
 	}
 	if resp.Status != "ok" || resp.Samples != 2 {
 		t.Errorf("after two forced samples: status=%q samples=%d, want ok/2", resp.Status, resp.Samples)
+	}
+}
+
+// TestAcceptsOpenMetrics pins the /metrics content negotiation: only an
+// Accept header offering application/openmetrics-text with non-zero
+// quality selects the OpenMetrics (exemplar-carrying) format.
+func TestAcceptsOpenMetrics(t *testing.T) {
+	for accept, want := range map[string]bool{
+		"":           false,
+		"text/plain": false,
+		"application/openmetrics-text":                                   true,
+		openMetricsAccept:                                                true,
+		"application/openmetrics-text;q=0":                               false,
+		"text/plain, application/openmetrics-text; version=0.0.1; q=0.8": true,
+	} {
+		if got := acceptsOpenMetrics(accept); got != want {
+			t.Errorf("acceptsOpenMetrics(%q) = %v, want %v", accept, got, want)
+		}
+	}
+}
+
+// TestQueryLogBoundsOversizedRecords pins the byte budget against a
+// single pathological statement: SQL text is truncated at capture time,
+// and a record that would alone exceed a ring's whole budget is dropped
+// rather than pinning the ring above its bound.
+func TestQueryLogBoundsOversizedRecords(t *testing.T) {
+	ql := newQueryLog(0, 0)
+	ql.add(queryRecord{SQL: strings.Repeat("s", 3*maxQueryTextBytes)})
+	recs := ql.list(false, 10)
+	if len(recs) != 1 || len(recs[0].SQL) != maxQueryTextBytes {
+		t.Fatalf("oversized SQL not truncated: %d records, SQL len %d", len(recs), len(recs[0].SQL))
+	}
+	if !strings.HasSuffix(recs[0].SQL, "...[truncated]") {
+		t.Errorf("truncated SQL not marked: %q", recs[0].SQL[len(recs[0].SQL)-20:])
+	}
+
+	ring := queryRing{maxBytes: queryRecordOverhead} // any non-empty text is over budget
+	ring.add(queryRecord{SQL: "x"})
+	if len(ring.recs) != 0 || ring.bytes != 0 {
+		t.Errorf("record over the whole budget was kept: %d records, %d bytes", len(ring.recs), ring.bytes)
+	}
+	ring.add(queryRecord{})
+	if len(ring.recs) != 1 {
+		t.Errorf("record exactly at budget was dropped")
+	}
+}
+
+// lockedBuf is a goroutine-safe buffer for capturing log output.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestTimeoutLatePanicLogged checks that a handler panic landing after
+// the deadline has already answered 503 — when no goroutine is left to
+// re-raise it on — is logged instead of vanishing.
+func TestTimeoutLatePanicLogged(t *testing.T) {
+	var lb lockedBuf
+	srv, _ := newTestServer(t, func(c *Config) {
+		c.RequestTimeout = 10 * time.Millisecond
+		c.Log = obs.NewLogger(&lb, obs.LevelError)
+	})
+	release := make(chan struct{})
+	h := srv.timeout(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		panic("late boom")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	close(release) // now let the handler panic, after the 503 went out
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(lb.String(), "handler panic after timeout") {
+		if time.Now().After(deadline) {
+			t.Fatalf("late panic never logged; log so far:\n%s", lb.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if out := lb.String(); !strings.Contains(out, "late boom") {
+		t.Errorf("log line missing the panic value:\n%s", out)
 	}
 }

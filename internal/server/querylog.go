@@ -29,6 +29,20 @@ type queryRecord struct {
 // profile, ring bookkeeping) on top of its string payload.
 const queryRecordOverhead = 512
 
+// maxQueryTextBytes caps the SQL and error text retained per record: a
+// few KB is plenty to identify a statement, and the cap keeps a single
+// pathological query from pinning a ring above its byte budget.
+const maxQueryTextBytes = 4 << 10
+
+// truncateText bounds s to max bytes, marking the cut.
+func truncateText(s string, max int) string {
+	const marker = "...[truncated]"
+	if len(s) <= max {
+		return s
+	}
+	return s[:max-len(marker)] + marker
+}
+
 func (qr *queryRecord) byteSize() int64 {
 	return int64(len(qr.SQL)+len(qr.RequestID)+len(qr.Strategy)+len(qr.Error)) + queryRecordOverhead
 }
@@ -42,6 +56,9 @@ type queryRing struct {
 }
 
 func (r *queryRing) add(rec queryRecord) {
+	if rec.byteSize() > r.maxBytes {
+		return // one record over the whole budget: drop it, keep the bound
+	}
 	r.recs = append(r.recs, rec)
 	r.bytes += rec.byteSize()
 	evict := 0
@@ -100,6 +117,8 @@ func (ql *queryLog) add(rec queryRecord) {
 		return
 	}
 	rec.Slow = ql.slowThreshold > 0 && rec.Duration >= ql.slowThreshold
+	rec.SQL = truncateText(rec.SQL, maxQueryTextBytes)
+	rec.Error = truncateText(rec.Error, maxQueryTextBytes)
 	ql.mu.Lock()
 	defer ql.mu.Unlock()
 	ql.total++

@@ -122,7 +122,12 @@ if command -v curl >/dev/null; then
     curl -fsS "$base/metrics" > metrics2.txt
     grep -q 'ptserved_query_profile_' metrics2.txt
     grep -q 'ptserved_query_profiles_total' metrics2.txt
-    grep -q '# {trace_id=' metrics2.txt
+    # plain 0.0.4 scrapes must stay exemplar-free; the OpenMetrics
+    # negotiation carries the exemplars and the # EOF terminator
+    ! grep -q '# {trace_id=' metrics2.txt
+    curl -fsS -H 'Accept: application/openmetrics-text' "$base/metrics" > metrics-om.txt
+    grep -q '# {trace_id=' metrics-om.txt
+    tail -1 metrics-om.txt | grep -q '^# EOF$'
 
     echo "== continuous self-diagnosis over forced telemetry samples"
     curl -fsS "$base/v1/debug/selfdiagnose?sample=1" >/dev/null
